@@ -1,0 +1,72 @@
+"""Extension — the 2-D Laplace fast multipole method.
+
+The paper's background names FMM (reference [7]) alongside Barnes-Hut as
+the foundational fast N-body algorithms; the evaluation uses Barnes-Hut.
+This bench adds the missing half: the O(N) FMM against the O(N²) direct
+sum, with the accuracy-vs-order profile.
+"""
+
+import numpy as np
+import pytest
+
+from harness import emit, format_table, wall
+from repro.fmm import direct_potential, fmm_potential
+
+_ROWS: dict[str, list] = {"scaling": [], "order": []}
+
+
+@pytest.mark.parametrize("n", [1000, 2000, 4000, 8000, 16000])
+def test_fmm_scaling(benchmark, n):
+    rng = np.random.default_rng(0)
+    pts = rng.uniform(0, 1, (n, 2))
+    q = rng.normal(size=n)
+    z = pts[:, 0] + 1j * pts[:, 1]
+    if n == 1000:
+        benchmark.pedantic(lambda: fmm_potential(pts, q, p=8),
+                           rounds=2, iterations=1)
+    t_fmm = wall(lambda: fmm_potential(pts, q, p=8), 2)
+    t_direct = wall(lambda: direct_potential(z, z, q), 2)
+    phi = fmm_potential(pts, q, p=8)
+    exact = direct_potential(z, z, q)
+    err = float(np.abs(phi - exact).max() / np.abs(exact).max())
+    _ROWS["scaling"].append([n, round(t_fmm, 4), round(t_direct, 4),
+                             round(t_direct / t_fmm, 1), f"{err:.1e}"])
+
+
+def test_fmm_order_sweep(benchmark):
+    rng = np.random.default_rng(1)
+    pts = rng.uniform(0, 1, (3000, 2))
+    q = rng.normal(size=3000)
+    z = pts[:, 0] + 1j * pts[:, 1]
+    exact = direct_potential(z, z, q)
+    benchmark.pedantic(lambda: fmm_potential(pts, q, p=6),
+                       rounds=2, iterations=1)
+    for p in (2, 4, 8, 12):
+        t = wall(lambda p=p: fmm_potential(pts, q, p=p))
+        err = float(np.abs(fmm_potential(pts, q, p=p) - exact).max()
+                    / np.abs(exact).max())
+        _ROWS["order"].append([p, round(t, 4), f"{err:.1e}",
+                               f"{0.47 ** p:.1e}"])
+
+
+def test_fmm_emit(benchmark):
+    benchmark(lambda: None)
+    lines = [
+        format_table(
+            "Extension — 2-D Laplace FMM vs direct sum (uniform, p=8)",
+            ["N", "FMM (s)", "direct (s)", "speedup ×", "rel err"],
+            _ROWS["scaling"],
+        ),
+        "",
+        format_table(
+            "Extension — FMM expansion order (N=3000): error ~ 0.47^p",
+            ["p", "time (s)", "rel err", "0.47^p"],
+            _ROWS["order"],
+        ),
+    ]
+    emit("extension_fmm", "\n".join(lines))
+    # O(N) vs O(N²): the advantage must grow with N.
+    sp = [row[3] for row in _ROWS["scaling"]]
+    assert sp[-1] > sp[0]
+    errs = [float(row[2]) for row in _ROWS["order"]]
+    assert errs == sorted(errs, reverse=True)

@@ -1,0 +1,82 @@
+"""Fig. 1 — the Portal compiler block diagram.
+
+Regenerates the pipeline stage list from the live pass manager (Lowering
+& Storage Injection → Flattening → Numerical Optimization → Strength
+Reduction → Code Generation) and benchmarks each stage's cost on the
+nearest-neighbor program.
+"""
+
+import time
+
+import numpy as np
+import pytest
+
+from harness import emit, format_table
+from repro.dsl import PortalExpr, PortalFunc, PortalOp, Storage
+from repro.ir.flattening import flatten
+from repro.ir.lowering import lower
+from repro.ir.numerical_opt import numerical_optimize
+from repro.ir.passes import PIPELINE_STAGES, PassManager
+from repro.ir.strength_reduction import strength_reduce
+from repro.rules import build_rules
+
+
+def _nn_layers():
+    rng = np.random.default_rng(0)
+    e = PortalExpr("nn")
+    e.addLayer(PortalOp.FORALL, Storage(rng.normal(size=(500, 3)), name="query"))
+    e.addLayer(PortalOp.ARGMIN, Storage(rng.normal(size=(500, 3)),
+                                        name="reference"),
+               PortalFunc.EUCLIDEAN)
+    e.validate()
+    return e.layers, e.layers[1].metric_kernel
+
+
+def test_fig1_stage_order(benchmark):
+    layers, kernel = _nn_layers()
+    cls, rule = build_rules(layers, kernel)
+
+    def run_pipeline():
+        pm = PassManager()
+        pm.run(lower(layers, kernel, cls, rule, "nn"))
+        return pm
+
+    pm = benchmark(run_pipeline)
+
+    assert tuple(pm.snapshots) == PIPELINE_STAGES
+
+    rows = []
+    stage_fns = {
+        "lowered": "Lowering & Storage Injection (IV-A, IV-B)",
+        "flattened": "Flattening (IV-C)",
+        "numopt": "Numerical Optimization (IV-D)",
+        "strength": "Strength Reduction (IV-E)",
+        "final": "Standard passes + Code Generation (IV-F)",
+    }
+    # Per-stage timing.
+    lowered = lower(layers, kernel, cls, rule, "nn")
+    timings = {}
+    t0 = time.perf_counter()
+    lower(layers, kernel, cls, rule, "nn")
+    timings["lowered"] = time.perf_counter() - t0
+    prog = lowered
+    for name, fn in (("flattened", flatten),
+                     ("numopt", numerical_optimize),
+                     ("strength", strength_reduce)):
+        t0 = time.perf_counter()
+        prog = fn(prog)
+        timings[name] = time.perf_counter() - t0
+    from repro.ir.passes import constant_fold, dead_code_eliminate
+
+    t0 = time.perf_counter()
+    dead_code_eliminate(constant_fold(prog))
+    timings["final"] = time.perf_counter() - t0
+
+    for stage in PIPELINE_STAGES:
+        rows.append([stage, stage_fns[stage],
+                     f"{timings[stage] * 1e3:.2f} ms"])
+    emit("fig1", format_table(
+        "Fig. 1 — compiler pipeline stages (live pass manager)",
+        ["Stage", "Paper section", "Cost (NN program)"],
+        rows,
+    ))

@@ -1,0 +1,50 @@
+"""Table I — the Portal operator set and its categories.
+
+Regenerates the operator table from the live registry and benchmarks the
+frontend cost it gates: resolving operators and validating/compiling a
+Portal program.
+"""
+
+import numpy as np
+import pytest
+
+from harness import emit, format_table
+from repro.dsl import PortalExpr, PortalFunc, PortalOp, Storage
+from repro.dsl.ops import operator_table, resolve_op
+
+
+def test_table1_rows(benchmark):
+    rows = operator_table()
+    assert len(rows) == 13
+
+    from repro.dsl.ops import op_info
+
+    def resolve_all():
+        return [
+            resolve_op((op, 3) if op_info(op).requires_k else op)
+            for op in PortalOp
+        ]
+
+    benchmark(resolve_all)
+
+    emit("table1", format_table(
+        "Table I — Portal operators",
+        ["Category", "Mathematical", "Portal operator"],
+        [list(r) for r in rows],
+    ))
+
+
+def test_frontend_compile_cost(benchmark):
+    """Time to run the full compiler pipeline (no execution)."""
+    rng = np.random.default_rng(0)
+    q = Storage(rng.normal(size=(1000, 3)), name="q")
+    r = Storage(rng.normal(size=(1000, 3)), name="r")
+
+    def build_and_compile():
+        e = PortalExpr("nn")
+        e.addLayer(PortalOp.FORALL, q)
+        e.addLayer(PortalOp.ARGMIN, r, PortalFunc.EUCLIDEAN)
+        return e.compile()
+
+    program = benchmark(build_and_compile)
+    assert program.mode == "tree"

@@ -1,0 +1,35 @@
+"""Table II — dataset characteristics.
+
+Regenerates the dataset table (paper N and dimensionality, plus the
+scaled benchmark N of substitution S4) and benchmarks the kd-tree build
+on each dataset — the setup cost every tree-based problem pays.
+"""
+
+import pytest
+
+from harness import BENCH_SIZES, dataset, emit, format_table
+from repro.data import DATASETS, table2_rows
+from repro.trees import build_kdtree
+
+
+def test_table2_rows(benchmark):
+    benchmark(table2_rows)
+    rows = []
+    for name, paper_n, d, default_n in table2_rows():
+        rows.append([name, f"{paper_n:,}", d, f"{BENCH_SIZES[name]:,}"])
+    emit("table2", format_table(
+        "Table II — datasets (paper scale vs bench scale)",
+        ["Dataset", "paper N", "d", "bench N"],
+        rows,
+    ))
+    assert len(rows) == 6
+
+
+@pytest.mark.parametrize("name", list(DATASETS))
+def test_tree_build(benchmark, name):
+    X = dataset(name)
+    tree = benchmark.pedantic(
+        lambda: build_kdtree(X.copy(), leaf_size=64),
+        rounds=3, iterations=1,
+    )
+    assert tree.n == len(X)

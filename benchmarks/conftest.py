@@ -1,0 +1,7 @@
+"""Benchmark-suite configuration: make ``harness`` importable and keep
+pytest-benchmark output compact."""
+
+import os
+import sys
+
+sys.path.insert(0, os.path.dirname(__file__))

@@ -1,0 +1,97 @@
+"""Shared helpers for the benchmark harnesses.
+
+Every ``bench_*.py`` regenerates one table or figure of the paper's
+evaluation section: it measures the relevant configurations through
+pytest-benchmark, assembles the paper-style rows, prints them, and writes
+them to ``benchmarks/results/<name>.txt`` so EXPERIMENTS.md can quote
+them.  Dataset sizes are scaled down from the paper's (see DESIGN.md S4);
+the *shape* of each comparison — who wins, by roughly what factor — is
+the reproduction target, not absolute seconds.
+"""
+
+from __future__ import annotations
+
+import functools
+import os
+import sys
+import time
+
+import numpy as np
+
+from repro.data import DATASETS, load
+
+RESULTS_DIR = os.path.join(os.path.dirname(__file__), "results")
+
+#: Benchmark-scale sizes per dataset (smaller than the registry defaults so
+#: the full Table-IV sweep stays tractable on one core).
+BENCH_SIZES = {
+    "Census": 2000,
+    "Yahoo!": 4000,
+    "IHEPC": 4000,
+    "HIGGS": 3000,
+    "KDD": 2500,
+    "Elliptical": 6000,
+}
+
+
+@functools.lru_cache(maxsize=None)
+def dataset(name: str, n: int | None = None, seed: int = 0) -> np.ndarray:
+    X = load(name, n or BENCH_SIZES[name], seed=seed)
+    X.setflags(write=False)
+    return X
+
+
+def split_qr(X: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+    """Query/reference split used by the query-style problems."""
+    half = len(X) // 2
+    return np.ascontiguousarray(X[:half]), np.ascontiguousarray(X[half:])
+
+
+def wall(fn, repeats: int = 1) -> float:
+    """Best-of wall-clock seconds."""
+    best = float("inf")
+    for _ in range(repeats):
+        t0 = time.perf_counter()
+        fn()
+        best = min(best, time.perf_counter() - t0)
+    return best
+
+
+def format_table(title: str, headers: list[str], rows: list[list]) -> str:
+    cols = [headers] + [[_fmt(c) for c in row] for row in rows]
+    widths = [max(len(r[i]) for r in cols) for i in range(len(headers))]
+    lines = [title, "=" * len(title)]
+    lines.append("  ".join(h.ljust(w) for h, w in zip(headers, widths)))
+    lines.append("  ".join("-" * w for w in widths))
+    for row in rows:
+        lines.append("  ".join(_fmt(c).ljust(w)
+                               for c, w in zip(row, widths)))
+    return "\n".join(lines)
+
+
+def _fmt(c) -> str:
+    if isinstance(c, float):
+        if c == 0:
+            return "0"
+        if abs(c) >= 1000 or abs(c) < 0.01:
+            return f"{c:.3g}"
+        return f"{c:.3f}"
+    return str(c)
+
+
+def emit(name: str, text: str) -> None:
+    """Print a table and persist it under benchmarks/results/."""
+    os.makedirs(RESULTS_DIR, exist_ok=True)
+    path = os.path.join(RESULTS_DIR, f"{name}.txt")
+    with open(path, "w") as fh:
+        fh.write(text + "\n")
+    print(f"\n{text}\n[written to {path}]", file=sys.stderr)
+
+
+def paper_scale_note(names: list[str]) -> str:
+    rows = []
+    for name in names:
+        info = DATASETS[name]
+        rows.append(f"  {name}: paper N={info.paper_n:,}, "
+                    f"bench N={BENCH_SIZES[name]:,} (d={info.dim})")
+    return "scaled datasets (DESIGN.md substitution S4):\n" + "\n".join(rows)

@@ -1,0 +1,53 @@
+"""Measuring galaxy clustering: the two-point correlation function ξ(r).
+
+Builds a clustered mock catalog (galaxies scattered around halo centers)
+and a uniform random catalog over the same volume, then estimates ξ(r)
+with the Landy–Szalay estimator — every DD/DR/RR pair count running
+through the dual-tree counting engine with closed-form inside/outside
+pruning.
+
+Run:  python examples/correlation_function.py
+"""
+
+import time
+
+import numpy as np
+
+from repro.problems import landy_szalay
+
+
+def make_catalogs(n_gal=1200, n_rand=2400, box=20.0, n_halos=40,
+                  halo_scale=0.35, seed=5):
+    rng = np.random.default_rng(seed)
+    halos = rng.uniform(0, box, size=(n_halos, 3))
+    gal = halos[rng.integers(0, n_halos, n_gal)] + rng.normal(
+        scale=halo_scale, size=(n_gal, 3))
+    gal = np.clip(gal, 0, box)
+    rand = rng.uniform(0, box, size=(n_rand, 3))
+    return gal, rand
+
+
+def main() -> None:
+    gal, rand = make_catalogs()
+    edges = np.array([0.2, 0.4, 0.8, 1.6, 3.2, 6.4])
+    print(f"mock survey: {len(gal)} galaxies in {len(rand)}-point random "
+          f"catalog, {len(edges) - 1} radial bins")
+
+    t0 = time.perf_counter()
+    res = landy_szalay(gal, rand, edges)
+    dt = time.perf_counter() - t0
+    print(f"\nLandy–Szalay ξ(r) in {dt:.2f}s "
+          f"(DD+DR+RR = {int(res.dd.sum() + res.dr.sum() + res.rr.sum()):,} "
+          f"pairs counted):\n")
+    print("  r center   DD      DR      RR      ξ(r)")
+    for rc, dd, dr, rr, xi in zip(res.centers, res.dd, res.dr, res.rr,
+                                  res.xi):
+        bar = "#" * int(min(40, max(0.0, xi) * 2))
+        print(f"  {rc:7.2f} {dd:7.0f} {dr:7.0f} {rr:7.0f} {xi:8.2f}  {bar}")
+
+    print("\nclustered galaxies show ξ ≫ 0 inside the halo scale and "
+          "ξ → 0 at large separations.")
+
+
+if __name__ == "__main__":
+    main()

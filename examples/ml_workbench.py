@@ -1,0 +1,71 @@
+"""Machine-learning workloads on one synthetic click-log dataset.
+
+Exercises the ML side of the paper's problem set end-to-end on the Yahoo!
+surrogate: density estimation with the τ knob, range-based candidate
+retrieval, EM soft clustering, naive Bayes classification, and the
+Euclidean minimum spanning tree — all through the public problem API.
+
+Run:  python examples/ml_workbench.py
+"""
+
+import time
+
+import numpy as np
+
+from repro.data import load
+from repro.problems import (
+    em_fit, emst, kde, knn, naive_bayes_fit, range_search,
+)
+
+
+def main() -> None:
+    X = load("Yahoo!", 6000, seed=1)
+    print(f"Yahoo! surrogate: {X.shape[0]} points, d={X.shape[1]}")
+
+    # --- density estimation with the accuracy knob -------------------------
+    bw = float(np.median(X.std(axis=0)))
+    t0 = time.perf_counter()
+    dens = kde(X, bandwidth=bw, tau=1e-3)
+    print(f"\nKDE (τ=1e-3): {time.perf_counter() - t0:.2f}s; "
+          f"density range [{dens.min():.1f}, {dens.max():.1f}]")
+    outliers = np.argsort(dens)[:5]
+    print(f"  5 lowest-density points (outlier candidates): "
+          f"{outliers.tolist()}")
+
+    # --- k-NN + range search for candidate retrieval -----------------------
+    d, idx = knn(X, k=10)
+    print(f"\nself 10-NN: mean 10th-neighbor distance {d[:, 9].mean():.3f}")
+    probes = X[:3]
+    lists = range_search(probes, X, h=float(d[:, 9].mean()))
+    print("  neighbors within that radius of 3 probes: "
+          + ", ".join(str(len(l)) for l in lists))
+
+    # --- EM soft clustering --------------------------------------------------
+    t0 = time.perf_counter()
+    gmm = em_fit(X[:3000], n_components=6, max_iter=15, seed=0)
+    print(f"\nEM (6 components): {time.perf_counter() - t0:.2f}s, "
+          f"{gmm.n_iter_} iterations, "
+          f"final log-likelihood {gmm.log_likelihoods_[-1]:.0f}")
+    sizes = np.bincount(gmm.predict(X[:3000]), minlength=6)
+    print(f"  cluster sizes: {sizes.tolist()}")
+
+    # --- naive Bayes on the EM labels ---------------------------------------
+    y = gmm.predict(X[:3000])
+    keep = np.bincount(y).argsort()[-2:]          # two biggest clusters
+    mask = np.isin(y, keep)
+    nbc = naive_bayes_fit(X[:3000][mask], y[mask])
+    acc = nbc.score(X[:3000][mask], y[mask])
+    print(f"\nnaive Bayes on the two largest clusters: "
+          f"training accuracy {acc:.3f}")
+
+    # --- EMST ------------------------------------------------------------------
+    t0 = time.perf_counter()
+    res = emst(X[:3000])
+    print(f"\nEMST over 3000 points: {time.perf_counter() - t0:.2f}s, "
+          f"{res.rounds} Borůvka rounds, total weight {res.total_weight:.1f}")
+    print(f"  longest tree edge: {res.weights[-1]:.3f} "
+          f"(a natural cluster-separation threshold)")
+
+
+if __name__ == "__main__":
+    main()

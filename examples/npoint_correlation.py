@@ -1,0 +1,68 @@
+"""n-point correlation: the m = 3 instance of the generalized form.
+
+The paper's equation (2) chains m operators over m datasets and
+Algorithm 1 recurses over m trees; the evaluation only exercises m = 2.
+This example runs 3-point correlation both ways:
+
+* as a **pure Portal program** — three SUM layers over one dataset with a
+  symbolic triangle kernel, executed by the dense multi-layer backend;
+* through the **triple-tree traversal** — Algorithm 1 with m = 3,
+  triple pruning and closed-form inclusion for all-inside node triples.
+
+Run:  python examples/npoint_correlation.py
+"""
+
+import time
+
+import numpy as np
+
+from repro import PortalExpr, PortalOp, Storage, Var, indicator, pow, sqrt
+from repro.data import synthetic
+from repro.problems import three_point_correlation, two_point_correlation
+
+
+def main() -> None:
+    X = synthetic.elliptical(1200, seed=2)
+    h = 1.0
+    print(f"elliptical sample: {len(X)} points, triangle side h = {h}")
+
+    # --- pure Portal: three chained SUM layers ------------------------------
+    s = Storage(X, name="D")
+    a, b, c = Var("a"), Var("b"), Var("c")
+    triangle = (
+        indicator(sqrt(pow(a - b, 2)) < h)
+        * indicator(sqrt(pow(b - c, 2)) < h)
+        * indicator(sqrt(pow(a - c, 2)) < h)
+    )
+    expr = PortalExpr("three-point-correlation")
+    expr.addLayer(PortalOp.SUM, a, s)
+    expr.addLayer(PortalOp.SUM, b, s)
+    expr.addLayer(PortalOp.SUM, c, s, triangle)
+
+    t0 = time.perf_counter()
+    out = expr.execute()
+    t_dsl = time.perf_counter() - t0
+    print(f"\nPortal m=3 program (dense backend): {out.scalar:.0f} ordered "
+          f"triangles in {t_dsl:.2f}s")
+    print("  lowered loop nest (excerpt):")
+    for line in expr.ir_dump("lowered").splitlines()[:8]:
+        print(f"    {line}")
+
+    # --- triple-tree Algorithm 1 ------------------------------------------------
+    t0 = time.perf_counter()
+    count, stats = three_point_correlation(X, h, return_stats=True)
+    t_tree = time.perf_counter() - t0
+    print(f"\ntriple-tree traversal: {count:.0f} in {t_tree:.2f}s "
+          f"({t_dsl / t_tree:.1f}x vs dense)")
+    print(f"  node triples: {stats.visited} visited, {stats.pruned} pruned, "
+          f"{stats.approximated} counted in closed form")
+    assert count == out.scalar
+
+    # --- context: the 2-point function at the same radius -------------------
+    pairs = two_point_correlation(X, h)
+    print(f"\nfor scale: {pairs:.0f} ordered pairs within h "
+          f"(triangles/pairs = {count / pairs:.1f})")
+
+
+if __name__ == "__main__":
+    main()

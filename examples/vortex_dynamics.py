@@ -1,0 +1,75 @@
+"""2-D point-vortex dynamics with the fast multipole method.
+
+Point vortices in an ideal 2-D fluid induce velocities
+
+    v(z_i) = conj( Σ_{j≠i} Γ_j / (z_i − z_j) ) / (2π)   (rotated 90°),
+
+the derivative of the same log potential the FMM expands — so a vortex
+step is one O(N) `fmm_field` call.  Two counter-rotating vortex clouds
+(a "vortex dipole") self-advect; the example integrates a few steps and
+verifies the FMM velocities against the direct sum.
+
+Run:  python examples/vortex_dynamics.py
+"""
+
+import time
+
+import numpy as np
+
+from repro.fmm import fmm_field
+from repro.fmm.fmm2d import _direct_field
+
+
+def vortex_velocities(pos: np.ndarray, gamma: np.ndarray,
+                      p: int = 8) -> np.ndarray:
+    """Velocity (vx, vy) of every vortex."""
+    w = fmm_field(pos, gamma, p=p)
+    v_complex = np.conj(w) * (-1j) / (2.0 * np.pi)
+    return np.stack([v_complex.real, v_complex.imag], axis=1)
+
+
+def main() -> None:
+    rng = np.random.default_rng(9)
+    n_half = 1500
+    # Two tight counter-rotating clouds: a vortex dipole.
+    a = rng.normal((-0.5, 0.0), 0.08, (n_half, 2))
+    b = rng.normal((+0.5, 0.0), 0.08, (n_half, 2))
+    pos = np.concatenate([a, b])
+    gamma = np.concatenate([np.full(n_half, +1.0 / n_half),
+                            np.full(n_half, -1.0 / n_half)])
+
+    print(f"vortex dipole: {len(pos)} vortices "
+          f"(±1 net circulation per cloud)")
+
+    # --- verify the FMM velocities against the O(N²) sum --------------------
+    z = pos[:, 0] + 1j * pos[:, 1]
+    t0 = time.perf_counter()
+    w_fmm = fmm_field(pos, gamma, p=8)
+    t_fmm = time.perf_counter() - t0
+    t0 = time.perf_counter()
+    w_dir = _direct_field(z, z, gamma)
+    t_dir = time.perf_counter() - t0
+    err = np.abs(w_fmm - w_dir).max() / np.abs(w_dir).max()
+    print(f"FMM field: {t_fmm:.2f}s vs direct {t_dir:.2f}s, "
+          f"rel err {err:.1e}")
+
+    # --- integrate: the dipole should translate along +y --------------------
+    print("\nintegrating (forward Euler, dt=0.02):")
+    p_now = pos.copy()
+    for step in range(4):
+        v = vortex_velocities(p_now, gamma)
+        p_now = p_now + 0.02 * v
+        centroid_a = p_now[:n_half].mean(axis=0)
+        centroid_b = p_now[n_half:].mean(axis=0)
+        sep = np.linalg.norm(centroid_a - centroid_b)
+        print(f"  step {step + 1}: cloud centers y = "
+              f"{centroid_a[1]:+.4f} / {centroid_b[1]:+.4f}, "
+              f"separation {sep:.3f}")
+    drift = p_now.mean(axis=0) - pos.mean(axis=0)
+    print(f"\ndipole self-advection: net displacement "
+          f"({drift[0]:+.4f}, {drift[1]:+.4f}) — translation along y, "
+          f"as ideal-fluid theory predicts.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,39 @@
+"""repro — a Python reproduction of *Portal: A High-Performance Language
+and Compiler for Parallel N-body Problems* (IPPS 2019).
+
+The public surface mirrors the paper's embedded DSL::
+
+    from repro import Storage, Var, PortalExpr, PortalOp, PortalFunc, sqrt, pow
+
+    query = Storage("query.csv")
+    reference = Storage("reference.csv")
+    expr = PortalExpr("nearest-neighbor")
+    expr.addLayer(PortalOp.FORALL, query)
+    expr.addLayer(PortalOp.ARGMIN, reference, PortalFunc.EUCLIDEAN)
+    expr.execute()
+    output = expr.getOutput()
+
+Higher-level problem wrappers (k-NN, KDE, range search, Hausdorff, EMST,
+EM, 2-point correlation, naive Bayes, Barnes-Hut) live in
+:mod:`repro.problems`.
+"""
+
+from .dsl import (
+    BASE_METRICS, CompileError, Expr, ExecutionError, Indicator, KernelError,
+    Layer, MetricKernel, OpCategory, OperatorError, ParseError, PortalError,
+    PortalExpr, PortalFunc, PortalOp, SpecificationError, Storage,
+    StorageError, Var, absval, dim_max, dim_sum, exp, indicator, log,
+    normalize_kernel, op_info, operator_table, pow, sqrt,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "Storage", "Var", "Expr", "PortalExpr", "PortalOp", "PortalFunc",
+    "OpCategory", "MetricKernel", "Layer", "Indicator",
+    "sqrt", "pow", "exp", "log", "absval", "dim_sum", "dim_max", "indicator",
+    "normalize_kernel", "op_info", "operator_table", "BASE_METRICS",
+    "PortalError", "SpecificationError", "StorageError", "KernelError",
+    "OperatorError", "CompileError", "ParseError", "ExecutionError",
+    "__version__",
+]

@@ -1,0 +1,5 @@
+"""``python -m repro`` — the Portal language command line."""
+
+from .cli import main
+
+raise SystemExit(main())

@@ -1,0 +1,434 @@
+"""Backend code generation (paper section IV-F).
+
+Emits *real source code* for the three traversal functions — a vectorised
+NumPy translation of the optimised Portal IR — then compiles it with
+``compile()``/``exec`` and returns the callables.  This is the
+reproduction's stand-in for the paper's LLVM x86 backend: the compiler
+still produces an executable artifact from the IR, and the same
+vectorisation decisions drive the emitted code:
+
+* **layout** — for low-dimensional data (column-major layout) the
+  dimension loop is *unrolled* in the emitted source and the middle
+  (reference) loop vectorises; for high-dimensional data (row-major) the
+  innermost dimension loop vectorises via a contracted ``einsum``;
+* **strength reduction** — the kernel expression arrives already
+  strength-reduced (chained multiplications, ``1/fast_inverse_sqrt``
+  forms) and is emitted verbatim, so the generated source visibly
+  contains the optimisation;
+* **multi-variable filters** — ``min^k``-style operators keep a sorted
+  k-array per query, merged with each leaf batch, exactly the ordered
+  array the paper describes.
+
+The generated source is kept on the compiled program for inspection
+(``PortalExpr.generated_source()``), playing the role of an LLVM IR dump.
+"""
+
+from __future__ import annotations
+
+import textwrap
+from dataclasses import dataclass
+from typing import Callable
+
+import numpy as np
+
+from ..dsl.errors import CompileError
+from ..dsl.expr import BinOp, Call, Const, Expr, Indicator, Neg
+from ..dsl.ops import MAX_LIKE, MIN_LIKE, PortalOp, op_info
+from ..ir.nodes import IRCall, LoadExpr, SymRef
+from ..rules.spec import RuleSpec
+from .fastmath import fast_inverse_sqrt
+from .layout import Layout
+
+__all__ = ["CodegenSpec", "GeneratedKernels", "generate", "emit_expr"]
+
+
+_CALL_MAP = {
+    "sqrt": "np.sqrt",
+    "exp": "np.exp",
+    "log": "np.log",
+    "abs": "np.abs",
+    "pow": "np.power",
+    "max": "np.maximum",
+    "min": "np.minimum",
+    "fast_inverse_sqrt": "finvsqrt",
+}
+
+
+def emit_expr(e: Expr, var_map: dict[str, str]) -> str:
+    """Emit NumPy source for an IR expression."""
+    if isinstance(e, SymRef):
+        try:
+            return var_map[e.name]
+        except KeyError:
+            raise CompileError(f"no binding for IR symbol {e.name!r}") from None
+    if isinstance(e, Const):
+        return repr(e.value)
+    if isinstance(e, BinOp):
+        return f"({emit_expr(e.lhs, var_map)} {e.op} {emit_expr(e.rhs, var_map)})"
+    if isinstance(e, Neg):
+        return f"(-({emit_expr(e.operand, var_map)}))"
+    if isinstance(e, (IRCall, Call)):
+        args = e.args if isinstance(e, IRCall) else (e.operand,)
+        fn = _CALL_MAP.get(e.func)
+        if fn is None:
+            raise CompileError(f"cannot emit IR function {e.func!r}")
+        return f"{fn}({', '.join(emit_expr(a, var_map) for a in args)})"
+    if isinstance(e, Indicator):
+        lhs, rhs = emit_expr(e.lhs, var_map), emit_expr(e.rhs, var_map)
+        return f"np.multiply(({lhs}) {e.op} ({rhs}), 1.0)"
+    if isinstance(e, LoadExpr):
+        idx = ", ".join(emit_expr(i, var_map) for i in e.indices)
+        return f"{e.array}[{idx}]"
+    raise CompileError(f"cannot emit expression node {type(e).__name__}")
+
+
+@dataclass
+class CodegenSpec:
+    """Everything the generator needs to emit a problem's kernels."""
+
+    dim: int
+    layout: str
+    base: str
+    g_ir: Expr                      # strength-reduced kernel body over SymRef('t')
+    monotone: str | None            # 'increasing' | 'decreasing' | None
+    outer_op: PortalOp = PortalOp.FORALL
+    inner_op: PortalOp = PortalOp.SUM
+    k: int | None = None
+    rule: RuleSpec | None = None
+    weighted: bool = False
+    same_tree: bool = False
+    exclude_self: bool = False
+    is_indicator: bool = False
+
+
+@dataclass
+class GeneratedKernels:
+    """Compiled closures plus the emitted source for inspection."""
+
+    source: str
+    namespace: dict
+    base_case: Callable
+    prune_or_approx: Callable | None
+    pair_min_dist: Callable | None
+
+
+# ---------------------------------------------------------------------------
+# pairwise kernel emission
+# ---------------------------------------------------------------------------
+
+def _pairwise_source(spec: CodegenSpec) -> str:
+    lines = ["def _pairwise(qs, qe, rs, re):"]
+    b = lines.append
+    if spec.layout == Layout.COLUMN:
+        b("    # column-major layout: dimension loop unrolled, the middle")
+        b("    # (reference) loop vectorises across points")
+        b("    dq = QCOL[:, qs:qe]")
+        b("    dr = RCOL[:, rs:re]")
+        for d in range(spec.dim):
+            b(f"    _d{d} = dq[{d}][:, None] - dr[{d}][None, :]")
+            if spec.base == "sqeuclidean":
+                term = f"_d{d} * _d{d}"
+            else:
+                term = f"np.abs(_d{d})"
+            if d == 0:
+                b(f"    t = {term}")
+            elif spec.base == "chebyshev":
+                b(f"    np.maximum(t, {term}, out=t)")
+            else:
+                b(f"    t = t + {term}")
+    else:
+        b("    # row-major layout: the innermost dimension loop vectorises")
+        if spec.base == "sqeuclidean" and not spec.is_indicator:
+            # Norm expansion ‖q−r‖² = ‖q‖² + ‖r‖² − 2 q·r: one GEMM per
+            # leaf pair instead of a broadcast difference tensor — the
+            # backend's high-dimensional vectorisation strategy.
+            # (Comparative kernels keep the exact difference form below:
+            # a count must not flip on ~1e-12 cancellation at the
+            # threshold.)
+            b("    t = QN2[qs:qe, None] + RN2[None, rs:re] "
+              "- 2.0 * (QROW[qs:qe] @ RROW[rs:re].T)")
+            b("    np.maximum(t, 0.0, out=t)")
+        elif spec.base == "sqeuclidean":
+            b("    diff = QROW[qs:qe, None, :] - RROW[None, rs:re, :]")
+            b("    t = np.einsum('ijk,ijk->ij', diff, diff)")
+        elif spec.base == "manhattan":
+            b("    diff = QROW[qs:qe, None, :] - RROW[None, rs:re, :]")
+            b("    t = np.abs(diff).sum(axis=-1)")
+        else:
+            b("    diff = QROW[qs:qe, None, :] - RROW[None, rs:re, :]")
+            b("    t = np.abs(diff).max(axis=-1)")
+    g_src = emit_expr(spec.g_ir, {"t": "t"})
+    b(f"    v = {g_src}")
+    b("    return v")
+    return "\n".join(lines)
+
+
+def _point_to_centroid(spec: CodegenSpec, centroid_arr: str) -> list[str]:
+    """Source lines computing ``tc``: base distance from queries [s:e) to a
+    reference-node centroid (used by ComputeApprox)."""
+    out = [
+        f"    c = {centroid_arr}[ri]",
+        "    dqc = QROW[s:e] - c",
+    ]
+    if spec.base == "sqeuclidean":
+        out.append("    tc = np.einsum('ij,ij->i', dqc, dqc)")
+    elif spec.base == "manhattan":
+        out.append("    tc = np.abs(dqc).sum(axis=1)")
+    else:
+        out.append("    tc = np.abs(dqc).max(axis=1)")
+    return out
+
+
+# ---------------------------------------------------------------------------
+# base-case emission (operator update templates)
+# ---------------------------------------------------------------------------
+
+def _exclusion_value(op: PortalOp) -> str:
+    if op in MIN_LIKE:
+        return "np.inf"
+    if op in MAX_LIKE:
+        return "-np.inf"
+    if op is PortalOp.PROD:
+        return "1.0"
+    return "0.0"  # SUM / UNION / UNIONARG / FORALL
+
+
+def _base_case_source(spec: CodegenSpec) -> str:
+    op = spec.inner_op
+    lines = [
+        "def base_case(qs, qe, rs, re):",
+        "    v = _pairwise(qs, qe, rs, re)",
+    ]
+    b = lines.append
+    if spec.same_tree and spec.exclude_self:
+        b("    if qs == rs:")
+        b(f"        np.fill_diagonal(v, {_exclusion_value(op)})")
+
+    if op is PortalOp.ARGMIN or op is PortalOp.ARGMAX:
+        red, cmp = ("argmin", "<") if op is PortalOp.ARGMIN else ("argmax", ">")
+        b(f"    j = v.{red}(axis=1)")
+        b("    vals = v[np.arange(v.shape[0]), j]")
+        b("    bb = best[qs:qe]")
+        b(f"    m = vals {cmp} bb")
+        b("    if m.any():")
+        b("        bb[m] = vals[m]")
+        b("        best_idx[qs:qe][m] = rs + j[m]")
+    elif op is PortalOp.MIN:
+        b("    np.minimum(best[qs:qe], v.min(axis=1), out=best[qs:qe])")
+    elif op is PortalOp.MAX:
+        b("    np.maximum(best[qs:qe], v.max(axis=1), out=best[qs:qe])")
+    elif op in (PortalOp.KARGMIN, PortalOp.KARGMAX):
+        b("    # ordered k-array merge (sorted filter of section IV-F):")
+        b("    # argpartition selects the k winners, then only those sort")
+        b("    cand_v = np.concatenate([best[qs:qe], v], axis=1)")
+        b("    cand_i = np.concatenate([best_idx[qs:qe], "
+          "np.broadcast_to(np.arange(rs, re), v.shape)], axis=1)")
+        key = "cand_v" if op is PortalOp.KARGMIN else "-cand_v"
+        b(f"    part = np.argpartition({key}, K - 1, axis=1)[:, :K]")
+        b("    vals = np.take_along_axis(cand_v, part, axis=1)")
+        b("    idxs = np.take_along_axis(cand_i, part, axis=1)")
+        keyv = "vals" if op is PortalOp.KARGMIN else "-vals"
+        b(f"    order = np.argsort({keyv}, axis=1, kind='stable')")
+        b("    best[qs:qe] = np.take_along_axis(vals, order, axis=1)")
+        b("    best_idx[qs:qe] = np.take_along_axis(idxs, order, axis=1)")
+    elif op in (PortalOp.KMIN, PortalOp.KMAX):
+        b("    cand_v = np.concatenate([best[qs:qe], v], axis=1)")
+        b("    cand_v.sort(axis=1)")
+        if op is PortalOp.KMIN:
+            b("    best[qs:qe] = cand_v[:, :K]")
+        else:
+            b("    best[qs:qe] = cand_v[:, ::-1][:, :K]")
+    elif op is PortalOp.SUM:
+        if spec.weighted:
+            b("    acc[qs:qe] += v @ rw[rs:re]")
+        else:
+            b("    acc[qs:qe] += v.sum(axis=1)")
+    elif op is PortalOp.PROD:
+        if spec.weighted:
+            raise CompileError("PROD does not support weighted references")
+        b("    acc[qs:qe] *= v.prod(axis=1)")
+    elif op is PortalOp.UNIONARG:
+        b("    for i in range(v.shape[0]):")
+        b("        nz = np.flatnonzero(v[i])")
+        b("        if nz.size:")
+        b("            out_lists[qs + i].append(rs + nz)")
+    elif op is PortalOp.UNION:
+        b("    for i in range(v.shape[0]):")
+        b("        nz = np.flatnonzero(v[i])")
+        b("        if nz.size:")
+        b("            out_lists[qs + i].append(v[i][nz])")
+    elif op is PortalOp.FORALL:
+        b("    dense[qs:qe, rs:re] = v")
+    else:  # pragma: no cover
+        raise CompileError(f"no base-case template for {op.name}")
+    return "\n".join(lines)
+
+
+# ---------------------------------------------------------------------------
+# node-distance helpers and prune/approx emission
+# ---------------------------------------------------------------------------
+
+def _combine(base: str, vec: str) -> str:
+    if base == "sqeuclidean":
+        return f"float({vec} @ {vec})"
+    if base == "manhattan":
+        return f"float({vec}.sum())"
+    return f"float({vec}.max())"
+
+
+def _pair_dist_source(spec: CodegenSpec) -> str:
+    return textwrap.dedent(
+        f"""\
+        def pair_min_base_dist(qi, ri):
+            gaps = np.maximum(0.0, np.maximum(rlo[ri] - qhi[qi], qlo[qi] - rhi[ri]))
+            return {_combine(spec.base, 'gaps')}
+
+        def pair_max_base_dist(qi, ri):
+            spans = np.maximum(0.0, np.maximum(rhi[ri] - qlo[qi], qhi[qi] - rlo[ri]))
+            return {_combine(spec.base, 'spans')}"""
+    )
+
+
+def _g_scalar(spec: CodegenSpec, tvar: str) -> str:
+    return emit_expr(spec.g_ir, {"t": tvar})
+
+
+def _band_exprs(spec: CodegenSpec) -> tuple[str, str]:
+    """Source expressions for (g_lo, g_hi) over the [tmin, tmax] interval."""
+    if spec.monotone == "decreasing":
+        return _g_scalar(spec, "tmax"), _g_scalar(spec, "tmin")
+    return _g_scalar(spec, "tmin"), _g_scalar(spec, "tmax")
+
+
+def _approx_action_lines(spec: CodegenSpec, centroid_arr: str) -> list[str]:
+    lines = [
+        "    s = qstart[qi]; e = qend[qi]",
+        *_point_to_centroid(spec, centroid_arr),
+        f"    acc[s:e] += rweight[ri] * {_g_scalar(spec, 'tc')}",
+    ]
+    return lines
+
+
+def _prune_source(spec: CodegenSpec) -> str | None:
+    rule = spec.rule
+    if rule is None or rule.kind == "none":
+        return None
+    lines = ["def prune_or_approx(qi, ri):"]
+    b = lines.append
+
+    if rule.kind in ("bound-min", "bound-max"):
+        need_max = (rule.kind == "bound-min") == (spec.monotone == "decreasing")
+        if need_max:
+            b("    tmax = pair_max_base_dist(qi, ri)")
+            gband = _g_scalar(spec, "tmax")
+        else:
+            b("    tmin = pair_min_base_dist(qi, ri)")
+            gband = _g_scalar(spec, "tmin")
+        col = ", K - 1" if (spec.k or 1) > 1 else ""
+        if rule.kind == "bound-min":
+            b(f"    B = best[qstart[qi]:qend[qi]{col}].max()")
+            b(f"    return 1 if {gband} > B else 0")
+        else:
+            b(f"    B = best[qstart[qi]:qend[qi]{col}].min()")
+            b(f"    return 1 if {gband} < B else 0")
+
+    elif rule.kind == "indicator":
+        opn = rule.indicator_op
+        neg = {"<": ">=", "<=": ">", ">": "<=", ">=": "<"}[opn]
+        # For '<'/'<=' thresholds the satisfying region is near: min-distance
+        # decides all-outside, max-distance decides all-inside ('>' mirrors).
+        near = opn in ("<", "<=")
+        first = "pair_min_base_dist" if near else "pair_max_base_dist"
+        second = "pair_max_base_dist" if near else "pair_min_base_dist"
+        b(f"    t1 = {first}(qi, ri)")
+        b(f"    if t1 {neg} H:")
+        b("        return 1")
+        if rule.inside_action is not None:
+            b(f"    t2 = {second}(qi, ri)")
+            b(f"    if t2 {opn} H:")
+            if rule.inside_action in ("count_per_query", "count_product"):
+                b("        s = qstart[qi]; e = qend[qi]")
+                b("        acc[s:e] += rweight[ri]")
+                if spec.same_tree and spec.exclude_self:
+                    b("        lo = max(s, rstart[ri]); hi = min(e, rend[ri])")
+                    b("        if lo < hi:")
+                    if spec.weighted:
+                        b("            acc[lo:hi] -= rw[lo:hi]")
+                    else:
+                        b("            acc[lo:hi] -= 1.0")
+            elif rule.inside_action == "append_all":
+                b("        s = qstart[qi]; e = qend[qi]")
+                b("        idxs = np.arange(rstart[ri], rend[ri])")
+                b("        for i in range(s, e):")
+                if spec.same_tree and spec.exclude_self:
+                    b("            if rstart[ri] <= i < rend[ri]:")
+                    b("                out_lists[i].append(idxs[idxs != i])")
+                    b("            else:")
+                    b("                out_lists[i].append(idxs)")
+                else:
+                    b("            out_lists[i].append(idxs)")
+            b("        return 2")
+        b("    return 0")
+
+    elif rule.kind == "approx":
+        if rule.criterion == "band":
+            b("    tmin = pair_min_base_dist(qi, ri)")
+            b("    tmax = pair_max_base_dist(qi, ri)")
+            glo, ghi = _band_exprs(spec)
+            b(f"    if ({ghi}) - ({glo}) <= TAU:")
+            for line in _approx_action_lines(spec, "rcentroid"):
+                b("    " + line)
+            b("        return 2")
+            b("    return 0")
+        else:  # mac
+            b("    tmin = pair_min_base_dist(qi, ri)")
+            b("    if tmin > 0.0 and rdiam2[ri] <= THETA2 * tmin:")
+            for line in _approx_action_lines(spec, "rcentroid"):
+                b("    " + line)
+            b("        return 2")
+            b("    return 0")
+    else:  # pragma: no cover
+        raise CompileError(f"unknown rule kind {rule.kind!r}")
+    return "\n".join(lines)
+
+
+# ---------------------------------------------------------------------------
+# entry point
+# ---------------------------------------------------------------------------
+
+def generate(spec: CodegenSpec, bindings: dict) -> GeneratedKernels:
+    """Emit, compile and bind the problem's kernels.
+
+    ``bindings`` must provide the closure environment: the physical data
+    arrays (``QCOL``/``QROW``/``RCOL``/``RROW``), tree metadata arrays
+    (``qlo``/``qhi``/``rlo``/``rhi``/``qstart``/``qend``/``rstart``/
+    ``rend``/``rcentroid``/``rweight``/``rdiam2``), state arrays
+    (``best``/``best_idx``/``acc``/``out_lists``/``dense``), weights
+    ``rw``, and scalars ``K``/``H``/``TAU``/``THETA2``.
+    """
+    chunks = [
+        "# Generated by the Portal backend — vectorised NumPy translation",
+        f"# layout={spec.layout} base={spec.base} inner={spec.inner_op.name} "
+        f"outer={spec.outer_op.name} rule="
+        f"{spec.rule.kind if spec.rule else 'none'}",
+        _pairwise_source(spec),
+        _base_case_source(spec),
+        _pair_dist_source(spec),
+    ]
+    prune_src = _prune_source(spec)
+    if prune_src is not None:
+        chunks.append(prune_src)
+    source = "\n\n".join(chunks) + "\n"
+
+    namespace = {"np": np, "finvsqrt": fast_inverse_sqrt}
+    namespace.update(bindings)
+    code = compile(source, f"<portal-generated-{id(spec)}>", "exec")
+    exec(code, namespace)
+
+    return GeneratedKernels(
+        source=source,
+        namespace=namespace,
+        base_case=namespace["base_case"],
+        prune_or_approx=namespace.get("prune_or_approx"),
+        pair_min_dist=namespace.get("pair_min_base_dist"),
+    )

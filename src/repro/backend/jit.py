@@ -1,0 +1,573 @@
+"""Compilation driver: PortalExpr → CompiledProgram (paper Fig. 1).
+
+Runs the full pipeline — classification, rule generation, tree builds,
+lowering + optimisation passes, backend code generation — and returns a
+:class:`CompiledProgram` whose :meth:`~CompiledProgram.run` executes the
+(optionally parallel) multi-tree traversal or the generated brute force.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable
+
+import numpy as np
+from scipy.linalg import cholesky, solve_triangular
+
+from ..dsl.errors import CompileError, SpecificationError
+from ..dsl.expr import Const, Expr, Indicator, Var
+from ..dsl.ops import MAX_LIKE, MIN_LIKE
+from ..ir.nodes import SymRef
+from ..dsl.funcs import MetricKernel
+from ..dsl.layer import Layer
+from ..dsl.ops import PortalOp, op_info
+from ..ir.lowering import kernel_to_ir, lower
+from ..ir.passes import PassManager
+from ..ir.printer import render_program, render_stages
+from ..ir.strength_reduction import reduce_expr
+from ..parallel import parallel_dual_tree
+from ..rules import build_rules
+from ..traversal import TraversalStats, dual_tree_traversal
+from ..trees import build_tree
+from .codegen import CodegenSpec, GeneratedKernels, generate
+from .layout import Layout
+from .state import Output, State, allocate_state
+
+__all__ = ["CompileOptions", "CompiledProgram", "compile_expr"]
+
+
+@dataclass
+class CompileOptions:
+    """Execution/compilation knobs surfaced on ``PortalExpr.execute``."""
+
+    backend: str = "vectorized"      # 'vectorized' | 'brute' | 'interp'
+    tree: str = "kd"                 # 'kd' | 'ball' | 'octree' | 'none'
+    leaf_size: int | None = None
+    tau: float | None = None         # approximation threshold (band criterion)
+    criterion: str = "band"          # 'band' | 'mac'
+    theta: float = 0.5               # multipole acceptance parameter
+    parallel: bool = False
+    workers: int | None = None
+    fastmath: bool = True
+    exclude_self: bool | None = None  # default: True when query is reference
+    #: override the dimensionality-based layout choice ('row' | 'column');
+    #: exposed for the layout ablation study
+    layout: str | None = None
+    #: kd-tree splitting strategy ('median' — the paper's — or 'midpoint')
+    split: str = "median"
+
+    @classmethod
+    def from_dict(cls, options: dict) -> "CompileOptions":
+        unknown = set(options) - {f for f in cls.__dataclass_fields__}
+        if unknown:
+            raise SpecificationError(
+                f"unknown execute() options: {sorted(unknown)}"
+            )
+        return cls(**options)
+
+
+def _resolve_modifier(func) -> Callable | None:
+    """Resolve an outer layer's modifying function (section III-C)."""
+    if func is None:
+        return None
+    if isinstance(func, Expr):
+        fv = sorted(func.free_vars(), key=lambda v: v.name)
+        if len(fv) != 1:
+            raise CompileError(
+                "a modifying function must be an expression in exactly one "
+                "variable"
+            )
+        name = fv[0].name
+        return lambda arr: func.evaluate({name: arr})
+    if callable(func):
+        return func
+    raise CompileError(f"cannot use {func!r} as a modifying function")
+
+
+def _whiten_transform(cov: np.ndarray) -> Callable[[np.ndarray], np.ndarray]:
+    """The numerical optimisation of section IV-D at runtime: points are
+    transformed by L⁻¹ (forward substitution against the Cholesky factor)
+    so Mahalanobis distance becomes plain squared Euclidean distance."""
+    cov = np.asarray(cov, dtype=np.float64)
+    if cov.ndim != 2 or cov.shape[0] != cov.shape[1]:
+        raise CompileError("covariance must be a square matrix")
+    L = cholesky(cov + 1e-12 * np.eye(len(cov)), lower=True)
+    return lambda X: solve_triangular(L, X.T, lower=True).T
+
+
+@dataclass
+class CompiledProgram:
+    """A fully compiled Portal problem, ready to run."""
+
+    options: CompileOptions
+    layers: list[Layer]
+    kernel: MetricKernel | None
+    classification: object
+    rule: object
+    pass_manager: PassManager
+    mode: str                        # 'tree' | 'brute' | 'interp'
+    state: State
+    kernels: GeneratedKernels | None = None
+    qtree: object | None = None
+    rtree: object | None = None
+    qdata: np.ndarray | None = None  # brute mode: original-order data
+    rdata: np.ndarray | None = None
+    stats: TraversalStats | None = None
+    output: Output | None = None
+    extras: dict = field(default_factory=dict)
+
+    # -- introspection ---------------------------------------------------------
+    def ir_dump(self, stage: str = "final") -> str:
+        return render_program(self.pass_manager.stage(stage))
+
+    def ir_stages(self, function: str = "BaseCase") -> str:
+        return render_stages(self.pass_manager.snapshots, function)
+
+    def generated_source(self) -> str:
+        if self.kernels is None:
+            raise CompileError("no generated source in interp mode")
+        return self.kernels.source
+
+    # -- execution --------------------------------------------------------------
+    def run(self) -> Output:
+        if self.mode == "multilayer":
+            from .multilayer import execute_multilayer
+
+            self.stats = TraversalStats(base_cases=1)
+            self.output = execute_multilayer(
+                self.layers, self.extras.get("exclude_self", False)
+            )
+            return self.output
+        if self.mode == "interp":
+            self.output = self._run_interp()
+            return self.output
+        if self.mode == "tree":
+            self.stats = self._run_tree()
+            qperm = self.qtree.perm
+            rperm = self.rtree.perm
+        elif self.mode == "brute":
+            self.stats = self._run_brute()
+            qperm = np.arange(self.state.nq)
+            rperm = None
+        else:
+            raise CompileError(f"cannot run mode {self.mode!r}")
+        self.output = self.state.finalize(qperm, rperm)
+        return self.output
+
+    def _run_interp(self) -> Output:
+        """Execute the final BaseCase IR through the interpreter over the
+        full datasets — the slow reference backend (small inputs only;
+        self-pairs are not excluded, as the scalar IR has no notion of
+        storage identity)."""
+        from .interp import base_case_env, interpret_function
+
+        outer, inner = self.layers
+        qname, rname = outer.storage.name, inner.storage.name
+        # The IR computes the kernel itself (including the Mahalanobis
+        # form), so it runs over the *original* points — unlike the fast
+        # backends, which pre-whiten.
+        qdata, rdata = outer.storage.data, inner.storage.data
+        extra = {}
+        if self.kernel is not None and self.kernel.whiten:
+            cov = self.kernel.covariance
+            if cov is None:
+                cov = np.cov(rdata.T)
+            extra["Sigma"] = np.asarray(cov, dtype=np.float64)
+        env = base_case_env(
+            qname, rname, qdata, rdata,
+            outer.storage.layout, inner.storage.layout, extra=extra,
+        )
+        fn = self.pass_manager.stage("final")["BaseCase"]
+        interpret_function(fn, env)
+        self.stats = TraversalStats(base_cases=1,
+                                    base_case_pairs=len(self.qdata)
+                                    * len(self.rdata))
+        return self._interp_output(env)
+
+    def _interp_output(self, env: dict) -> Output:
+        outer, inner = self.layers
+        info = op_info(inner.op)
+        nq = len(self.qdata)
+        rows = env.get("storage0_rows")
+        if rows is not None:
+            per_query = [rows.get(i, []) for i in range(nq)]
+            if inner.op in (PortalOp.UNION, PortalOp.UNIONARG):
+                arrays = [np.sort(np.asarray(v, dtype=np.int64
+                                             if info.returns_index
+                                             else np.float64))
+                          for v in per_query]
+                if info.returns_index:
+                    return Output(indices=arrays)
+                return Output(values=arrays)
+            mat = np.asarray(per_query, dtype=np.float64)
+            if info.returns_index:
+                return Output(indices=mat.astype(np.int64))
+            return Output(values=mat)
+        storage0 = env["storage0"]
+        if outer.op is PortalOp.FORALL:
+            if info.returns_index:
+                return Output(indices=np.asarray(storage0, dtype=np.int64))
+            return Output(values=np.asarray(storage0, dtype=np.float64))
+        # Outer reductions lower to a scalar accumulator.
+        return Output(scalar=float(storage0))
+
+    def _run_tree(self) -> TraversalStats:
+        kk = self.kernels
+        if self.options.parallel:
+            return parallel_dual_tree(
+                self.qtree, self.rtree, kk.prune_or_approx, kk.base_case,
+                pair_min_dist=kk.pair_min_dist, workers=self.options.workers,
+            )
+        return dual_tree_traversal(
+            self.qtree, self.rtree, kk.prune_or_approx, kk.base_case,
+            pair_min_dist=kk.pair_min_dist,
+        )
+
+    def _run_brute(self) -> TraversalStats:
+        stats = TraversalStats()
+        nq, nr = self.qdata.shape[0], self.rdata.shape[0]
+        dim = self.qdata.shape[1]
+        # Block sizes bound the broadcast temporaries (row-major forms a
+        # (qB, rB, d) difference tensor).  A narrow reference side (e.g.
+        # mixture components in EM) allows much taller query blocks.
+        if nr <= 64:
+            qB, rB = 8192, nr
+        elif dim <= 4:
+            qB, rB = 512, 2048
+        else:
+            qB, rB = 128, max(128, (4 << 20) // (8 * dim * 128))
+        same = self.extras.get("same_data", False)
+        if same:
+            rB = qB
+        bc = self.kernels.base_case
+        for qs in range(0, nq, qB):
+            qe = min(qs + qB, nq)
+            for rs in range(0, nr, rB):
+                re = min(rs + rB, nr)
+                bc(qs, qe, rs, re)
+                stats.base_cases += 1
+                stats.base_case_pairs += (qe - qs) * (re - rs)
+        return stats
+
+    def validate_against_brute(self) -> float:
+        """Re-run the problem brute-force and return the max |Δ| between
+        the two outputs (0.0 for exact pruning problems)."""
+        from .jit import compile_expr  # self-import for clarity
+
+        if self.output is None:
+            self.run()
+        brute = _clone_and_run(self.layers, self.options)
+        return _max_output_delta(self.output, brute)
+
+
+def _clone_and_run(layers: list[Layer], options: CompileOptions) -> Output:
+    from ..dsl.portal_expr import PortalExpr
+
+    pe = PortalExpr("validation")
+    pe.layers = layers
+    opts = {
+        "backend": "brute", "fastmath": options.fastmath,
+        "exclude_self": options.exclude_self,
+    }
+    program = compile_expr(pe, opts)
+    return program.run()
+
+
+def _max_output_delta(a: Output, b: Output) -> float:
+    if a.scalar is not None and b.scalar is not None:
+        return abs(a.scalar - b.scalar)
+    av, bv = np.asarray(a.values, dtype=float), np.asarray(b.values, dtype=float)
+    return float(np.max(np.abs(av - bv)))
+
+
+def compile_expr(pexpr, options: dict) -> CompiledProgram:
+    """Compile a validated :class:`~repro.dsl.portal_expr.PortalExpr`."""
+    opts = CompileOptions.from_dict(options)
+    layers = pexpr.layers
+    if len(layers) > 2:
+        return _compile_multilayer(pexpr, opts)
+    outer, inner = layers
+    kernel = inner.metric_kernel
+    modifier = _resolve_modifier(outer.func)
+
+    tau = opts.tau if opts.tau is not None else float(inner.params.get("tau", 0.0))
+    classification, rule = build_rules(
+        layers, kernel, tau=tau, criterion=opts.criterion, theta=opts.theta
+    )
+
+    # Lower + run the optimisation pipeline (kept for dumps & interp).
+    pm = PassManager(fastmath=opts.fastmath)
+    lowered = lower(layers, kernel, classification, rule, pexpr.name)
+    pm.run(lowered)
+
+    mode = "tree"
+    if (
+        opts.backend == "brute"
+        or opts.tree == "none"
+        or classification.algorithm == "brute"
+        or inner.op is PortalOp.FORALL
+        or kernel is None
+    ):
+        mode = "brute"
+    if opts.backend == "interp":
+        if kernel is None:
+            raise CompileError(
+                "the interpreter backend requires a lowered kernel "
+                "(external kernels are not in the IR)"
+            )
+        mode = "interp"
+
+    qstorage, rstorage = outer.storage, inner.storage
+    same_data = qstorage is rstorage
+    exclude_self = (
+        opts.exclude_self if opts.exclude_self is not None else same_data
+    )
+
+    qpoints = qstorage.data
+    rpoints = rstorage.data
+    if kernel is not None and kernel.whiten:
+        cov = kernel.covariance
+        if cov is None:
+            cov = np.cov(rpoints.T)
+        transform = _whiten_transform(cov)
+        qpoints = transform(qpoints)
+        rpoints = qpoints if same_data else transform(rpoints)
+
+    dim = qstorage.dim
+    layout = opts.layout or qstorage.layout
+    if layout not in (Layout.ROW, Layout.COLUMN):
+        raise CompileError(f"unknown layout override {layout!r}")
+    nq, nr = qstorage.n, rstorage.n
+
+    state = allocate_state(outer.op, inner.op, inner.k, nq, nr, modifier)
+
+    program = CompiledProgram(
+        options=opts, layers=layers, kernel=kernel,
+        classification=classification, rule=rule, pass_manager=pm,
+        mode=mode, state=state,
+        extras={"same_data": same_data},
+    )
+
+    if kernel is None:
+        _setup_external(program, qpoints, rpoints, exclude_self)
+        return program
+
+    # Strength-reduced kernel body for the code generator.
+    g_ir = reduce_expr(kernel_to_ir(kernel.g), fastmath=opts.fastmath)
+
+    # One-sided indicator kernels compare in *base-distance* units
+    # (t < h² instead of sqrt(t) < h): exact — approximate square roots
+    # must never flip a comparison in a pruning problem — and cheaper.
+    if kernel.is_indicator:
+        thr = kernel.indicator_threshold()
+        if thr is not None:
+            op_sym, h_base = thr
+            g_ir = Indicator(op_sym, SymRef("t"), Const(h_base))
+
+    # Monotone-map deferral: order-based reductions over a monotone
+    # *increasing* g(t) reduce raw base distances in the hot path and
+    # apply g once at finalisation (what expert code does by hand, and
+    # what a real backend hoists out of the leaf loop).
+    if (
+        inner.op in (MIN_LIKE | MAX_LIKE)
+        and not kernel.is_indicator
+        and kernel.monotone() == "increasing"
+        and not isinstance(g_ir, SymRef)  # g is not already the identity
+    ):
+        captured_g = kernel.g
+        state.value_transform = lambda v: captured_g.evaluate({"t": v})
+        g_ir = SymRef("t")
+
+    spec = CodegenSpec(
+        dim=dim, layout=layout, base=kernel.base, g_ir=g_ir,
+        monotone=kernel.monotone(), outer_op=outer.op, inner_op=inner.op,
+        k=inner.k, rule=rule if mode == "tree" else None,
+        weighted=rstorage.weights is not None,
+        same_tree=same_data, exclude_self=exclude_self,
+        is_indicator=kernel.is_indicator,
+    )
+
+    bindings: dict = {
+        "K": inner.k or 1,
+        "H": rule.indicator_h if rule.indicator_h is not None else 0.0,
+        "TAU": rule.tau,
+        "THETA2": rule.theta * rule.theta,
+        "rw": None,
+    }
+    bindings.update(state.arrays)
+    if state.lists is not None:
+        bindings["out_lists"] = state.lists
+
+    if mode == "tree":
+        kind = opts.tree
+        if kind == "octree" and dim > 3:
+            raise CompileError("octrees require d <= 3; use tree='kd'")
+        if kind == "ball" and kernel.base != "sqeuclidean":
+            raise CompileError(
+                "ball trees support the Euclidean family only"
+            )
+        leaf = opts.leaf_size or 64
+        qtree = build_tree(kind, qpoints, leaf_size=leaf,
+                           weights=qstorage.weights, split=opts.split)
+        rtree = qtree if same_data else build_tree(
+            kind, rpoints, leaf_size=leaf, weights=rstorage.weights,
+            split=opts.split,
+        )
+        program.qtree, program.rtree = qtree, rtree
+        rweight = (
+            rtree.wsum if rtree.weights is not None
+            else (rtree.end - rtree.start).astype(np.float64)
+        )
+        rcentroid = (
+            rtree.wcentroid if rtree.weights is not None else rtree.centroid
+        )
+        bindings.update(
+            QCOL=qtree.points_col, QROW=qtree.points,
+            RCOL=rtree.points_col, RROW=rtree.points,
+            QN2=np.einsum("ij,ij->i", qtree.points, qtree.points),
+            RN2=np.einsum("ij,ij->i", rtree.points, rtree.points),
+            qlo=qtree.lo, qhi=qtree.hi, rlo=rtree.lo, rhi=rtree.hi,
+            qstart=qtree.start, qend=qtree.end,
+            rstart=rtree.start, rend=rtree.end,
+            rcentroid=rcentroid, rweight=rweight,
+            rdiam2=rtree.diameter ** 2,
+            rw=rtree.weights,
+        )
+    else:
+        program.qdata, program.rdata = qpoints, rpoints
+        bindings.update(
+            QCOL=np.ascontiguousarray(qpoints.T), QROW=qpoints,
+            RCOL=np.ascontiguousarray(rpoints.T), RROW=rpoints,
+            QN2=np.einsum("ij,ij->i", qpoints, qpoints),
+            RN2=np.einsum("ij,ij->i", rpoints, rpoints),
+            rw=rstorage.weights,
+        )
+
+    program.kernels = generate(spec, bindings)
+    return program
+
+
+def _compile_multilayer(pexpr, opts: CompileOptions) -> CompiledProgram:
+    """Compile an m ≥ 3 layer program onto the dense multi-layer backend
+    (the general form of the paper's equation 2)."""
+    layers = pexpr.layers
+    kernel = layers[-1].metric_kernel
+    classification, rule = build_rules(layers, kernel)
+
+    pm = PassManager(fastmath=opts.fastmath)
+    pm.run(lower(layers, kernel, classification, rule, pexpr.name))
+
+    storages = {id(l.storage) for l in layers}
+    exclude_self = (
+        opts.exclude_self if opts.exclude_self is not None
+        else len(storages) < len(layers)
+    )
+
+    state = State(
+        inner_op=layers[-1].op, outer_op=layers[0].op, k=None,
+        nq=layers[0].storage.n,
+    )
+    return CompiledProgram(
+        options=opts, layers=layers, kernel=kernel,
+        classification=classification, rule=rule, pass_manager=pm,
+        mode="multilayer", state=state,
+        extras={"exclude_self": exclude_self},
+        kernels=GeneratedKernels(
+            source="# m-layer program: dense multi-layer backend "
+                   "(no generated kernels)",
+            namespace={}, base_case=None, prune_or_approx=None,
+            pair_min_dist=None,
+        ),
+    )
+
+
+def _setup_external(program: CompiledProgram, qpoints, rpoints, exclude_self):
+    """Brute-force execution with an opaque external kernel (the paper's
+    external C++ functions: linked, not optimised)."""
+    import inspect
+
+    inner = program.layers[1]
+    external = inner.external
+    if external is None:
+        raise CompileError("external kernel missing")
+    state = program.state
+    op = inner.op
+    same = program.extras.get("same_data", False)
+    # External kernels may optionally accept the block offsets
+    # (Q, R, qs, rs) — e.g. EM kernels that look up per-component
+    # parameters by reference index.
+    try:
+        takes_offsets = len(inspect.signature(external).parameters) >= 4
+    except (TypeError, ValueError):
+        takes_offsets = False
+
+    def base_case(qs, qe, rs, re):
+        if takes_offsets:
+            v = np.asarray(
+                external(qpoints[qs:qe], rpoints[rs:re], qs, rs), dtype=float
+            )
+        else:
+            v = np.asarray(external(qpoints[qs:qe], rpoints[rs:re]), dtype=float)
+        if same and exclude_self and qs == rs:
+            from .codegen import _exclusion_value
+
+            np.fill_diagonal(v, float(eval(_exclusion_value(op), {"np": np})))
+        _apply_update(state, op, inner.k, v, qs, qe, rs, re)
+
+    program.qdata, program.rdata = qpoints, rpoints
+    program.kernels = GeneratedKernels(
+        source="# external kernel: no generated source",
+        namespace={}, base_case=base_case, prune_or_approx=None,
+        pair_min_dist=None,
+    )
+
+
+def _apply_update(state: State, op: PortalOp, k: int | None,
+                  v: np.ndarray, qs, qe, rs, re) -> None:
+    """Interpreted operator update used by the external-kernel path."""
+    if op is PortalOp.SUM:
+        state.arrays["acc"][qs:qe] += v.sum(axis=1)
+    elif op is PortalOp.PROD:
+        state.arrays["acc"][qs:qe] *= v.prod(axis=1)
+    elif op is PortalOp.MIN:
+        np.minimum(state.arrays["best"][qs:qe], v.min(axis=1),
+                   out=state.arrays["best"][qs:qe])
+    elif op is PortalOp.MAX:
+        np.maximum(state.arrays["best"][qs:qe], v.max(axis=1),
+                   out=state.arrays["best"][qs:qe])
+    elif op in (PortalOp.ARGMIN, PortalOp.ARGMAX):
+        red = np.argmin if op is PortalOp.ARGMIN else np.argmax
+        j = red(v, axis=1)
+        vals = v[np.arange(v.shape[0]), j]
+        best = state.arrays["best"][qs:qe]
+        m = vals < best if op is PortalOp.ARGMIN else vals > best
+        best[m] = vals[m]
+        state.arrays["best_idx"][qs:qe][m] = rs + j[m]
+    elif op in (PortalOp.KARGMIN, PortalOp.KARGMAX, PortalOp.KMIN, PortalOp.KMAX):
+        best = state.arrays["best"]
+        cand_v = np.concatenate([best[qs:qe], v], axis=1)
+        if op in (PortalOp.KARGMIN, PortalOp.KARGMAX):
+            idx = state.arrays["best_idx"]
+            cand_i = np.concatenate(
+                [idx[qs:qe], np.broadcast_to(np.arange(rs, re), v.shape)], axis=1
+            )
+            key = cand_v if op is PortalOp.KARGMIN else -cand_v
+            sel = np.argsort(key, axis=1, kind="stable")[:, :k]
+            best[qs:qe] = np.take_along_axis(cand_v, sel, axis=1)
+            idx[qs:qe] = np.take_along_axis(cand_i, sel, axis=1)
+        else:
+            cand_v.sort(axis=1)
+            best[qs:qe] = (
+                cand_v[:, :k] if op is PortalOp.KMIN else cand_v[:, ::-1][:, :k]
+            )
+    elif op in (PortalOp.UNION, PortalOp.UNIONARG):
+        for i in range(v.shape[0]):
+            nz = np.flatnonzero(v[i])
+            if nz.size:
+                state.lists[qs + i].append(
+                    rs + nz if op is PortalOp.UNIONARG else v[i][nz]
+                )
+    elif op is PortalOp.FORALL:
+        state.arrays["dense"][qs:qe, rs:re] = v
+    else:  # pragma: no cover
+        raise CompileError(f"unsupported inner operator {op.name}")

@@ -1,0 +1,27 @@
+"""Data-layout selection (paper sections III-B and IV-F).
+
+Portal chooses between column- and row-major data layout from the
+dimensionality of the dataset: low-dimensional data (d ≤ 4) is stored
+column-major so the *middle* loop of the base case vectorises (each cache
+line then holds the same coordinate of many points); higher-dimensional
+data stays row-major so the *innermost* dimension loop vectorises.
+"""
+
+from __future__ import annotations
+
+__all__ = ["Layout", "choose_layout", "COLUMN_MAJOR_MAX_DIM"]
+
+#: Dimensionality at or below which Portal selects a column-major layout.
+COLUMN_MAJOR_MAX_DIM = 4
+
+
+class Layout:
+    COLUMN = "column"
+    ROW = "row"
+
+
+def choose_layout(dim: int) -> str:
+    """Return the layout Portal selects for a *dim*-dimensional dataset."""
+    if dim < 1:
+        raise ValueError(f"dimensionality must be positive, got {dim}")
+    return Layout.COLUMN if dim <= COLUMN_MAJOR_MAX_DIM else Layout.ROW

@@ -1,0 +1,137 @@
+"""Dense execution of m-layer Portal programs (m ≥ 3).
+
+The paper's general form (equation 2) chains m operators over m datasets;
+the evaluation section only exercises m = 2, which is what the optimised
+tree backend implements.  This module completes the language: programs
+with three or more layers execute through a blocked dense evaluator —
+the m-dimensional analogue of the generated brute force — supporting the
+reduction operators {FORALL, SUM, PROD, MIN, MAX} on every layer and a
+symbolic kernel over the m layer variables.
+
+The kernel is evaluated by broadcasting: layer i's points occupy axis i
+(with the dimension axis last), so ``K(x₁, …, x_m)`` materialises one
+(b₁, n₂, …, n_m) block at a time, and reductions collapse axes from the
+innermost layer outwards.  ``exclude_self`` masks tuples that repeat a
+point between layers sharing a Storage (the distinct-tuple convention of
+n-point correlation).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..dsl.errors import CompileError
+from ..dsl.expr import Expr
+from ..dsl.ops import PortalOp
+from .state import Output
+
+__all__ = ["SUPPORTED_MULTILAYER_OPS", "execute_multilayer"]
+
+SUPPORTED_MULTILAYER_OPS = frozenset({
+    PortalOp.FORALL, PortalOp.SUM, PortalOp.PROD, PortalOp.MIN, PortalOp.MAX,
+})
+
+_REDUCERS = {
+    PortalOp.SUM: np.sum,
+    PortalOp.PROD: np.prod,
+    PortalOp.MIN: np.min,
+    PortalOp.MAX: np.max,
+}
+
+
+def _block_size(shapes: list[int], dim: int, budget_bytes: int = 64 << 20) -> int:
+    """First-axis block size keeping the broadcast kernel block within
+    the memory budget."""
+    inner = 1
+    for n in shapes[1:]:
+        inner *= n
+    per_row = max(1, inner * max(dim, 1) * 8)
+    return max(1, budget_bytes // per_row)
+
+
+def execute_multilayer(layers, exclude_self: bool) -> Output:
+    """Run an m-layer program densely; returns the finalised Output."""
+    m = len(layers)
+    if m < 3:
+        raise CompileError("execute_multilayer handles m >= 3 layers")
+    for layer in layers:
+        if layer.op not in SUPPORTED_MULTILAYER_OPS:
+            raise CompileError(
+                f"multi-layer programs support "
+                f"{sorted(o.name for o in SUPPORTED_MULTILAYER_OPS)}; "
+                f"got {layer.op.name}"
+            )
+    kernel = layers[-1].func
+    if not isinstance(kernel, Expr):
+        raise CompileError(
+            "multi-layer programs require a symbolic kernel over the layer "
+            "variables"
+        )
+    var_names = [l.var.name for l in layers]
+    free = {v.name for v in kernel.free_vars()}
+    if not free <= set(var_names):
+        raise CompileError(
+            f"kernel references {sorted(free - set(var_names))} which are "
+            f"not layer variables"
+        )
+
+    data = [l.storage.data for l in layers]
+    ns = [len(d) for d in data]
+    dim = data[0].shape[1]
+    ops = [l.op for l in layers]
+
+    if any(op is PortalOp.FORALL for op in ops[1:]) and ops[0] is not PortalOp.FORALL:
+        raise CompileError(
+            "an outer reduction over inner FORALL layers is ambiguous; "
+            "use FORALL as the outermost operator"
+        )
+
+    # Same-storage layer pairs whose repeated tuples must be masked out.
+    same_pairs = [
+        (i, j)
+        for i in range(m) for j in range(i + 1, m)
+        if layers[i].storage is layers[j].storage
+    ] if exclude_self else []
+    if same_pairs and any(
+        op not in (PortalOp.SUM, PortalOp.FORALL) for op in ops
+    ):
+        raise CompileError(
+            "exclude_self masking (zeroing repeated tuples) is only sound "
+            "for Σ reductions; pass exclude_self=False for other operators"
+        )
+
+    out_chunks: list[np.ndarray] = []
+    block = _block_size(ns, dim)
+    for s in range(0, ns[0], block):
+        e = min(s + block, ns[0])
+        env: dict = {}
+        for axis, (name, X) in enumerate(zip(var_names, data)):
+            chunk = X[s:e] if axis == 0 else X
+            shape = [1] * m + [dim]
+            shape[axis] = len(chunk)
+            env[name] = chunk.reshape(shape)
+        values = np.asarray(kernel.evaluate(env), dtype=np.float64)
+        values = np.broadcast_to(
+            values, (e - s, *ns[1:])
+        ).copy() if values.shape != (e - s, *ns[1:]) else values
+
+        for i, j in same_pairs:
+            idx_i = (np.arange(s, e) if i == 0 else np.arange(ns[i]))
+            idx_j = (np.arange(s, e) if j == 0 else np.arange(ns[j]))
+            eq = idx_i.reshape([-1 if a == i else 1 for a in range(m)]) == \
+                idx_j.reshape([-1 if a == j else 1 for a in range(m)])
+            values = values * ~np.broadcast_to(eq, values.shape)
+
+        # Reduce axes innermost-out; FORALL keeps its axis.
+        for axis in range(m - 1, 0, -1):
+            op = ops[axis]
+            if op is PortalOp.FORALL:
+                continue
+            values = _REDUCERS[op](values, axis=axis)
+        out_chunks.append(np.atleast_1d(values))
+
+    per_query = np.concatenate(out_chunks, axis=0)
+    outer = ops[0]
+    if outer is PortalOp.FORALL:
+        return Output(values=per_query)
+    return Output(values=per_query, scalar=float(_REDUCERS[outer](per_query)))

@@ -1,0 +1,172 @@
+"""Runtime accumulator state — the materialisation of storage injection.
+
+The lowering stage plans one injected storage per layer (paper
+section IV-B); this module allocates the corresponding runtime arrays in
+*permuted query order* (so vectorised base cases update contiguous
+slices) and implements the finalisation step: mapping results back
+through the tree permutations, applying the outer layer's reduction and
+optional modifying function, and wrapping everything in an
+:class:`Output`.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Callable
+
+import numpy as np
+
+from ..dsl.errors import CompileError
+from ..dsl.ops import PortalOp, op_info
+
+__all__ = ["State", "Output", "allocate_state"]
+
+
+@dataclass
+class Output:
+    """Result of executing a Portal program.
+
+    ``values`` / ``indices`` are in the caller's original query order.
+    For scalar-output problems (e.g. 2-point correlation, Hausdorff) the
+    result is in ``scalar`` and ``values`` holds the per-query
+    intermediates.
+    """
+
+    values: np.ndarray | None = None
+    indices: np.ndarray | list | None = None
+    scalar: float | None = None
+
+    def __repr__(self) -> str:
+        parts = []
+        if self.scalar is not None:
+            parts.append(f"scalar={self.scalar:g}")
+        if self.values is not None:
+            parts.append(f"values.shape={np.shape(self.values)}")
+        if self.indices is not None:
+            parts.append("indices=...")
+        return f"Output({', '.join(parts)})"
+
+
+@dataclass
+class State:
+    """Accumulators for one compiled problem."""
+
+    inner_op: PortalOp
+    outer_op: PortalOp
+    k: int | None
+    nq: int
+    arrays: dict[str, np.ndarray] = field(default_factory=dict)
+    lists: list | None = None
+    #: optional modifying function applied to per-query results before the
+    #: outer reduction (paper section III-C "modifying functions")
+    modifier: Callable | None = None
+    #: monotone-map deferral (compiler optimisation): when the kernel is a
+    #: monotone increasing function g of the base distance and the inner
+    #: reduction is order-based, the traversal reduces raw base distances
+    #: and g is applied once here instead of per leaf pair
+    value_transform: Callable | None = None
+
+    def finalize(self, qperm: np.ndarray, rperm: np.ndarray | None) -> Output:
+        """Produce the :class:`Output` in original point order."""
+        inv = np.empty_like(qperm)
+        inv[qperm] = np.arange(len(qperm))
+
+        info = op_info(self.inner_op)
+        values = indices = None
+        if self.inner_op is PortalOp.FORALL:
+            values = self.arrays["dense"][inv]
+        elif self.inner_op in (PortalOp.UNION, PortalOp.UNIONARG):
+            assert self.lists is not None
+            per_query: list[np.ndarray] = []
+            for pos in inv:
+                chunks = self.lists[pos]
+                merged = (
+                    np.concatenate(chunks) if chunks else np.empty(0, dtype=np.int64)
+                )
+                per_query.append(merged)
+            if self.inner_op is PortalOp.UNIONARG and rperm is not None:
+                per_query = [rperm[c.astype(np.int64)] for c in per_query]
+                indices = per_query
+            elif self.inner_op is PortalOp.UNIONARG:
+                indices = [c.astype(np.int64) for c in per_query]
+            else:
+                values = per_query
+        elif info.returns_index or info.requires_k:
+            best = self.arrays["best"][inv]
+            values = best
+            if info.returns_index:
+                idx = self.arrays["best_idx"][inv]
+                indices = rperm[idx] if rperm is not None else idx
+        else:
+            values = self.arrays["acc" if info.arithmetic else "best"][inv]
+
+        if self.value_transform is not None and values is not None:
+            values = self.value_transform(np.asarray(values))
+
+        out = Output(values=values, indices=indices)
+
+        # Outer reduction (identity for FORALL).
+        if self.outer_op is not PortalOp.FORALL:
+            v = values
+            if v is None:
+                raise CompileError(
+                    f"outer {self.outer_op.name} requires a single-valued inner "
+                    f"reduction"
+                )
+            if self.modifier is not None:
+                v = self.modifier(v)
+            if self.outer_op is PortalOp.SUM:
+                out.scalar = float(np.sum(v))
+            elif self.outer_op is PortalOp.PROD:
+                out.scalar = float(np.prod(v))
+            elif self.outer_op is PortalOp.MIN:
+                out.scalar = float(np.min(v))
+            elif self.outer_op is PortalOp.MAX:
+                out.scalar = float(np.max(v))
+            else:
+                raise CompileError(
+                    f"outer operator {self.outer_op.name} is not supported"
+                )
+        elif self.modifier is not None and values is not None:
+            out.values = self.modifier(values)
+        return out
+
+
+_SUPPORTED_INNER = {
+    PortalOp.SUM, PortalOp.PROD, PortalOp.MIN, PortalOp.MAX,
+    PortalOp.ARGMIN, PortalOp.ARGMAX, PortalOp.KMIN, PortalOp.KMAX,
+    PortalOp.KARGMIN, PortalOp.KARGMAX, PortalOp.UNION, PortalOp.UNIONARG,
+    PortalOp.FORALL,
+}
+
+
+def allocate_state(
+    outer_op: PortalOp,
+    inner_op: PortalOp,
+    k: int | None,
+    nq: int,
+    nr: int,
+    modifier: Callable | None = None,
+) -> State:
+    """Allocate accumulators for the (outer, inner) operator pair."""
+    if inner_op not in _SUPPORTED_INNER:
+        raise CompileError(f"inner operator {inner_op.name} is not supported")
+    st = State(inner_op=inner_op, outer_op=outer_op, k=k, nq=nq,
+               modifier=modifier)
+    info = op_info(inner_op)
+    if inner_op in (PortalOp.UNION, PortalOp.UNIONARG):
+        st.lists = [[] for _ in range(nq)]
+    elif inner_op is PortalOp.FORALL:
+        st.arrays["dense"] = np.zeros((nq, nr))
+    elif info.requires_k:
+        st.arrays["best"] = np.full((nq, k), info.identity)
+        if info.returns_index:
+            st.arrays["best_idx"] = np.full((nq, k), -1, dtype=np.int64)
+    elif info.comparative:
+        st.arrays["best"] = np.full(nq, info.identity)
+        if info.returns_index:
+            st.arrays["best_idx"] = np.full(nq, -1, dtype=np.int64)
+    else:  # SUM / PROD
+        st.arrays["acc"] = np.full(nq, info.identity)
+    return st

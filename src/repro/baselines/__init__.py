@@ -1,0 +1,12 @@
+"""Baselines: brute force, hand-optimised "expert" (PASCAL) code, and the
+library-style comparators of paper Table V."""
+
+from . import brute, expert
+from .fdps_like import fdps_like_forces
+from .mlpack_like import MlpackLikeNBC
+from .sklearn_like import sklearn_like_two_point
+
+__all__ = [
+    "brute", "expert", "sklearn_like_two_point", "MlpackLikeNBC",
+    "fdps_like_forces",
+]

@@ -1,0 +1,73 @@
+"""Hand-optimised EM for Gaussian mixtures — the PASCAL "expert" baseline.
+
+Fully fused NumPy: log-space responsibilities via log-sum-exp, one
+Cholesky per component per iteration, einsum-contracted M-step — the code
+a performance programmer writes directly, with none of the Portal layer
+machinery or external-kernel call overhead (the paper attributes the
+8–9 % Portal/expert gap on EM exactly to those external calls).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from scipy.linalg import cholesky, solve_triangular
+
+__all__ = ["expert_em"]
+
+_LOG2PI = float(np.log(2.0 * np.pi))
+
+
+def _log_resp(X, means, covs, weights):
+    n, d = X.shape
+    K = len(means)
+    logp = np.empty((n, K))
+    for k in range(K):
+        L = cholesky(covs[k] + 1e-9 * np.eye(d), lower=True)
+        z = solve_triangular(L, (X - means[k]).T, lower=True)
+        maha = np.einsum("ij,ij->j", z, z)
+        logdet = 2.0 * np.log(np.diag(L)).sum()
+        logp[:, k] = np.log(weights[k]) - 0.5 * (maha + logdet + d * _LOG2PI)
+    mx = logp.max(axis=1, keepdims=True)
+    lse = mx[:, 0] + np.log(np.exp(logp - mx).sum(axis=1))
+    return logp - lse[:, None], lse
+
+
+def expert_em(X, n_components: int, max_iter: int = 50, tol: float = 1e-5,
+              seed: int = 0):
+    """Returns (means, covariances, weights, log_likelihoods)."""
+    X = np.ascontiguousarray(X, dtype=np.float64)
+    n, d = X.shape
+    K = n_components
+    rng = np.random.default_rng(seed)
+    means = X[rng.choice(n, size=K, replace=False)].copy()
+    # k-means-style hard init (mirrors the Portal implementation).
+    assign = ((X[:, None, :] - means[None]) ** 2).sum(-1).argmin(axis=1)
+    covs = np.empty((K, d, d))
+    weights = np.empty(K)
+    for k in range(K):
+        sel = X[assign == k]
+        if len(sel) < 2:
+            sel = X
+        means[k] = sel.mean(axis=0)
+        covs[k] = np.cov(sel.T) + 1e-6 * np.eye(d)
+        weights[k] = max(len(sel), 1) / n
+    weights /= weights.sum()
+
+    lls: list[float] = []
+    prev = -np.inf
+    for _ in range(max_iter):
+        log_r, lse = _log_resp(X, means, covs, weights)
+        resp = np.exp(log_r)
+        nk = resp.sum(axis=0) + 1e-12
+        weights = nk / n
+        means = (resp.T @ X) / nk[:, None]
+        for k in range(K):
+            diff = X - means[k]
+            covs[k] = np.einsum("i,ij,ik->jk", resp[:, k], diff, diff) / nk[k]
+            covs[k] += 1e-6 * np.eye(d)
+        ll = float(lse.sum())
+        lls.append(ll)
+        if abs(ll - prev) < tol * max(1.0, abs(prev)):
+            break
+        prev = ll
+    return means, covs, weights, lls

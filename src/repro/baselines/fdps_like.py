@@ -1,0 +1,71 @@
+"""FDPS-style Barnes-Hut baseline (paper Table V).
+
+FDPS is a hand-optimised C++ particle-simulation framework whose force
+evaluation walks the tree once *per particle* (interaction-list
+construction per particle), rather than amortising walks across a query
+node as a dual-tree traversal does.  This baseline reproduces that
+algorithmic shape on the same octree substrate: one multipole-acceptance
+tree walk per particle, with NumPy doing the per-node arithmetic.  The
+paper reports Portal 70 % faster than FDPS on 10 M particles — here the
+dual-tree implementation should beat this per-particle walker by a
+comparable moderate factor.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..trees import build_octree
+
+__all__ = ["fdps_like_forces"]
+
+
+def fdps_like_forces(
+    positions,
+    masses,
+    theta: float = 0.5,
+    G: float = 1.0,
+    eps: float = 1e-3,
+    leaf_size: int = 64,
+) -> np.ndarray:
+    """Per-particle Barnes-Hut accelerations via single-tree walks."""
+    pos = np.ascontiguousarray(positions, dtype=np.float64)
+    mass = np.ascontiguousarray(masses, dtype=np.float64)
+    tree = build_octree(pos, leaf_size=leaf_size, weights=mass)
+    pts = tree.points
+    m = tree.weights
+    lo, hi = tree.lo, tree.hi
+    start, end = tree.start, tree.end
+    com, M = tree.wcentroid, tree.wsum
+    diam = tree.diameter
+    eps2 = eps * eps
+
+    n = len(pos)
+    acc = np.zeros_like(pts)
+    for q in range(n):
+        x = pts[q]
+        ax = np.zeros(pts.shape[1])
+        stack = [0]
+        while stack:
+            node = stack.pop()
+            d = com[node] - x
+            r2 = float(d @ d)
+            if r2 > 0.0 and diam[node] <= theta * np.sqrt(r2):
+                ax += (G * M[node]) * d / (r2 + eps2) ** 1.5
+                continue
+            kids = tree.children(node)
+            if len(kids) == 0:
+                s, e = start[node], end[node]
+                dd = pts[s:e] - x
+                rr2 = np.einsum("ij,ij->i", dd, dd) + eps2
+                w = m[s:e] * rr2 ** -1.5
+                if s <= q < e:
+                    w[q - s] = 0.0
+                ax += G * (w @ dd)
+            else:
+                stack.extend(int(c) for c in kids)
+        acc[q] = ax
+
+    inv = np.empty(n, dtype=np.int64)
+    inv[tree.perm] = np.arange(n)
+    return acc[inv]

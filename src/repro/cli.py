@@ -1,0 +1,156 @@
+"""Command-line interface for the textual Portal language.
+
+Runs ``.portal`` programs (the Appendix-VIII grammar) from the shell::
+
+    python -m repro run program.portal
+    python -m repro run program.portal --option tau=1e-3 --option tree=ball
+    python -m repro ir program.portal --stage final
+    python -m repro explain program.portal
+
+Storage statements in the program reference CSV paths; ``--bind
+name=file.csv`` overrides a storage source, letting one program run
+against different datasets.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+import numpy as np
+
+from .dsl import PortalError, parse_program
+from .dsl.storage import _read_csv
+
+
+def _parse_options(pairs: list[str]) -> dict:
+    out: dict = {}
+    for pair in pairs:
+        if "=" not in pair:
+            raise SystemExit(f"--option expects key=value, got {pair!r}")
+        key, value = pair.split("=", 1)
+        for cast in (int, float):
+            try:
+                out[key] = cast(value)
+                break
+            except ValueError:
+                continue
+        else:
+            if value.lower() in ("true", "false"):
+                out[key] = value.lower() == "true"
+            else:
+                out[key] = value
+    return out
+
+
+def _parse_bindings(pairs: list[str]) -> dict:
+    out: dict = {}
+    for pair in pairs:
+        if "=" not in pair:
+            raise SystemExit(f"--bind expects name=path.csv, got {pair!r}")
+        name, path = pair.split("=", 1)
+        out[name] = _read_csv(path)
+    return out
+
+
+def _load(args) -> "PortalProgram":
+    with open(args.program) as fh:
+        source = fh.read()
+    return parse_program(source, bindings=_parse_bindings(args.bind))
+
+
+def _cmd_run(args) -> int:
+    prog = _load(args)
+    results = prog.run(**_parse_options(args.option))
+    for name, out in results.items():
+        print(f"== {name} ==")
+        if out.scalar is not None:
+            print(f"  scalar: {out.scalar:g}")
+        if out.values is not None:
+            v = np.asarray(out.values)
+            head = np.array2string(v[: args.head], precision=4,
+                                   threshold=64)
+            print(f"  values {v.shape}: {head}")
+        if out.indices is not None and not isinstance(out.indices, list):
+            print(f"  indices: {np.asarray(out.indices)[: args.head]}")
+        elif isinstance(out.indices, list):
+            sizes = [len(ix) for ix in out.indices[: args.head]]
+            print(f"  index lists (first sizes): {sizes}")
+    return 0
+
+
+def _cmd_ir(args) -> int:
+    prog = _load(args)
+    for name, pexpr in prog.portal_exprs.items():
+        pexpr.compile(**_parse_options(args.option))
+        print(f"== {name} [{args.stage}] ==")
+        print(pexpr.ir_dump(args.stage))
+        if args.generated:
+            print(f"\n== {name} [generated backend source] ==")
+            print(pexpr.generated_source())
+    return 0
+
+
+def _cmd_explain(args) -> int:
+    prog = _load(args)
+    for name, pexpr in prog.portal_exprs.items():
+        program = pexpr.compile(**_parse_options(args.option))
+        cls = program.classification
+        print(f"== {name} ==")
+        print(pexpr.describe())
+        print(f"  category:  {cls.category}")
+        print(f"  algorithm: {cls.algorithm}")
+        for reason in cls.reasons:
+            print(f"    - {reason}")
+        print(f"  rule: {program.rule.description}")
+    return 0
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro", description="Portal language runner"
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    def common(p):
+        p.add_argument("program", help="path to a .portal program")
+        p.add_argument("--bind", action="append", default=[],
+                       metavar="NAME=CSV",
+                       help="override a Storage source with a CSV file")
+        p.add_argument("--option", action="append", default=[],
+                       metavar="KEY=VALUE",
+                       help="execute()/compile() option, e.g. tau=1e-3")
+
+    p_run = sub.add_parser("run", help="execute the program")
+    common(p_run)
+    p_run.add_argument("--head", type=int, default=5,
+                       help="rows of each output to print")
+    p_run.set_defaults(fn=_cmd_run)
+
+    p_ir = sub.add_parser("ir", help="dump the Portal IR")
+    common(p_ir)
+    p_ir.add_argument("--stage", default="final",
+                      choices=["lowered", "flattened", "numopt",
+                               "strength", "final"])
+    p_ir.add_argument("--generated", action="store_true",
+                      help="also dump the generated backend source")
+    p_ir.set_defaults(fn=_cmd_ir)
+
+    p_ex = sub.add_parser("explain",
+                          help="show classification and generated rules")
+    common(p_ex)
+    p_ex.set_defaults(fn=_cmd_explain)
+
+    args = parser.parse_args(argv)
+    try:
+        return args.fn(args)
+    except PortalError as err:
+        print(f"error: {err}", file=sys.stderr)
+        return 1
+    except OSError as err:
+        print(f"error: {err}", file=sys.stderr)
+        return 1
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

@@ -1,0 +1,10 @@
+"""Dataset generators and registry (paper Table II surrogates)."""
+
+from . import synthetic
+from .loaders import load_csv, save_csv
+from .registry import DATASETS, DatasetInfo, load, table2_rows
+
+__all__ = [
+    "synthetic", "DATASETS", "DatasetInfo", "load", "table2_rows",
+    "load_csv", "save_csv",
+]

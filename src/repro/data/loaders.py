@@ -1,0 +1,32 @@
+"""CSV loading and saving helpers for Storage round-trips."""
+
+from __future__ import annotations
+
+import csv
+import os
+
+import numpy as np
+
+__all__ = ["save_csv", "load_csv"]
+
+
+def save_csv(path: str | os.PathLike, data: np.ndarray,
+             header: list[str] | None = None) -> None:
+    """Write a 2-D array as CSV (optionally with a header row)."""
+    data = np.asarray(data)
+    if data.ndim != 2:
+        raise ValueError("save_csv requires a 2-D array")
+    with open(path, "w", newline="") as fh:
+        w = csv.writer(fh)
+        if header is not None:
+            if len(header) != data.shape[1]:
+                raise ValueError("header length mismatch")
+            w.writerow(header)
+        w.writerows(data.tolist())
+
+
+def load_csv(path: str | os.PathLike) -> np.ndarray:
+    """Read a numeric CSV (delegates to the Storage reader)."""
+    from ..dsl.storage import _read_csv
+
+    return _read_csv(os.fspath(path))

@@ -1,0 +1,46 @@
+"""The Portal language frontend (paper section III).
+
+Public surface::
+
+    from repro.dsl import (
+        Storage, Var, Expr, PortalExpr, PortalOp, PortalFunc,
+        sqrt, pow, exp, log, absval,
+    )
+"""
+
+from .errors import (
+    CompileError, ExecutionError, KernelError, OperatorError, ParseError,
+    PortalError, SpecificationError, StorageError,
+)
+from .expr import (
+    Const, DimReduce, DistVar, Expr, Indicator, Var, absval, dim_max,
+    dim_sum, exp, indicator, log, pow, sqrt,
+)
+from .funcs import BASE_METRICS, MetricKernel, PortalFunc, normalize_kernel
+from .layer import Layer
+from .ops import OpCategory, PortalOp, op_info, operator_table, resolve_op
+from .portal_expr import PortalExpr
+from .storage import Storage
+
+__all__ = [
+    # errors
+    "PortalError", "SpecificationError", "StorageError", "KernelError",
+    "OperatorError", "CompileError", "ParseError", "ExecutionError",
+    # expressions
+    "Expr", "Var", "Const", "DistVar", "Indicator", "DimReduce",
+    "sqrt", "pow", "exp", "log", "absval", "dim_sum", "dim_max", "indicator",
+    # kernels & metrics
+    "PortalFunc", "MetricKernel", "normalize_kernel", "BASE_METRICS",
+    # operators
+    "PortalOp", "OpCategory", "op_info", "operator_table", "resolve_op",
+    # program objects
+    "Storage", "Layer", "PortalExpr",
+]
+
+from .parser import PortalProgram, parse_program  # noqa: E402
+
+__all__ += ["PortalProgram", "parse_program"]
+
+from .unparse import unparse_expr, unparse_program  # noqa: E402
+
+__all__ += ["unparse_expr", "unparse_program"]

@@ -1,0 +1,52 @@
+"""Typed exception hierarchy for the Portal DSL and compiler.
+
+Every user-facing failure mode raises a subclass of :class:`PortalError`
+so applications can catch DSL errors distinctly from programming bugs.
+"""
+
+from __future__ import annotations
+
+
+class PortalError(Exception):
+    """Base class for all Portal DSL/compiler errors."""
+
+
+class SpecificationError(PortalError):
+    """The Portal program is malformed (bad layer structure, missing kernel,
+    wrong operator arity, ...)."""
+
+
+class StorageError(PortalError):
+    """A Storage object is invalid: empty dataset, dimension mismatch,
+    unreadable file, or use after :meth:`Storage.clear`."""
+
+
+class KernelError(PortalError):
+    """A kernel/modifying function is invalid: type errors in the symbolic
+    expression, non-scalar kernel output where a scalar is required, or an
+    unsupported construct."""
+
+
+class OperatorError(PortalError):
+    """An operator is used incorrectly: missing ``k`` for a multi-variable
+    reduction, ``k`` supplied where not allowed, or a non-decomposable
+    operator chain."""
+
+
+class CompileError(PortalError):
+    """The compiler could not lower or generate code for the program."""
+
+
+class ParseError(PortalError):
+    """The textual Portal program (Appendix-VIII grammar) failed to parse."""
+
+    def __init__(self, message: str, line: int | None = None, column: int | None = None):
+        self.line = line
+        self.column = column
+        loc = f" at line {line}" if line is not None else ""
+        loc += f", column {column}" if column is not None else ""
+        super().__init__(message + loc)
+
+
+class ExecutionError(PortalError):
+    """Runtime failure while executing a compiled Portal program."""

@@ -1,0 +1,206 @@
+"""Portal operators (paper Table I) and their algebraic properties.
+
+Operators are grouped into three categories:
+
+* **All** — ``FORALL`` applies no filtering; its layer emits one output per
+  input point.
+* **Single** variable reductions — reduce a set of values to one value
+  (``SUM``, ``PROD``, ``MIN``, ``MAX``, ``ARGMIN``, ``ARGMAX``).
+* **Multi** variable reductions — reduce a set of values to a smaller set,
+  of size ``k`` for the ``K*`` operators, or unbounded for ``UNION`` /
+  ``UNIONARG``.
+
+The properties recorded here drive the whole compiler: storage injection
+sizes (paper section IV-B), initial accumulator values (section IV-A),
+the pruning/approximation classification (section II-B), and the
+decomposability check that gates the choice of the tree-based algorithm
+(section II-C).
+"""
+
+from __future__ import annotations
+
+import enum
+import math
+from dataclasses import dataclass
+
+from .errors import OperatorError
+
+__all__ = ["PortalOp", "OpCategory", "OpInfo", "op_info", "resolve_op"]
+
+
+class OpCategory(enum.Enum):
+    """Operator categories from paper Table I."""
+
+    ALL = "All"
+    SINGLE = "Single"
+    MULTI = "Multi"
+
+
+class PortalOp(enum.Enum):
+    """The mathematical operators supported by the Portal language."""
+
+    FORALL = "FORALL"       # ∀
+    SUM = "SUM"             # Σ
+    PROD = "PROD"           # Π
+    MIN = "MIN"             # min
+    MAX = "MAX"             # max
+    ARGMIN = "ARGMIN"       # arg min
+    ARGMAX = "ARGMAX"       # arg max
+    UNION = "UNION"         # ∪ (all values passing a predicate kernel)
+    UNIONARG = "UNIONARG"   # ∪arg (indices passing a predicate kernel)
+    KMIN = "KMIN"           # min^k
+    KMAX = "KMAX"           # max^k
+    KARGMIN = "KARGMIN"     # arg min^k
+    KARGMAX = "KARGMAX"     # arg max^k
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"PortalOp.{self.name}"
+
+
+@dataclass(frozen=True)
+class OpInfo:
+    """Static properties of a Portal operator.
+
+    Attributes
+    ----------
+    category:
+        Table-I category (All / Single / Multi).
+    mathematical:
+        The mathematical notation used in the paper, for table dumps.
+    comparative:
+        True for order-based reductions (min/max families).  A comparative
+        operator makes the problem a *pruning* problem (section II-B).
+    arithmetic:
+        True for Σ/Π style accumulations.  Purely arithmetic operator
+        chains with non-comparative kernels form *approximation* problems.
+    returns_index:
+        True when the reduction's output is an index into the layer's
+        dataset rather than a kernel value.
+    requires_k:
+        True when the operator must be parameterised with a filter width
+        ``k`` (the ``K*`` family).
+    identity:
+        Neutral element used to initialise the injected storage
+        (section IV-A); ``None`` for operators without one (FORALL, UNION).
+    decomposable:
+        Whether the reduction over a dataset decomposes over an arbitrary
+        partition of that dataset — the property required to run the
+        multi-tree algorithm (section II-C).  All Table-I operators are
+        decomposable; the flag exists so user-registered operators can
+        opt out and be rejected with a clear error.
+    """
+
+    category: OpCategory
+    mathematical: str
+    comparative: bool = False
+    arithmetic: bool = False
+    returns_index: bool = False
+    requires_k: bool = False
+    identity: float | None = None
+    decomposable: bool = True
+
+
+_OP_TABLE: dict[PortalOp, OpInfo] = {
+    PortalOp.FORALL: OpInfo(OpCategory.ALL, "∀"),
+    PortalOp.SUM: OpInfo(OpCategory.SINGLE, "Σ", arithmetic=True, identity=0.0),
+    PortalOp.PROD: OpInfo(OpCategory.SINGLE, "Π", arithmetic=True, identity=1.0),
+    PortalOp.MIN: OpInfo(
+        OpCategory.SINGLE, "min", comparative=True, identity=math.inf
+    ),
+    PortalOp.MAX: OpInfo(
+        OpCategory.SINGLE, "max", comparative=True, identity=-math.inf
+    ),
+    PortalOp.ARGMIN: OpInfo(
+        OpCategory.SINGLE, "arg min", comparative=True, returns_index=True,
+        identity=math.inf,
+    ),
+    PortalOp.ARGMAX: OpInfo(
+        OpCategory.SINGLE, "arg max", comparative=True, returns_index=True,
+        identity=-math.inf,
+    ),
+    PortalOp.UNION: OpInfo(OpCategory.MULTI, "∪", comparative=True),
+    PortalOp.UNIONARG: OpInfo(
+        OpCategory.MULTI, "∪ arg", comparative=True, returns_index=True
+    ),
+    PortalOp.KMIN: OpInfo(
+        OpCategory.MULTI, "min^k", comparative=True, requires_k=True,
+        identity=math.inf,
+    ),
+    PortalOp.KMAX: OpInfo(
+        OpCategory.MULTI, "max^k", comparative=True, requires_k=True,
+        identity=-math.inf,
+    ),
+    PortalOp.KARGMIN: OpInfo(
+        OpCategory.MULTI, "arg min^k", comparative=True, returns_index=True,
+        requires_k=True, identity=math.inf,
+    ),
+    PortalOp.KARGMAX: OpInfo(
+        OpCategory.MULTI, "arg max^k", comparative=True, returns_index=True,
+        requires_k=True, identity=-math.inf,
+    ),
+}
+
+
+def op_info(op: PortalOp) -> OpInfo:
+    """Return the :class:`OpInfo` record for *op*."""
+    return _OP_TABLE[op]
+
+
+#: Operators whose reductions keep the *smallest* values.
+MIN_LIKE = frozenset(
+    {PortalOp.MIN, PortalOp.ARGMIN, PortalOp.KMIN, PortalOp.KARGMIN}
+)
+#: Operators whose reductions keep the *largest* values.
+MAX_LIKE = frozenset(
+    {PortalOp.MAX, PortalOp.ARGMAX, PortalOp.KMAX, PortalOp.KARGMAX}
+)
+
+
+def resolve_op(spec) -> tuple[PortalOp, int | None]:
+    """Normalise an ``addLayer`` operator argument to ``(op, k)``.
+
+    The paper's API accepts either a bare operator, e.g.
+    ``PortalOp.ARGMIN``, or a tuple carrying the multi-reduction width,
+    e.g. ``(PortalOp.KARGMIN, k)``.  Strings naming an operator are also
+    accepted for convenience and for the textual frontend.
+
+    Raises
+    ------
+    OperatorError
+        If ``k`` is missing for a ``K*`` operator, supplied for an
+        operator that does not take one, or not a positive integer.
+    """
+    k: int | None = None
+    if isinstance(spec, tuple):
+        if len(spec) != 2:
+            raise OperatorError(
+                f"operator tuple must be (op, k), got {spec!r}"
+            )
+        spec, k = spec
+    if isinstance(spec, str):
+        try:
+            spec = PortalOp[spec.upper()]
+        except KeyError:
+            raise OperatorError(f"unknown Portal operator {spec!r}") from None
+    if not isinstance(spec, PortalOp):
+        raise OperatorError(f"not a Portal operator: {spec!r}")
+    info = _OP_TABLE[spec]
+    if info.requires_k:
+        if k is None:
+            raise OperatorError(
+                f"{spec.name} is a multi-variable reduction and requires k, "
+                f"e.g. addLayer(({spec.name}, k), ...)"
+            )
+        if not isinstance(k, int) or isinstance(k, bool) or k < 1:
+            raise OperatorError(f"k must be a positive integer, got {k!r}")
+    elif k is not None:
+        raise OperatorError(f"{spec.name} does not take a k parameter")
+    return spec, k
+
+
+def operator_table() -> list[tuple[str, str, str]]:
+    """Rows of paper Table I: (category, mathematical, Portal operator)."""
+    return [
+        (info.category.value, info.mathematical, op.name)
+        for op, info in _OP_TABLE.items()
+    ]

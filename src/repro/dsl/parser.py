@@ -1,0 +1,374 @@
+"""Textual Portal frontend: the Appendix-VIII grammar.
+
+The paper's grammar::
+
+    <PortalProgram> -> <StorageDef>+ <VarDef>* <PortalExprDef>
+    <StorageDef>    -> "Storage" <name> "(" <file_name> ")" ";"
+    <VarDef>        -> "Var" <name> ";"
+    <PortalExprDef> -> "PortalExpr" <name> ";" <AddLayer>+
+    <AddLayer>      -> <name>.addLayer(<OP>[, <var>], <storage>[, <kernel>]);
+    <Kernel>        -> sqrt(K) | pow(K, c) | exp(K) | ... | comparisons
+    <OP>            -> FORALL | SUM | PROD | ARGMIN | ... | (KARGMIN, k)
+
+This module parses Portal programs written as text (rather than through
+the embedded Python API) into the same :class:`PortalExpr` objects,
+demonstrating that the language is independent of its host embedding.
+Storages named in the program can be bound to in-memory arrays through
+the ``bindings`` argument instead of CSV paths.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass, field
+
+from .errors import ParseError
+from .expr import Expr, Var, absval, exp, indicator, log, pow, sqrt
+from .funcs import PortalFunc
+from .ops import PortalOp
+from .portal_expr import PortalExpr
+from .storage import Storage
+
+__all__ = ["parse_program", "PortalProgram"]
+
+_TOKEN_RE = re.compile(
+    r"""
+    (?P<STRING>"[^"]*")
+  | (?P<NUMBER>\d+\.\d*(?:[eE][+-]?\d+)?|\.\d+(?:[eE][+-]?\d+)?|\d+(?:[eE][+-]?\d+)?)
+  | (?P<NAME>[A-Za-z_][A-Za-z_0-9]*)
+  | (?P<COMMENT>//[^\n]*|/\*.*?\*/)
+  | (?P<OP>::|<=|>=|==|[-+*/(),;.<>=])
+  | (?P<WS>\s+)
+    """,
+    re.VERBOSE | re.DOTALL,
+)
+
+_FUNCS = {"sqrt": sqrt, "pow": pow, "exp": exp, "log": log, "abs": absval}
+
+
+@dataclass
+class _Token:
+    kind: str
+    text: str
+    line: int
+    col: int
+
+
+def _tokenize(source: str) -> list[_Token]:
+    tokens: list[_Token] = []
+    pos = 0
+    line = 1
+    line_start = 0
+    while pos < len(source):
+        m = _TOKEN_RE.match(source, pos)
+        if m is None:
+            raise ParseError(
+                f"unexpected character {source[pos]!r}",
+                line, pos - line_start + 1,
+            )
+        kind = m.lastgroup
+        text = m.group()
+        if kind not in ("WS", "COMMENT"):
+            tokens.append(_Token(kind, text, line, pos - line_start + 1))
+        nl = text.count("\n")
+        if nl:
+            line += nl
+            line_start = pos + text.rfind("\n") + 1
+        pos = m.end()
+    tokens.append(_Token("EOF", "", line, 0))
+    return tokens
+
+
+@dataclass
+class PortalProgram:
+    """A parsed textual Portal program, ready to run."""
+
+    storages: dict[str, Storage] = field(default_factory=dict)
+    variables: dict[str, Var] = field(default_factory=dict)
+    expressions: dict[str, Expr] = field(default_factory=dict)
+    portal_exprs: dict[str, PortalExpr] = field(default_factory=dict)
+    #: names of PortalExprs whose execute() the program calls, in order
+    executed: list[str] = field(default_factory=list)
+    #: output-name -> portal-expr-name from `Storage out = e.getOutput();`
+    outputs: dict[str, str] = field(default_factory=dict)
+
+    def run(self, **options) -> dict[str, object]:
+        """Execute every ``execute()`` statement; returns outputs by name."""
+        results: dict[str, object] = {}
+        for name in self.executed:
+            results[name] = self.portal_exprs[name].execute(**options)
+        for out_name, expr_name in self.outputs.items():
+            results[out_name] = self.portal_exprs[expr_name].getOutput()
+        return results
+
+
+class _Parser:
+    def __init__(self, tokens: list[_Token], bindings: dict | None):
+        self.tokens = tokens
+        self.i = 0
+        self.bindings = bindings or {}
+        self.program = PortalProgram()
+
+    # -- token helpers ----------------------------------------------------------
+    def peek(self) -> _Token:
+        return self.tokens[self.i]
+
+    def next(self) -> _Token:
+        tok = self.tokens[self.i]
+        self.i += 1
+        return tok
+
+    def expect(self, text: str) -> _Token:
+        tok = self.next()
+        if tok.text != text:
+            raise ParseError(
+                f"expected {text!r}, got {tok.text!r}", tok.line, tok.col
+            )
+        return tok
+
+    def expect_name(self) -> _Token:
+        tok = self.next()
+        if tok.kind != "NAME":
+            raise ParseError(
+                f"expected a name, got {tok.text!r}", tok.line, tok.col
+            )
+        return tok
+
+    # -- statements -------------------------------------------------------------
+    def parse(self) -> PortalProgram:
+        while self.peek().kind != "EOF":
+            tok = self.peek()
+            if tok.text == "Storage":
+                self._storage_def()
+            elif tok.text == "Var":
+                self._var_def()
+            elif tok.text == "Expr":
+                self._expr_def()
+            elif tok.text == "PortalExpr":
+                self._portal_expr_def()
+            elif tok.kind == "NAME":
+                self._method_call()
+            else:
+                raise ParseError(
+                    f"unexpected token {tok.text!r}", tok.line, tok.col
+                )
+        if not self.program.portal_exprs:
+            raise ParseError("program defines no PortalExpr")
+        return self.program
+
+    def _storage_def(self) -> None:
+        self.expect("Storage")
+        name = self.expect_name().text
+        if self.peek().text == "(":
+            self.expect("(")
+            tok = self.next()
+            if tok.kind == "STRING":
+                source = tok.text[1:-1]
+                if source in self.bindings:
+                    storage = Storage(self.bindings[source], name=name)
+                else:
+                    storage = Storage(source, name=name)
+            elif tok.kind == "NAME" and tok.text in self.bindings:
+                storage = Storage(self.bindings[tok.text], name=name)
+            else:
+                raise ParseError(
+                    f"Storage source {tok.text!r} is neither a quoted path "
+                    f"nor a bound name", tok.line, tok.col,
+                )
+            self.expect(")")
+            self.expect(";")
+            self.program.storages[name] = storage
+        elif self.peek().text == "=":
+            # Storage out = expr.getOutput();
+            self.expect("=")
+            expr_name = self.expect_name().text
+            self.expect(".")
+            method = self.expect_name().text
+            if method != "getOutput":
+                raise ParseError(f"unknown Storage initialiser {method!r}")
+            self.expect("(")
+            self.expect(")")
+            self.expect(";")
+            if expr_name not in self.program.portal_exprs:
+                raise ParseError(f"unknown PortalExpr {expr_name!r}")
+            self.program.outputs[name] = expr_name
+        else:
+            raise ParseError("malformed Storage statement")
+
+    def _var_def(self) -> None:
+        self.expect("Var")
+        name = self.expect_name().text
+        self.expect(";")
+        self.program.variables[name] = Var(name)
+
+    def _expr_def(self) -> None:
+        self.expect("Expr")
+        name = self.expect_name().text
+        self.expect("=")
+        expr = self._expression()
+        self.expect(";")
+        self.program.expressions[name] = expr
+
+    def _portal_expr_def(self) -> None:
+        self.expect("PortalExpr")
+        name = self.expect_name().text
+        self.expect(";")
+        self.program.portal_exprs[name] = PortalExpr(name)
+
+    def _method_call(self) -> None:
+        owner = self.expect_name().text
+        self.expect(".")
+        method = self.expect_name().text
+        pexpr = self.program.portal_exprs.get(owner)
+        if pexpr is None:
+            raise ParseError(f"unknown PortalExpr {owner!r}")
+        if method == "addLayer":
+            self.expect("(")
+            op = self._operator()
+            args = []
+            while self.peek().text == ",":
+                self.expect(",")
+                args.append(self._layer_arg())
+            self.expect(")")
+            self.expect(";")
+            pexpr.addLayer(op, *args)
+        elif method == "execute":
+            self.expect("(")
+            self.expect(")")
+            self.expect(";")
+            self.program.executed.append(owner)
+        else:
+            raise ParseError(f"unknown method {method!r}")
+
+    def _qualified_name(self, namespace: str) -> str:
+        """A name, optionally written C++-style as ``Namespace::NAME``
+        (the paper's embedded snippets use ``PortalOp::FORALL``)."""
+        name = self.expect_name().text
+        if name == namespace and self.peek().text == "::":
+            self.expect("::")
+            name = self.expect_name().text
+        return name
+
+    def _operator(self):
+        tok = self.peek()
+        if tok.text == "(":
+            self.expect("(")
+            name = self._qualified_name("PortalOp")
+            self.expect(",")
+            k_tok = self.next()
+            if k_tok.kind != "NUMBER":
+                raise ParseError("multi-reduction k must be a number",
+                                 k_tok.line, k_tok.col)
+            self.expect(")")
+            return (self._op_by_name(name), int(float(k_tok.text)))
+        return self._op_by_name(self._qualified_name("PortalOp"))
+
+    def _op_by_name(self, name: str):
+        # Accept the PortalOp:: prefix-less names of the grammar.
+        try:
+            return PortalOp[name.upper()]
+        except KeyError:
+            raise ParseError(f"unknown Portal operator {name!r}") from None
+
+    def _layer_arg(self):
+        tok = self.peek()
+        if tok.kind == "NAME":
+            name = tok.text
+            if name == "PortalFunc":
+                self.next()
+                self.expect("::")
+                fname = self.expect_name().text
+                if fname.upper() not in PortalFunc.__members__:
+                    raise ParseError(f"unknown PortalFunc {fname!r}")
+                return PortalFunc[fname.upper()]
+            if name in self.program.variables:
+                self.next()
+                return self.program.variables[name]
+            if name in self.program.storages:
+                self.next()
+                return self.program.storages[name]
+            if name in self.program.expressions:
+                self.next()
+                return self.program.expressions[name]
+            if name.upper() in PortalFunc.__members__:
+                self.next()
+                return PortalFunc[name.upper()]
+        # Otherwise: an inline kernel expression.
+        return self._expression()
+
+    # -- expressions ------------------------------------------------------------
+    def _expression(self) -> Expr:
+        return self._comparison()
+
+    def _comparison(self) -> Expr:
+        lhs = self._additive()
+        tok = self.peek()
+        if tok.text in ("<", "<=", ">", ">="):
+            self.next()
+            rhs = self._additive()
+            cmp = {"<": lhs < rhs, "<=": lhs <= rhs,
+                   ">": lhs > rhs, ">=": lhs >= rhs}[tok.text]
+            return indicator(cmp)
+        return lhs
+
+    def _additive(self) -> Expr:
+        lhs = self._multiplicative()
+        while self.peek().text in ("+", "-"):
+            op = self.next().text
+            rhs = self._multiplicative()
+            lhs = lhs + rhs if op == "+" else lhs - rhs
+        return lhs
+
+    def _multiplicative(self) -> Expr:
+        lhs = self._unary()
+        while self.peek().text in ("*", "/"):
+            op = self.next().text
+            rhs = self._unary()
+            lhs = lhs * rhs if op == "*" else lhs / rhs
+        return lhs
+
+    def _unary(self) -> Expr:
+        if self.peek().text == "-":
+            self.next()
+            return -self._unary()
+        return self._primary()
+
+    def _primary(self) -> Expr:
+        tok = self.next()
+        if tok.text == "(":
+            e = self._expression()
+            self.expect(")")
+            return e
+        if tok.kind == "NUMBER":
+            from .expr import Const
+
+            return Const(float(tok.text))
+        if tok.kind == "NAME":
+            if tok.text in _FUNCS:
+                self.expect("(")
+                arg = self._expression()
+                if tok.text == "pow":
+                    self.expect(",")
+                    expo = self._expression()
+                    self.expect(")")
+                    return pow(arg, expo)
+                self.expect(")")
+                return _FUNCS[tok.text](arg)
+            if tok.text in self.program.variables:
+                return self.program.variables[tok.text]
+            if tok.text in self.program.expressions:
+                return self.program.expressions[tok.text]
+            raise ParseError(f"unknown name {tok.text!r} in expression",
+                             tok.line, tok.col)
+        raise ParseError(f"unexpected token {tok.text!r} in expression",
+                         tok.line, tok.col)
+
+
+def parse_program(source: str, bindings: dict | None = None) -> PortalProgram:
+    """Parse a textual Portal program.
+
+    ``bindings`` maps names (or quoted pseudo-paths) appearing in
+    ``Storage name(...)`` statements to in-memory arrays, so programs can
+    run without touching the filesystem.
+    """
+    return _Parser(_tokenize(source), bindings).parse()

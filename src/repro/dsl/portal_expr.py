@@ -1,0 +1,134 @@
+"""``PortalExpr``: the main problem-definition object (paper section III).
+
+A PortalExpr holds the chain of layers specifying an N-body problem.
+``execute()`` runs the full compiler pipeline — classification, tree
+construction, lowering to Portal IR, optimisation passes, code generation
+— and then the (optionally parallel) multi-tree traversal.  ``getOutput()``
+returns the outer layer's storage, and the intermediate IR of every
+compiler stage stays inspectable via :meth:`ir_dump` and
+:meth:`generated_source`.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from .errors import SpecificationError
+from .expr import Var
+from .layer import Layer
+from .ops import OpCategory, PortalOp
+
+__all__ = ["PortalExpr"]
+
+
+class PortalExpr:
+    """An N-body problem expressed as a chain of Portal layers."""
+
+    def __init__(self, name: str = "portal_expr"):
+        self.name = name
+        self.layers: list[Layer] = []
+        self._program = None  # CompiledProgram after execute()
+        self._output = None
+
+    # -- construction -----------------------------------------------------------
+    def addLayer(self, op, *args, **params) -> Layer:
+        """Append a layer.  See :meth:`Layer.build` for accepted forms."""
+        layer = Layer.build(op, args, params)
+        self.layers.append(layer)
+        return layer
+
+    add_layer = addLayer  # PEP-8 alias
+
+    # -- validation ----------------------------------------------------------------
+    def validate(self) -> None:
+        """Check the program is a well-formed N-body specification.
+
+        Raises :class:`SpecificationError` describing the first problem
+        found.  Called automatically by :meth:`execute`.
+        """
+        if len(self.layers) < 2:
+            raise SpecificationError(
+                "an N-body problem needs at least two layers "
+                "(an outer operator over one dataset and an inner reduction "
+                "over another)"
+            )
+        inner = self.layers[-1]
+        if inner.func is None:
+            raise SpecificationError(
+                "the innermost layer must specify a kernel function"
+            )
+        dims = {l.storage.dim for l in self.layers}
+        if len(dims) > 1:
+            raise SpecificationError(
+                f"all layer datasets must share dimensionality; got {sorted(dims)}"
+            )
+        for layer in self.layers:
+            if not layer.info.decomposable:
+                raise SpecificationError(
+                    f"operator {layer.op.name} is not decomposable over its "
+                    f"dataset; the multi-tree algorithm requires "
+                    f"decomposability (paper section II-C)"
+                )
+        # Resolve kernels now that adjacent layers are known.
+        for i, layer in enumerate(self.layers):
+            qvar = self.layers[i - 1].var if i > 0 else None
+            if qvar is None and i > 0:
+                qvar = Var(f"_layer{i - 1}")
+                self.layers[i - 1].var = qvar
+            if layer.var is None:
+                layer.var = Var(f"_layer{i}")
+            layer.resolve_kernel(qvar)
+
+    # -- compiler hooks ---------------------------------------------------------
+    def compile(self, **options):
+        """Run the compiler pipeline without executing; returns the program."""
+        from ..backend.jit import compile_expr
+
+        self.validate()
+        self._program = compile_expr(self, options)
+        return self._program
+
+    def execute(self, **options):
+        """Compile (if needed) and run the problem; returns the output.
+
+        Options (all keyword-only) include ``backend`` ('vectorized',
+        'interp' or 'brute'), ``tree`` ('kd', 'ball', 'octree'),
+        ``leaf_size``, ``tau`` (approximation threshold), ``parallel``,
+        ``workers`` and ``fastmath``.  See
+        :class:`repro.backend.jit.CompileOptions`.
+        """
+        program = self.compile(**options)
+        self._output = program.run()
+        return self._output
+
+    def getOutput(self):
+        """The output of the last :meth:`execute` call."""
+        if self._output is None:
+            raise SpecificationError("execute() has not been called")
+        return self._output
+
+    get_output = getOutput  # PEP-8 alias
+
+    # -- introspection ------------------------------------------------------------
+    @property
+    def program(self):
+        if self._program is None:
+            raise SpecificationError("compile() or execute() has not been called")
+        return self._program
+
+    def ir_dump(self, stage: str = "final") -> str:
+        """Pretty-printed Portal IR after the named compiler stage
+        ('lowered', 'flattened', 'numopt', 'strength', 'final')."""
+        return self.program.ir_dump(stage)
+
+    def generated_source(self) -> str:
+        """The vectorised Python source emitted by the backend."""
+        return self.program.generated_source()
+
+    def describe(self) -> str:
+        lines = [f"PortalExpr {self.name!r}:"]
+        lines += [f"  [{i}] {l.describe()}" for i, l in enumerate(self.layers)]
+        return "\n".join(lines)
+
+    def __repr__(self) -> str:
+        return f"PortalExpr({self.name!r}, {len(self.layers)} layers)"

@@ -1,0 +1,180 @@
+"""``Storage``: the primary user-facing data structure (paper section III-B).
+
+A Storage wraps a dataset of ``n`` points in ``d`` dimensions.  It can be
+constructed from a CSV file path, any array-like, or another Storage.
+Portal selects a column- or row-major physical layout from the
+dimensionality (see :mod:`repro.backend.layout`); both views are exposed
+and materialised lazily.
+
+Storages may carry per-point *weights* (the density ``s(x_r)`` of the
+classical N-body form — particle masses in Barnes-Hut, mixture
+responsibilities in EM) and a *labels* vector (class ids for the naive
+Bayes classifier).
+"""
+
+from __future__ import annotations
+
+import csv
+import os
+from typing import Sequence
+
+import numpy as np
+
+from ..backend.layout import Layout, choose_layout
+from .errors import StorageError
+
+__all__ = ["Storage"]
+
+
+class Storage:
+    """A dataset participating in a Portal layer.
+
+    Parameters
+    ----------
+    source:
+        A CSV file path, an array-like of shape ``(n, d)`` (a 1-D input is
+        treated as ``n`` points in one dimension), or another Storage
+        (shares the underlying array).
+    weights:
+        Optional per-point weights, shape ``(n,)``.
+    labels:
+        Optional per-point integer labels, shape ``(n,)``.
+    name:
+        Optional name used in IR dumps and error messages.
+    """
+
+    def __init__(self, source, *, weights=None, labels=None, name: str | None = None):
+        if isinstance(source, Storage):
+            data = source.data
+            name = name or source.name
+            weights = weights if weights is not None else source.weights
+            labels = labels if labels is not None else source.labels
+        elif isinstance(source, (str, os.PathLike)):
+            data = _read_csv(os.fspath(source))
+            name = name or os.path.splitext(os.path.basename(os.fspath(source)))[0]
+        else:
+            data = np.asarray(source, dtype=np.float64)
+            if data.ndim == 1:
+                data = data[:, None]
+        if data.ndim != 2:
+            raise StorageError(
+                f"Storage requires 2-D data (n points × d dims); got shape {data.shape}"
+            )
+        if data.shape[0] == 0:
+            raise StorageError("Storage cannot be empty")
+        if not np.all(np.isfinite(data)):
+            raise StorageError("Storage data contains NaN or infinite values")
+
+        self._data = np.ascontiguousarray(data, dtype=np.float64)
+        self._colmajor: np.ndarray | None = None
+        self._cleared = False
+        self.name = name or "storage"
+        self.weights = None if weights is None else _check_vec(
+            weights, self.n, "weights", float
+        )
+        self.labels = None if labels is None else _check_vec(
+            labels, self.n, "labels", int
+        )
+        self._cleared = False
+
+    # -- basic properties -----------------------------------------------------
+    @property
+    def data(self) -> np.ndarray:
+        """Row-major view, shape ``(n, d)``."""
+        self._check_alive()
+        return self._data
+
+    @property
+    def colmajor(self) -> np.ndarray:
+        """Column-major view, shape ``(d, n)``, materialised on first use."""
+        self._check_alive()
+        if self._colmajor is None:
+            self._colmajor = np.ascontiguousarray(self._data.T)
+        return self._colmajor
+
+    @property
+    def n(self) -> int:
+        self._check_alive()
+        return self._data.shape[0]
+
+    @property
+    def dim(self) -> int:
+        self._check_alive()
+        return self._data.shape[1]
+
+    @property
+    def layout(self) -> str:
+        """The physical layout Portal selects for this dataset."""
+        return choose_layout(self.dim)
+
+    def physical(self) -> np.ndarray:
+        """The array in Portal's selected layout (what codegen reads)."""
+        return self.colmajor if self.layout == Layout.COLUMN else self.data
+
+    # -- lifecycle --------------------------------------------------------------
+    def clear(self) -> None:
+        """Release the underlying arrays (paper section III-B).
+
+        Any later access raises :class:`StorageError`.
+        """
+        self._data = None  # type: ignore[assignment]
+        self._colmajor = None
+        self.weights = None
+        self.labels = None
+        self._cleared = True
+
+    def _check_alive(self) -> None:
+        if self._cleared:
+            raise StorageError(f"Storage {self.name!r} used after clear()")
+
+    # -- conveniences ------------------------------------------------------------
+    def subset(self, idx) -> "Storage":
+        """A new Storage over a subset of points (copies)."""
+        self._check_alive()
+        return Storage(
+            self._data[idx],
+            weights=None if self.weights is None else self.weights[idx],
+            labels=None if self.labels is None else self.labels[idx],
+            name=f"{self.name}[subset]",
+        )
+
+    def __len__(self) -> int:
+        return self.n
+
+    def __repr__(self) -> str:
+        if self._cleared:
+            return f"Storage({self.name!r}, cleared)"
+        return f"Storage({self.name!r}, n={self.n}, d={self.dim}, layout={self.layout})"
+
+
+def _check_vec(v, n: int, what: str, kind) -> np.ndarray:
+    arr = np.asarray(v, dtype=np.float64 if kind is float else np.int64)
+    if arr.shape != (n,):
+        raise StorageError(f"{what} must have shape ({n},), got {arr.shape}")
+    if kind is float and not np.all(np.isfinite(arr)):
+        raise StorageError(f"{what} contains NaN or infinite values")
+    return arr
+
+
+def _read_csv(path: str) -> np.ndarray:
+    """Read a numeric CSV (optional non-numeric header row is skipped)."""
+    if not os.path.exists(path):
+        raise StorageError(f"CSV file not found: {path}")
+    rows: list[Sequence[float]] = []
+    with open(path, newline="") as fh:
+        reader = csv.reader(fh)
+        for i, row in enumerate(reader):
+            if not row:
+                continue
+            try:
+                rows.append([float(x) for x in row])
+            except ValueError:
+                if i == 0:
+                    continue  # header
+                raise StorageError(f"non-numeric value in {path} line {i + 1}")
+    if not rows:
+        raise StorageError(f"CSV file {path} contains no data rows")
+    width = len(rows[0])
+    if any(len(r) != width for r in rows):
+        raise StorageError(f"CSV file {path} has ragged rows")
+    return np.asarray(rows, dtype=np.float64)

@@ -1,0 +1,109 @@
+"""Unparsing: embedded Portal programs back to Appendix-VIII text.
+
+The inverse of :mod:`repro.dsl.parser`: serialises symbolic expressions
+and whole :class:`PortalExpr` programs to the textual grammar, so
+programs built through the Python API can be saved as ``.portal`` files
+(and round-tripped through the parser — property-tested in the suite).
+"""
+
+from __future__ import annotations
+
+from .errors import KernelError
+from .expr import (
+    BinOp, Call, Const, DimReduce, Expr, Indicator, Neg, Var,
+)
+from .funcs import PortalFunc
+from .layer import Layer
+from .portal_expr import PortalExpr
+
+__all__ = ["unparse_expr", "unparse_program"]
+
+
+def unparse_expr(e: Expr) -> str:
+    """Serialise a symbolic expression to Portal grammar text."""
+    if isinstance(e, Var):
+        return e.name
+    if isinstance(e, Const):
+        v = e.value
+        return str(int(v)) if float(v).is_integer() and abs(v) < 1e15 else repr(v)
+    if isinstance(e, Neg):
+        return f"(-{unparse_expr(e.operand)})"
+    if isinstance(e, BinOp):
+        if e.op == "**":
+            return f"pow({unparse_expr(e.lhs)}, {unparse_expr(e.rhs)})"
+        return f"({unparse_expr(e.lhs)} {e.op} {unparse_expr(e.rhs)})"
+    if isinstance(e, Call):
+        return f"{e.func}({unparse_expr(e.operand)})"
+    if isinstance(e, DimReduce):
+        # The grammar spells the sum-reduced power as pow(vec, c)
+        # (paper Fig. 2 lowering convention).
+        if (
+            e.reduce == "+"
+            and isinstance(e.operand, BinOp)
+            and e.operand.op == "**"
+        ):
+            return (f"pow({unparse_expr(e.operand.lhs)}, "
+                    f"{unparse_expr(e.operand.rhs)})")
+        raise KernelError(
+            "explicit dimension reductions (dim_sum/dim_max) have no "
+            "textual spelling in the Appendix-VIII grammar"
+        )
+    if isinstance(e, Indicator):
+        return f"{unparse_expr(e.lhs)} {e.op} {unparse_expr(e.rhs)}"
+    raise KernelError(f"cannot unparse expression node {type(e).__name__}")
+
+
+def _unparse_layer(owner: str, layer: Layer) -> tuple[str, str | None]:
+    """Returns (addLayer line, optional Expr definition line)."""
+    op = layer.op.name if layer.k is None else f"({layer.op.name}, {layer.k})"
+    args = [op]
+    if layer.var is not None and not layer.var.name.startswith("_"):
+        args.append(layer.var.name)
+    args.append(layer.storage.name)
+    expr_def = None
+    if isinstance(layer.func, PortalFunc):
+        args.append(layer.func.name)
+    elif isinstance(layer.func, Expr):
+        args.append(unparse_expr(layer.func))
+    elif callable(layer.func):
+        raise KernelError(
+            "external Python kernels cannot be serialised to Portal text"
+        )
+    return f"{owner}.addLayer({', '.join(args)});", expr_def
+
+
+def unparse_program(pexpr: PortalExpr, sources: dict[str, str] | None = None,
+                    with_output: bool = True) -> str:
+    """Serialise a PortalExpr to a textual Portal program.
+
+    ``sources`` maps storage names to the path spelled in the emitted
+    ``Storage name("path")`` statements (defaults to ``<name>.csv``).
+    """
+    sources = sources or {}
+    lines: list[str] = []
+    seen: set[str] = set()
+    for layer in pexpr.layers:
+        name = layer.storage.name
+        if name not in seen:
+            seen.add(name)
+            path = sources.get(name, f"{name}.csv")
+            lines.append(f'Storage {name}("{path}");')
+    for layer in pexpr.layers:
+        if layer.var is not None and not layer.var.name.startswith("_"):
+            lines.append(f"Var {layer.var.name};")
+    owner = _sanitise(pexpr.name)
+    lines.append(f"PortalExpr {owner};")
+    for layer in pexpr.layers:
+        call, _ = _unparse_layer(owner, layer)
+        lines.append(call)
+    lines.append(f"{owner}.execute();")
+    if with_output:
+        lines.append(f"Storage output = {owner}.getOutput();")
+    return "\n".join(lines) + "\n"
+
+
+def _sanitise(name: str) -> str:
+    out = "".join(c if c.isalnum() or c == "_" else "_" for c in name)
+    if not out or not (out[0].isalpha() or out[0] == "_"):
+        out = "p_" + out
+    return out

@@ -1,0 +1,10 @@
+"""2-D Laplace fast multipole method (the paper's reference [7])."""
+
+from .expansions import direct_potential, l2l, l2p, m2l, m2m, m2p, p2m
+from .fmm2d import FMMReport, fmm_field, fmm_potential
+from .grid import UniformGrid
+
+__all__ = [
+    "fmm_potential", "fmm_field", "FMMReport", "UniformGrid",
+    "p2m", "m2m", "m2l", "l2l", "l2p", "m2p", "direct_potential",
+]

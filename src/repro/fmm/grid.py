@@ -1,0 +1,120 @@
+"""Uniform level-synchronised quadtree grid for the 2-D FMM.
+
+The classic (Greengard–Rokhlin) fast multipole method works on a uniform
+hierarchy: level ℓ divides the bounding square into 2^ℓ × 2^ℓ cells, and
+every translation operator acts between cells of neighbouring levels or
+well-separated cells of the same level.  This module provides that grid:
+point binning, cell centers, neighbour sets and *interaction lists*
+(children of the parent's neighbours that are not the cell's own
+neighbours).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = ["UniformGrid"]
+
+
+@dataclass
+class UniformGrid:
+    """A level-synchronised quadtree over 2-D points.
+
+    Points are represented as complex numbers (x + iy) — the natural
+    coordinates of the 2-D Laplace FMM.
+    """
+
+    z: np.ndarray                 # complex point coordinates
+    levels: int                   # finest level index L (root = level 0)
+    lo: complex                   # lower-left corner of the root square
+    side: float                   # root square side length
+    #: finest-level cell index of every point, shape (n,), int (i * m + j)
+    leaf_of_point: np.ndarray
+    #: per finest-level cell: point index lists
+    cell_points: dict[int, np.ndarray]
+
+    @classmethod
+    def build(cls, points: np.ndarray, points_per_cell: int = 20,
+              max_level: int = 8) -> "UniformGrid":
+        """Choose the finest level so cells average ``points_per_cell``."""
+        points = np.asarray(points, dtype=np.float64)
+        if points.ndim != 2 or points.shape[1] != 2:
+            raise ValueError("the 2-D FMM requires (n, 2) points")
+        n = len(points)
+        if n == 0:
+            raise ValueError("no points")
+        lo_xy = points.min(axis=0)
+        hi_xy = points.max(axis=0)
+        side = float(max(hi_xy[0] - lo_xy[0], hi_xy[1] - lo_xy[1]))
+        side = side * (1 + 1e-12) + 1e-300
+        levels = int(np.clip(np.round(np.log(max(n, 1) / points_per_cell)
+                                      / np.log(4.0)), 2, max_level))
+        m = 1 << levels
+        z = points[:, 0] + 1j * points[:, 1]
+        ij = np.minimum(
+            ((points - lo_xy) / side * m).astype(np.int64), m - 1
+        )
+        leaf = ij[:, 0] * m + ij[:, 1]
+        order = np.argsort(leaf, kind="stable")
+        cells: dict[int, np.ndarray] = {}
+        sorted_leaf = leaf[order]
+        boundaries = np.flatnonzero(np.diff(sorted_leaf)) + 1
+        starts = np.concatenate([[0], boundaries])
+        ends = np.concatenate([boundaries, [n]])
+        for s, e in zip(starts, ends):
+            cells[int(sorted_leaf[s])] = order[s:e]
+        return cls(
+            z=z, levels=levels, lo=complex(lo_xy[0], lo_xy[1]), side=side,
+            leaf_of_point=leaf, cell_points=cells,
+        )
+
+    # -- geometry ---------------------------------------------------------------
+    def cells_at(self, level: int) -> int:
+        return 1 << level
+
+    def cell_size(self, level: int) -> float:
+        return self.side / (1 << level)
+
+    def center(self, level: int, i: int, j: int) -> complex:
+        h = self.cell_size(level)
+        return self.lo + complex((i + 0.5) * h, (j + 0.5) * h)
+
+    def centers_grid(self, level: int) -> np.ndarray:
+        """(m, m) complex array of cell centers at *level*."""
+        m = self.cells_at(level)
+        h = self.cell_size(level)
+        ii, jj = np.meshgrid(np.arange(m), np.arange(m), indexing="ij")
+        return self.lo + ((ii + 0.5) * h + 1j * (jj + 0.5) * h)
+
+    def neighbours(self, level: int, i: int, j: int) -> list[tuple[int, int]]:
+        """The ≤ 8 adjacent cells (excluding the cell itself)."""
+        m = self.cells_at(level)
+        out = []
+        for di in (-1, 0, 1):
+            for dj in (-1, 0, 1):
+                if di == 0 and dj == 0:
+                    continue
+                a, b = i + di, j + dj
+                if 0 <= a < m and 0 <= b < m:
+                    out.append((a, b))
+        return out
+
+    def interaction_list(self, level: int, i: int,
+                         j: int) -> list[tuple[int, int]]:
+        """Children of the parent's neighbours that are well separated
+        from (i, j): the classic FMM interaction list (≤ 27 cells)."""
+        if level == 0:
+            return []
+        m = self.cells_at(level)
+        pi, pj = i >> 1, j >> 1
+        near = set(self.neighbours(level, i, j))
+        near.add((i, j))
+        out = []
+        for a, b in self.neighbours(level - 1, pi, pj):
+            for ci in (2 * a, 2 * a + 1):
+                for cj in (2 * b, 2 * b + 1):
+                    if ci < m and cj < m and (ci, cj) not in near:
+                        out.append((ci, cj))
+        return out

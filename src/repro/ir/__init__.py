@@ -1,0 +1,26 @@
+"""Portal IR: nodes, lowering and the optimisation pipeline (paper §IV)."""
+
+from .flattening import flatten
+from .lowering import kernel_to_ir, lower
+from .nodes import (
+    Alloc, Assign, AugAssign, Block, CallStmt, Comment, For, IfStmt, IRCall,
+    IRFunction, IRProgram, LoadExpr, ReturnStmt, Stmt, StoreStmt, SymRef,
+)
+from .numerical_opt import numerical_optimize
+from .passes import (
+    PIPELINE_STAGES, PassManager, constant_fold, dead_code_eliminate,
+)
+from .printer import render_function, render_program, render_stages, render_stmt
+from .storage_injection import InjectionRow, injection_plan
+from .strength_reduction import strength_reduce
+
+__all__ = [
+    "SymRef", "LoadExpr", "IRCall", "Stmt", "Block", "Alloc", "For",
+    "Assign", "AugAssign", "StoreStmt", "IfStmt", "ReturnStmt", "Comment",
+    "CallStmt", "IRFunction", "IRProgram",
+    "lower", "kernel_to_ir", "flatten", "numerical_optimize",
+    "strength_reduce", "constant_fold", "dead_code_eliminate",
+    "PassManager", "PIPELINE_STAGES",
+    "render_stmt", "render_function", "render_program", "render_stages",
+    "InjectionRow", "injection_plan",
+]

@@ -1,0 +1,519 @@
+"""Lowering: PortalExpr → Portal IR (paper sections IV-A and IV-B).
+
+Synthesises the nested loops for the three traversal functions.  Loop
+order follows the layer order (outermost layer → outermost loop); each
+layer gets its injected storage initialised to the operator's identity
+value, the kernel is lowered into the innermost loop, and each operator's
+mathematical functionality is emitted at the end of its synthesised loop
+(e.g. the comparison code that maintains a running minimum).
+
+The lowered program contains four functions:
+
+* ``BaseCase``      — leaf-pair point-to-point computation,
+* ``PruneApprox``   — node-pair prune / approximate decision,
+* ``ComputeApprox`` — the replacement computation when approximating,
+* ``BruteForce``    — the same loop nest over whole datasets, kept for
+  correctness checks (section IV).
+"""
+
+from __future__ import annotations
+
+import math
+
+from ..dsl.errors import CompileError
+from ..dsl.expr import (
+    BinOp, Call, Const, DimReduce, DistVar, Expr, Indicator, Neg, Var,
+)
+from ..dsl.funcs import MetricKernel
+from ..dsl.layer import Layer
+from ..dsl.ops import PortalOp, op_info
+from ..rules import Classification, RuleSpec
+from .nodes import (
+    Alloc, Assign, AugAssign, Block, CallStmt, Comment, For, IfStmt, IRCall,
+    IRFunction, IRProgram, LoadExpr, ReturnStmt, StoreStmt, SymRef,
+)
+
+__all__ = ["lower", "kernel_to_ir"]
+
+
+def kernel_to_ir(g: Expr, t_name: str = "t") -> Expr:
+    """Rewrite a normalised kernel body ``g`` into IR form.
+
+    The distance variable becomes a :class:`SymRef`, surface ``Call``
+    nodes become :class:`IRCall` nodes, and ``x ** c`` becomes
+    ``pow(x, c)`` so the strength-reduction pass sees the canonical
+    long-latency operations of section IV-E.
+    """
+
+    def rewrite(node: Expr) -> Expr:
+        if isinstance(node, DistVar):
+            return SymRef(t_name)
+        if isinstance(node, Call):
+            return IRCall(node.func, (rewrite(node.operand),))
+        if isinstance(node, BinOp):
+            lhs, rhs = rewrite(node.lhs), rewrite(node.rhs)
+            if node.op == "**":
+                return IRCall("pow", (lhs, rhs))
+            return BinOp(node.op, lhs, rhs)
+        if isinstance(node, Neg):
+            return Neg(rewrite(node.operand))
+        if isinstance(node, Indicator):
+            return Indicator(node.op, rewrite(node.lhs), rewrite(node.rhs))
+        if isinstance(node, (Const, SymRef)):
+            return node
+        if isinstance(node, DimReduce):
+            raise CompileError(
+                "unexpected unreduced vector expression in normalised kernel"
+            )
+        return node
+
+    return rewrite(g)
+
+
+def _distance_loop(base: str, qdata: str, rdata: str, qv: str, rv: str) -> list:
+    """IR statements computing base-distance ``t`` between points ``qv`` of
+    ``qdata`` and ``rv`` of ``rdata`` (the innermost dimension loop of
+    Fig. 2)."""
+    d = SymRef("d")
+    diff = BinOp(
+        "-", LoadExpr(qdata, (SymRef(qv), d)), LoadExpr(rdata, (SymRef(rv), d))
+    )
+    if base == "sqeuclidean":
+        update = AugAssign("t", "+", IRCall("pow", (diff, Const(2.0))))
+    elif base == "manhattan":
+        update = AugAssign("t", "+", IRCall("abs", (diff,)))
+    elif base == "chebyshev":
+        update = Assign("t", IRCall("max", (SymRef("t"), IRCall("abs", (diff,)))))
+    else:  # pragma: no cover
+        raise CompileError(f"unknown base metric {base!r}")
+    return [
+        Alloc("t", init=Const(0.0)),
+        For("d", Const(0), SymRef("dim"), Block([update])),
+    ]
+
+
+def _mahalanobis_stmts(qdata: str, rdata: str, qv: str, rv: str) -> list:
+    """Pre-numerical-optimisation Mahalanobis lowering (Fig. 3 blue box):
+    the naive form with the explicit inverse covariance."""
+    return [
+        Comment("Mahalanobis distance (naive: inverse covariance, O(m^3))"),
+        Assign(
+            "y",
+            IRCall(
+                "point_diff",
+                (SymRef(f"{qdata}_rows"), SymRef(qv),
+                 SymRef(f"{rdata}_rows"), SymRef(rv)),
+            ),
+        ),
+        Assign("t", IRCall("mahalanobis", (SymRef("y"), SymRef("Sigma")))),
+    ]
+
+
+def _inner_init(layer: Layer) -> list:
+    """Storage injection for an inner reduction layer (section IV-B)."""
+    info = layer.info
+    stmts = [Comment("Storage injection for inner layer")]
+    if layer.op is PortalOp.FORALL:
+        stmts.append(Alloc("storage1", size=SymRef(f"{layer.storage.name}.size")))
+    elif layer.op in (PortalOp.UNION, PortalOp.UNIONARG):
+        stmts.append(Alloc("storage1", size=SymRef("dynamic")))
+    elif info.requires_k:
+        stmts.append(
+            Alloc("storage1", size=Const(layer.k), init=Const(info.identity))
+        )
+        if info.returns_index:
+            stmts.append(Alloc("storage1_arg", size=Const(layer.k), init=Const(-1)))
+    else:
+        stmts.append(Alloc("storage1", init=Const(info.identity)))
+        if info.returns_index:
+            stmts.append(Alloc("storage1_arg", init=Const(-1)))
+    return stmts
+
+
+def _inner_update(layer: Layer, rv: str) -> list:
+    """The operator's mathematical functionality at the end of the
+    synthesised reference loop (section IV-A)."""
+    k = SymRef("kval")
+    r = SymRef(rv)
+    op = layer.op
+    if op is PortalOp.FORALL:
+        return [StoreStmt("storage1", (r,), k)]
+    if op is PortalOp.SUM:
+        return [AugAssign("storage1", "+", k)]
+    if op is PortalOp.PROD:
+        return [AugAssign("storage1", "*", k)]
+    if op is PortalOp.MIN:
+        return [IfStmt(Indicator("<", k, SymRef("storage1")),
+                       Block([Assign("storage1", k)]))]
+    if op is PortalOp.MAX:
+        return [IfStmt(Indicator(">", k, SymRef("storage1")),
+                       Block([Assign("storage1", k)]))]
+    if op is PortalOp.ARGMIN:
+        return [IfStmt(Indicator("<", k, SymRef("storage1")),
+                       Block([Assign("storage1", k), Assign("storage1_arg", r)]))]
+    if op is PortalOp.ARGMAX:
+        return [IfStmt(Indicator(">", k, SymRef("storage1")),
+                       Block([Assign("storage1", k), Assign("storage1_arg", r)]))]
+    if op in (PortalOp.KMIN, PortalOp.KARGMIN):
+        return [CallStmt("sorted_insert_asc", (SymRef("storage1"),
+                                               SymRef("storage1_arg"), k, r))]
+    if op in (PortalOp.KMAX, PortalOp.KARGMAX):
+        return [CallStmt("sorted_insert_desc", (SymRef("storage1"),
+                                                SymRef("storage1_arg"), k, r))]
+    if op is PortalOp.UNION:
+        return [IfStmt(Indicator(">", k, Const(0.0)),
+                       Block([CallStmt("append", (SymRef("storage1"), k))]))]
+    if op is PortalOp.UNIONARG:
+        return [IfStmt(Indicator(">", k, Const(0.0)),
+                       Block([CallStmt("append", (SymRef("storage1"), r))]))]
+    raise CompileError(f"inner operator {op.name} has no lowering template")
+
+
+def _outer_init(layer: Layer) -> list:
+    info = layer.info
+    stmts = [Comment("Storage injection for outer layer")]
+    if layer.op is PortalOp.FORALL:
+        stmts.append(Alloc("storage0", size=SymRef(f"{layer.storage.name}.size")))
+    elif info.identity is not None:
+        stmts.append(Alloc("storage0", init=Const(info.identity)))
+    else:
+        raise CompileError(
+            f"outer operator {layer.op.name} has no lowering template"
+        )
+    return stmts
+
+
+def _outer_merge(layer: Layer, inner: Layer, qv: str) -> list:
+    """Merge the inner layer's result into the outer storage at the end of
+    the query loop."""
+    # Union filters and inner FORALL collect into storage1 directly; arg
+    # reductions expose their index companion.
+    if inner.op in (PortalOp.UNION, PortalOp.UNIONARG, PortalOp.FORALL):
+        result = SymRef("storage1")
+    else:
+        result = SymRef("storage1_arg" if inner.info.returns_index else "storage1")
+    q = SymRef(qv)
+    op = layer.op
+    if op is PortalOp.FORALL:
+        if inner.info.requires_k or inner.op in (
+            PortalOp.UNION, PortalOp.UNIONARG, PortalOp.FORALL,
+        ):
+            return [CallStmt("store_row", (SymRef("storage0"), q, result))]
+        return [StoreStmt("storage0", (q,), result)]
+    if op is PortalOp.SUM:
+        return [AugAssign("storage0", "+", SymRef("storage1"))]
+    if op is PortalOp.PROD:
+        return [AugAssign("storage0", "*", SymRef("storage1"))]
+    if op is PortalOp.MIN:
+        return [IfStmt(Indicator("<", SymRef("storage1"), SymRef("storage0")),
+                       Block([Assign("storage0", SymRef("storage1"))]))]
+    if op is PortalOp.MAX:
+        return [IfStmt(Indicator(">", SymRef("storage1"), SymRef("storage0")),
+                       Block([Assign("storage0", SymRef("storage1"))]))]
+    raise CompileError(f"outer operator {op.name} has no lowering template")
+
+
+def _base_case(
+    layers: list[Layer], kernel: MetricKernel | None, names: dict
+) -> IRFunction:
+    outer, inner = layers[0], layers[-1]
+    qv, rv = names["qvar"], names["rvar"]
+    qdata, rdata = names["qdata"], names["rdata"]
+
+    if kernel is None:
+        kernel_stmts = [
+            Comment("external kernel: not lowered, linked at codegen"),
+            Assign("kval", IRCall("external_kernel",
+                                  (SymRef(qdata), SymRef(qv),
+                                   SymRef(rdata), SymRef(rv)))),
+        ]
+    elif kernel.whiten:
+        kernel_stmts = _mahalanobis_stmts(qdata, rdata, qv, rv)
+        g_ir = kernel_to_ir(kernel.g)
+        kernel_stmts.append(
+            Assign("kval", g_ir) if not isinstance(g_ir, SymRef)
+            else Assign("kval", SymRef("t"))
+        )
+    else:
+        kernel_stmts = [Comment("Lowering the kernel function")]
+        kernel_stmts += _distance_loop(kernel.base, qdata, rdata, qv, rv)
+        g_ir = kernel_to_ir(kernel.g)
+        kernel_stmts.append(Assign("kval", g_ir))
+
+    ref_loop = For(
+        rv, SymRef(f"{names['rname']}.start"), SymRef(f"{names['rname']}.end"),
+        Block(kernel_stmts + _inner_update(inner, rv)),
+    )
+    query_body = Block(
+        _inner_init(inner) + [ref_loop] + _outer_merge(outer, inner, qv)
+    )
+    body = Block(
+        _outer_init(outer)
+        + [For(qv, SymRef(f"{names['qname']}.start"),
+               SymRef(f"{names['qname']}.end"), query_body)]
+    )
+    return IRFunction("BaseCase", (names["qname"], names["rname"]), body)
+
+
+def _box_distance_stmts(base: str, which: str) -> list:
+    """IR computing ``tmin`` or ``tmax`` between node boxes N1 and N2 from
+    bounding-box metadata (Fig. 2 right: Portal uses tree metadata such as
+    min/max/center without touching points)."""
+    d = SymRef("d")
+    if which == "min":
+        gap = IRCall(
+            "max",
+            (Const(0.0),
+             IRCall("max",
+                    (BinOp("-", LoadExpr("N2_min", (d,)), LoadExpr("N1_max", (d,))),
+                     BinOp("-", LoadExpr("N1_min", (d,)), LoadExpr("N2_max", (d,)))))),
+        )
+        name = "tmin"
+    else:
+        gap = IRCall(
+            "max",
+            (BinOp("-", LoadExpr("N2_max", (d,)), LoadExpr("N1_min", (d,))),
+             BinOp("-", LoadExpr("N1_max", (d,)), LoadExpr("N2_min", (d,)))),
+        )
+        name = "tmax"
+    if base == "sqeuclidean":
+        update = AugAssign(name, "+", IRCall("pow", (gap, Const(2.0))))
+    elif base == "manhattan":
+        update = AugAssign(name, "+", gap)
+    else:  # chebyshev
+        update = Assign(name, IRCall("max", (SymRef(name), gap)))
+    return [
+        Alloc(name, init=Const(0.0)),
+        For("d", Const(0), SymRef("dim"), Block([update])),
+    ]
+
+
+def _g_of(kernel: MetricKernel, t_sym: str) -> Expr:
+    g_ir = kernel_to_ir(kernel.g, t_name=t_sym)
+    return g_ir
+
+
+def _prune_approx(
+    kernel: MetricKernel | None, rule: RuleSpec, names: dict
+) -> IRFunction:
+    stmts: list = [
+        Comment("Prune/Approximate condition for nodes N1 (query) and "
+                "N2 (reference)")
+    ]
+    base = kernel.base if kernel is not None else "sqeuclidean"
+    if rule.kind == "none":
+        stmts.append(Comment("no pruning/approximation opportunity"))
+        stmts.append(ReturnStmt(Const(0.0)))
+    elif rule.kind == "bound-min":
+        stmts += _box_distance_stmts(base, "min")
+        stmts += _box_distance_stmts(base, "max")
+        stmts.append(Assign("g_lo", IRCall(
+            "band_lo", (_g_of(kernel, "tmin"), _g_of(kernel, "tmax")))))
+        stmts.append(Comment("B(N1): largest current retained value in N1"))
+        stmts.append(Assign("bound", IRCall("node_bound", (SymRef("N1"),))))
+        stmts.append(ReturnStmt(Indicator(">", SymRef("g_lo"), SymRef("bound"))))
+    elif rule.kind == "bound-max":
+        stmts += _box_distance_stmts(base, "min")
+        stmts += _box_distance_stmts(base, "max")
+        stmts.append(Assign("g_hi", IRCall(
+            "band_hi", (_g_of(kernel, "tmin"), _g_of(kernel, "tmax")))))
+        stmts.append(Comment("B(N1): smallest current retained value in N1"))
+        stmts.append(Assign("bound", IRCall("node_bound", (SymRef("N1"),))))
+        stmts.append(ReturnStmt(Indicator("<", SymRef("g_hi"), SymRef("bound"))))
+    elif rule.kind == "indicator":
+        h = Const(rule.indicator_h)
+        stmts += _box_distance_stmts(base, "min")
+        stmts += _box_distance_stmts(base, "max")
+        # Entirely outside the satisfying region -> prune (contribute 0);
+        # entirely inside -> closed-form contribution in ComputeApprox.
+        neg = {"<": ">=", "<=": ">", ">": "<=", ">=": "<"}[rule.indicator_op]
+        stmts.append(IfStmt(Indicator(neg, SymRef("tmin"), h),
+                            Block([ReturnStmt(Const(1.0))])))
+        if rule.inside_action is not None:
+            stmts.append(IfStmt(Indicator(rule.indicator_op, SymRef("tmax"), h),
+                                Block([ReturnStmt(Const(1.0))])))
+        stmts.append(ReturnStmt(Const(0.0)))
+    elif rule.kind == "approx":
+        if rule.criterion == "band":
+            stmts += _box_distance_stmts(base, "min")
+            stmts += _box_distance_stmts(base, "max")
+            stmts.append(Assign("g_hi", IRCall(
+                "band_hi", (_g_of(kernel, "tmin"), _g_of(kernel, "tmax")))))
+            stmts.append(Assign("g_lo", IRCall(
+                "band_lo", (_g_of(kernel, "tmin"), _g_of(kernel, "tmax")))))
+            stmts.append(ReturnStmt(Indicator(
+                "<=", BinOp("-", SymRef("g_hi"), SymRef("g_lo")),
+                Const(rule.tau))))
+        else:  # mac
+            stmts += _box_distance_stmts(base, "min")
+            stmts.append(Comment("multipole acceptance: diameter/distance <= θ"))
+            stmts.append(ReturnStmt(Indicator(
+                "<=",
+                BinOp("/", IRCall("node_diameter", (SymRef("N2"),)),
+                      IRCall("sqrt", (SymRef("tmin"),))),
+                Const(rule.theta))))
+    else:  # pragma: no cover
+        raise CompileError(f"unknown rule kind {rule.kind!r}")
+    return IRFunction("PruneApprox", ("N1", "N2"), Block(stmts))
+
+
+def _compute_approx(
+    layers: list[Layer], kernel: MetricKernel | None, rule: RuleSpec,
+    names: dict, classification: Classification,
+) -> IRFunction:
+    stmts: list = []
+    if rule.kind == "none" and not classification.is_pruning:
+        stmts.append(Comment("no approximation rule generated (brute force)"))
+        stmts.append(ReturnStmt(Const(0.0)))
+        return IRFunction("ComputeApprox", ("N1", "N2"), Block(stmts))
+    if classification.is_pruning and rule.kind in ("none", "bound-min", "bound-max"):
+        stmts.append(Comment(
+            f"{names['problem']} is a pruning problem, hence there is no "
+            "approximation"))
+        stmts.append(ReturnStmt(Const(0.0)))
+    elif rule.kind == "indicator":
+        stmts.append(Comment("closed-form contribution for all-inside pairs "
+                             "(0 for all-outside pairs)"))
+        if rule.inside_action == "count_product":
+            stmts.append(IfStmt(
+                Indicator(rule.indicator_op, SymRef("tmax"),
+                          Const(rule.indicator_h)),
+                Block([AugAssign("storage0", "+",
+                                 BinOp("*", IRCall("node_count", (SymRef("N1"),)),
+                                       IRCall("node_count", (SymRef("N2"),))))])))
+        elif rule.inside_action == "count_per_query":
+            stmts.append(For("q", SymRef("N1.start"), SymRef("N1.end"), Block([
+                AugAssign("storage0", "+", IRCall("node_count", (SymRef("N2"),)),
+                          index=SymRef("q")),
+            ])))
+        elif rule.inside_action == "append_all":
+            stmts.append(For("q", SymRef("N1.start"), SymRef("N1.end"), Block([
+                CallStmt("append_range",
+                         (SymRef("storage0"), SymRef("q"),
+                          SymRef("N2.start"), SymRef("N2.end"))),
+            ])))
+        stmts.append(ReturnStmt(Const(0.0)))
+    else:  # approximation problems
+        stmts.append(Comment(
+            "center contribution of the node times its density "
+            "(center of mass for weighted data)"))
+        g_center = _g_of(kernel, "t_center")
+        stmts.append(For("q", SymRef("N1.start"), SymRef("N1.end"), Block([
+            Assign("t_center", IRCall(
+                "point_node_center_dist",
+                (SymRef(names["qdata"]), SymRef("q"), SymRef("N2")))),
+            AugAssign("storage0", "+",
+                      BinOp("*", IRCall("node_weight", (SymRef("N2"),)), g_center),
+                      index=SymRef("q")),
+        ])))
+    return IRFunction("ComputeApprox", ("N1", "N2"), Block(stmts))
+
+
+def _base_case_multilayer(layers: list[Layer]) -> IRFunction:
+    """Loop-nest lowering for m ≥ 3 layers (the general form of
+    equation 2): one loop per layer, outermost first, with the kernel
+    evaluated over the m layer variables at the innermost level and each
+    operator's update emitted at the end of its loop."""
+    m = len(layers)
+    names = [l.storage.name for l in layers]
+    vars_ = [l.var.name if l.var is not None else f"i{i}"
+             for i, l in enumerate(layers)]
+
+    kernel_args = tuple(
+        IRCall("point_of", (SymRef(f"{names[i]}_rows"), SymRef(vars_[i])))
+        for i in range(m)
+    )
+    body: list = [
+        Comment("kernel over the m layer variables"),
+        Assign("kval", IRCall("kernel_eval", kernel_args)),
+    ]
+    # Innermost-out: each layer's reduction update wraps the loop below.
+    for i in range(m - 1, 0, -1):
+        layer = layers[i]
+        inner_stmts = body + _inner_update(layer, vars_[i])
+        init = _inner_init(layer)
+        # Rename the per-level storages so levels don't collide.
+        loop = For(vars_[i], SymRef(f"{names[i]}.start"),
+                   SymRef(f"{names[i]}.end"), Block(inner_stmts))
+        body = (
+            [Comment(f"layer {i}: {layer.op.name} over {names[i]}")]
+            + init + [loop]
+        )
+        if i > 1:
+            body += [Assign("kval", SymRef("storage1"))]
+    outer = layers[0]
+    query_body = Block(body + _outer_merge(outer, layers[1], vars_[0]))
+    full = Block(
+        _outer_init(outer)
+        + [For(vars_[0], SymRef(f"{names[0]}.start"),
+               SymRef(f"{names[0]}.end"), query_body)]
+    )
+    return IRFunction("BaseCase", tuple(names), full)
+
+
+def lower(
+    layers: list[Layer],
+    kernel: MetricKernel | None,
+    classification: Classification,
+    rule: RuleSpec,
+    problem_name: str = "problem",
+) -> IRProgram:
+    """Lower a validated Portal problem to the initial IR stage.
+
+    Two-layer problems get the full treatment of Figs 2–3; problems with
+    m ≥ 3 layers lower to the generalized loop nest with a schematic
+    kernel call (they execute through the dense multi-layer backend).
+    """
+    if len(layers) > 2:
+        base = _base_case_multilayer(layers)
+        prune = IRFunction("PruneApprox", ("N1", "N2"), Block([
+            Comment("m-layer programs run the dense backend: no "
+                    "prune/approximate rule generated"),
+            ReturnStmt(Const(0.0)),
+        ]))
+        approx = IRFunction("ComputeApprox", ("N1", "N2"), Block([
+            ReturnStmt(Const(0.0)),
+        ]))
+        return IRProgram(
+            functions={"BaseCase": base, "PruneApprox": prune,
+                       "ComputeApprox": approx,
+                       "BruteForce": IRFunction("BruteForce", base.params,
+                                                base.body)},
+            meta={"dim": layers[0].storage.dim,
+                  "classification": classification, "rule": rule,
+                  "base": None, "problem": problem_name, "m": len(layers)},
+        )
+    if len(layers) != 2:
+        raise CompileError(
+            f"an N-body problem needs at least two layers; got {len(layers)}"
+        )
+    outer, inner = layers
+    names = {
+        "qvar": outer.var.name if outer.var is not None else "q",
+        "rvar": inner.var.name if inner.var is not None else "r",
+        "qname": outer.storage.name,
+        "rname": inner.storage.name,
+        "qdata": f"{outer.storage.name}_data",
+        "rdata": f"{inner.storage.name}_data",
+        "problem": problem_name,
+    }
+    base_case = _base_case(layers, kernel, names)
+    prune = _prune_approx(kernel, rule, names)
+    approx = _compute_approx(layers, kernel, rule, names, classification)
+    brute = IRFunction("BruteForce", base_case.params, base_case.body)
+    return IRProgram(
+        functions={
+            "BaseCase": base_case,
+            "PruneApprox": prune,
+            "ComputeApprox": approx,
+            "BruteForce": brute,
+        },
+        meta={
+            "names": names,
+            "dim": outer.storage.dim,
+            "classification": classification,
+            "rule": rule,
+            "base": kernel.base if kernel is not None else None,
+            "problem": problem_name,
+        },
+    )

@@ -1,0 +1,67 @@
+"""Numerical-optimisation pass (paper section IV-D).
+
+Rewrites the naive Mahalanobis distance
+
+    t = (x_q − μ_r)ᵀ Σ⁻¹ (x_q − μ_r)        — O(m³) matrix inverse
+
+into the Cholesky / forward-substitution form
+
+    L = cholesky(Σ)          (hoisted to the function entry: Σ is loop
+                              invariant, so L is computed once)
+    x = forward_sub(L, y)    where y = x_q − μ_r
+    t = xᵀ x                 — O(m²/2)
+
+exploiting that a covariance matrix is symmetric positive semi-definite.
+About 60 % of the statistical-inference N-body problems surveyed by the
+paper contain a Mahalanobis form, which is why this domain-specific pass
+exists.
+"""
+
+from __future__ import annotations
+
+from .nodes import Assign, Block, Comment, IRCall, IRFunction, IRProgram, SymRef, Stmt
+
+__all__ = ["numerical_optimize"]
+
+
+def _rewrite_function(fn: IRFunction) -> tuple[IRFunction, bool]:
+    changed = [False]
+
+    def rewrite(s: Stmt):
+        if (
+            isinstance(s, Assign)
+            and isinstance(s.value, IRCall)
+            and s.value.func == "mahalanobis"
+        ):
+            changed[0] = True
+            y, sigma = s.value.args
+            return [
+                Comment("numerical optimisation: Cholesky + forward "
+                        "substitution (O(m^2/2))"),
+                Assign("x_solved", IRCall("forward_sub", (SymRef("L_Sigma"), y))),
+                Assign(s.target, IRCall("dot", (SymRef("x_solved"),
+                                                SymRef("x_solved")))),
+            ]
+        return s
+
+    body = fn.body.map_stmts(rewrite)
+    if changed[0]:
+        hoist = [
+            Comment("loop-invariant: factorise the covariance once"),
+            Assign("L_Sigma", IRCall("cholesky", (SymRef("Sigma"),))),
+        ]
+        body = Block(hoist + body.stmts)
+    return IRFunction(fn.name, fn.params, body), changed[0]
+
+
+def numerical_optimize(program: IRProgram) -> IRProgram:
+    """Apply the Mahalanobis rewrite to every function of the program."""
+    functions = {}
+    any_changed = False
+    for name, fn in program.functions.items():
+        fn2, changed = _rewrite_function(fn)
+        functions[name] = fn2
+        any_changed |= changed
+    out = IRProgram(functions, dict(program.meta))
+    out.meta["numerical_optimized"] = any_changed
+    return out

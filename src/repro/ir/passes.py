@@ -1,0 +1,219 @@
+"""Standard passes and the pass manager (paper sections IV and IV-F).
+
+The manager runs the pipeline of Fig. 1 —
+
+    Lowering & Storage Injection → Flattening → Numerical Optimization →
+    Strength Reduction → standard cleanups (constant folding, DCE) →
+    Code Generation
+
+— and keeps the IR snapshot after every stage so Figs 2 and 3 (the
+per-stage IR dumps for nearest neighbor and KDE) can be regenerated.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+
+from ..dsl.expr import BinOp, Const, Expr, Neg
+from .flattening import flatten
+from .nodes import (
+    Alloc, Assign, IRCall, IRFunction, IRProgram, Stmt, SymRef,
+)
+from .numerical_opt import numerical_optimize
+from .strength_reduction import strength_reduce
+
+__all__ = [
+    "constant_fold", "dead_code_eliminate", "common_subexpression_eliminate",
+    "PassManager", "PIPELINE_STAGES",
+]
+
+#: Ordered stage names of the compiler pipeline (Fig. 1).
+PIPELINE_STAGES = (
+    "lowered", "flattened", "numopt", "strength", "final",
+)
+
+_FOLDABLE = {
+    "sqrt": math.sqrt,
+    "exp": math.exp,
+    "log": math.log,
+    "abs": abs,
+    "pow": lambda x, n: x ** n,
+    "max": max,
+    "min": min,
+}
+
+
+def constant_fold(program: IRProgram) -> IRProgram:
+    """Evaluate constant sub-expressions and apply algebraic identities."""
+
+    def fold(e: Expr) -> Expr:
+        if isinstance(e, Neg) and isinstance(e.operand, Const):
+            return Const(-e.operand.value)
+        if isinstance(e, BinOp):
+            a, b = e.lhs, e.rhs
+            if isinstance(a, Const) and isinstance(b, Const):
+                try:
+                    return Const({
+                        "+": a.value + b.value,
+                        "-": a.value - b.value,
+                        "*": a.value * b.value,
+                        "/": a.value / b.value if b.value != 0 else math.inf,
+                        "**": a.value ** b.value,
+                    }[e.op])
+                except (OverflowError, ValueError):
+                    return e
+            # Identities: x*1, 1*x, x+0, 0+x, x-0, x/1.
+            if e.op == "*" and isinstance(b, Const) and b.value == 1.0:
+                return a
+            if e.op == "*" and isinstance(a, Const) and a.value == 1.0:
+                return b
+            if e.op == "+" and isinstance(b, Const) and b.value == 0.0:
+                return a
+            if e.op == "+" and isinstance(a, Const) and a.value == 0.0:
+                return b
+            if e.op == "-" and isinstance(b, Const) and b.value == 0.0:
+                return a
+            if e.op == "/" and isinstance(b, Const) and b.value == 1.0:
+                return a
+        if isinstance(e, IRCall) and e.func in _FOLDABLE and all(
+            isinstance(a, Const) for a in e.args
+        ):
+            try:
+                return Const(float(_FOLDABLE[e.func](*(a.value for a in e.args))))
+            except (ValueError, OverflowError):
+                return e
+        return e
+
+    return program.map_exprs(fold)
+
+
+def dead_code_eliminate(program: IRProgram) -> IRProgram:
+    """Remove assignments and scalar allocations whose names are never read.
+
+    Conservative: storage names (program outputs) and array allocations
+    are always kept.
+    """
+
+    def clean(fn: IRFunction) -> IRFunction:
+        used: set[str] = set()
+        for stmt in fn.body.walk():
+            for e in stmt.exprs():
+                for node in e.walk():
+                    if isinstance(node, SymRef):
+                        used.add(node.name)
+
+        def rewrite(s: Stmt):
+            if isinstance(s, Assign) and s.target not in used and not (
+                s.target.startswith("storage")
+            ):
+                return None
+            if (
+                isinstance(s, Alloc)
+                and s.size is None
+                and s.name not in used
+                and not s.name.startswith("storage")
+            ):
+                return None
+            return s
+
+        return fn.map_stmts(rewrite)
+
+    return IRProgram(
+        {k: clean(f) for k, f in program.functions.items()}, dict(program.meta)
+    )
+
+
+def _repeated_subexprs(e: Expr) -> list[Expr]:
+    """Non-leaf subexpressions appearing at least twice, largest first."""
+    counts: dict[Expr, int] = {}
+
+    def visit(n: Expr):
+        if n.children():
+            counts[n] = counts.get(n, 0) + 1
+        for c in n.children():
+            visit(c)
+
+    visit(e)
+    repeated = [n for n, c in counts.items() if c >= 2]
+    repeated.sort(key=lambda n: -sum(1 for _ in n.walk()))
+    return repeated
+
+
+def common_subexpression_eliminate(program: IRProgram) -> IRProgram:
+    """Per-statement local CSE.
+
+    The strength-reduction pass duplicates operand trees (``pow(x, 2)``
+    becomes ``x * x`` with ``x`` materialised twice); this pass hoists
+    each repeated pure subexpression of a single statement into a fresh
+    temporary.  All IR expressions are pure (loads included), and scoping
+    to one statement avoids any cross-statement dependence analysis.
+    """
+    from .nodes import AugAssign, ReturnStmt, StoreStmt
+
+    counter = [0]
+
+    def clean(fn: IRFunction) -> IRFunction:
+        def rewrite(s):
+            if not isinstance(s, (Assign, AugAssign, StoreStmt, ReturnStmt)):
+                return s
+            values = s.exprs()
+            if not values:
+                return s
+            prefix: list = []
+            current = s
+            # One hoist per repeated subtree, largest first, rescanning
+            # after each rewrite (a hoist can collapse other repeats).
+            while True:
+                target_exprs = current.exprs()
+                candidates: list[Expr] = []
+                for v in target_exprs:
+                    candidates.extend(_repeated_subexprs(v))
+                if not candidates:
+                    break
+                sub = candidates[0]
+                counter[0] += 1
+                name = f"cse{counter[0]}"
+                prefix.append(Assign(name, sub))
+                current = current.map_exprs(
+                    lambda e, sub=sub, name=name:
+                        SymRef(name) if e == sub else e
+                )
+            if not prefix:
+                return s
+            return prefix + [current]
+
+        return fn.map_stmts(rewrite)
+
+    return IRProgram(
+        {k: clean(f) for k, f in program.functions.items()},
+        dict(program.meta),
+    )
+
+
+@dataclass
+class PassManager:
+    """Runs the optimisation pipeline, recording per-stage snapshots."""
+
+    fastmath: bool = True
+    snapshots: dict[str, IRProgram] = field(default_factory=dict)
+
+    def run(self, lowered: IRProgram) -> IRProgram:
+        self.snapshots["lowered"] = lowered
+        prog = flatten(lowered)
+        self.snapshots["flattened"] = prog
+        prog = numerical_optimize(prog)
+        self.snapshots["numopt"] = prog
+        prog = strength_reduce(prog, fastmath=self.fastmath)
+        self.snapshots["strength"] = prog
+        prog = common_subexpression_eliminate(constant_fold(prog))
+        prog = dead_code_eliminate(constant_fold(prog))
+        self.snapshots["final"] = prog
+        return prog
+
+    def stage(self, name: str) -> IRProgram:
+        if name not in self.snapshots:
+            raise KeyError(
+                f"unknown stage {name!r}; available: {sorted(self.snapshots)}"
+            )
+        return self.snapshots[name]

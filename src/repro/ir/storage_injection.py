@@ -1,0 +1,62 @@
+"""Storage-injection planning (paper section IV-B).
+
+Lowering emits the ``alloc`` statements inline; this module additionally
+computes the *injection plan* — how many units of storage each layer's
+operator requires — which the runtime uses to allocate accumulator state
+and which the tests assert against the paper's rules:
+
+* single-variable reductions inject **one** unit per evaluation,
+* multi-variable reductions inject **k** units (unbounded for ∪ / ∪arg),
+* ∀ injects storage equal to the layer's dataset size.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..dsl.layer import Layer
+from ..dsl.ops import OpCategory, PortalOp
+
+__all__ = ["InjectionRow", "injection_plan"]
+
+
+@dataclass(frozen=True)
+class InjectionRow:
+    layer_index: int
+    op: PortalOp
+    category: OpCategory
+    #: units of storage per evaluation of this layer; -1 means unbounded
+    units: int
+    #: whether an index companion array is injected (arg-operators)
+    with_index: bool
+    description: str
+
+
+def injection_plan(layers: list[Layer]) -> list[InjectionRow]:
+    rows = []
+    for i, layer in enumerate(layers):
+        info = layer.info
+        units = layer.output_size if info.category is not OpCategory.ALL else layer.storage.n
+        if info.category is OpCategory.ALL:
+            desc = f"∀ injects |{layer.storage.name}| = {layer.storage.n} units"
+        elif info.category is OpCategory.SINGLE:
+            units = 1
+            desc = f"{layer.op.name} injects 1 unit per evaluation"
+        else:
+            if layer.k is not None:
+                units = layer.k
+                desc = f"{layer.op.name} injects k = {layer.k} units per evaluation"
+            else:
+                units = -1
+                desc = f"{layer.op.name} injects an unbounded (dynamic) buffer"
+        rows.append(
+            InjectionRow(
+                layer_index=i,
+                op=layer.op,
+                category=info.category,
+                units=units,
+                with_index=info.returns_index,
+                description=desc,
+            )
+        )
+    return rows

@@ -1,0 +1,79 @@
+"""Strength-reduction pass (paper section IV-E).
+
+Replaces long-latency operations with cheaper forms:
+
+* ``pow(x, n)`` with an integer exponent ``n < 4`` becomes a chained
+  multiplication (exact — always applied);
+* ``1 / sqrt(x)`` becomes ``fast_inverse_sqrt(x)`` (applied when
+  ``fastmath`` is enabled);
+* ``sqrt(x)`` becomes ``1 / fast_inverse_sqrt(x)`` — the paper's safe
+  form, which returns 0 rather than NaN at x = 0 (also ``fastmath``);
+* ``1 / (1 / z)`` collapses to ``z`` (cleans up compositions of the two
+  rules above).
+
+For approximation problems this pass is an additional accuracy/time knob,
+so ``fastmath`` is surfaced as a compile option.
+"""
+
+from __future__ import annotations
+
+from ..dsl.expr import BinOp, Const, Expr
+from .nodes import IRCall, IRProgram, _map_expr_tree
+
+__all__ = ["strength_reduce", "reduce_expr"]
+
+
+def _chain_multiply(x: Expr, n: int) -> Expr:
+    out = x
+    for _ in range(n - 1):
+        out = BinOp("*", out, x)
+    return out
+
+
+def _make_rewriter(fastmath: bool):
+    def rewrite(e: Expr) -> Expr:
+        if isinstance(e, IRCall) and e.func == "pow" and len(e.args) == 2:
+            x, n = e.args
+            if isinstance(n, Const) and float(n.value).is_integer():
+                ni = int(n.value)
+                if ni == 0:
+                    return Const(1.0)
+                if 1 <= ni < 4:
+                    return _chain_multiply(x, ni)
+            return e
+        if fastmath and isinstance(e, IRCall) and e.func == "sqrt":
+            return BinOp(
+                "/", Const(1.0), IRCall("fast_inverse_sqrt", (e.args[0],))
+            )
+        if isinstance(e, BinOp) and e.op == "/":
+            # 1 / sqrt(x)  ->  fast_inverse_sqrt(x)
+            if (
+                fastmath
+                and isinstance(e.lhs, Const) and e.lhs.value == 1.0
+                and isinstance(e.rhs, IRCall) and e.rhs.func == "sqrt"
+            ):
+                return IRCall("fast_inverse_sqrt", (e.rhs.args[0],))
+            # 1 / (1 / z)  ->  z
+            if (
+                isinstance(e.lhs, Const) and e.lhs.value == 1.0
+                and isinstance(e.rhs, BinOp) and e.rhs.op == "/"
+                and isinstance(e.rhs.lhs, Const) and e.rhs.lhs.value == 1.0
+            ):
+                return e.rhs.rhs
+        return e
+
+    return rewrite
+
+
+def strength_reduce(program: IRProgram, fastmath: bool = True) -> IRProgram:
+    """Apply strength reduction to every function of the program."""
+    out = program.map_exprs(_make_rewriter(fastmath))
+    out.meta["strength_reduced"] = True
+    out.meta["fastmath"] = fastmath
+    return out
+
+
+def reduce_expr(e: Expr, fastmath: bool = True) -> Expr:
+    """Strength-reduce a bare expression (used by the code generator on
+    the kernel body, so the emitted source contains the reduced forms)."""
+    return _map_expr_tree(e, _make_rewriter(fastmath))

@@ -1,0 +1,8 @@
+"""Task + data parallelism for the tree traversal (paper section IV-F)."""
+
+from .executor import default_workers, run_tasks
+from .scheduler import expand_frontier, parallel_dual_tree
+
+__all__ = [
+    "default_workers", "run_tasks", "expand_frontier", "parallel_dual_tree",
+]

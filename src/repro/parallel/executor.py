@@ -1,0 +1,35 @@
+"""Thread-pool task execution for the parallel traversal.
+
+NumPy kernels release the GIL, so leaf base cases from different tasks
+overlap on multicore hosts.  Tasks are closures prepared by the
+scheduler; each task owns a *disjoint query range*, so state updates
+never race (see :mod:`repro.parallel.scheduler`).
+"""
+
+from __future__ import annotations
+
+import os
+from concurrent.futures import ThreadPoolExecutor
+from typing import Callable, Sequence
+
+__all__ = ["default_workers", "run_tasks"]
+
+
+def default_workers() -> int:
+    """Worker count: all available cores (the paper tunes per problem;
+    we default to the machine)."""
+    return max(1, os.cpu_count() or 1)
+
+
+def run_tasks(tasks: Sequence[Callable[[], object]], workers: int | None = None):
+    """Run ``tasks`` on a thread pool; returns their results in order.
+
+    Exceptions propagate to the caller (first one raised wins), matching
+    serial semantics.
+    """
+    workers = workers or default_workers()
+    if workers <= 1 or len(tasks) <= 1:
+        return [t() for t in tasks]
+    with ThreadPoolExecutor(max_workers=workers) as pool:
+        futures = [pool.submit(t) for t in tasks]
+        return [f.result() for f in futures]

@@ -1,0 +1,77 @@
+"""Parallel traversal scheduling (paper section IV-F).
+
+The paper spawns OpenMP tasks recursively "until all the threads are
+saturated, at which point we switch to data parallelism".  The same
+policy here: the *query* tree is expanded breadth-first until there are
+enough subtrees to saturate the worker pool (task parallelism), then each
+(query-subtree × reference-root) task runs a full dual-tree traversal
+(data parallelism over the query points it owns).
+
+Partitioning by **query subtree only** is what makes shared-state updates
+safe: every accumulator in this codebase is indexed by query position, so
+two tasks never write the same element.  Problems whose output is a
+single scalar reduce per-query partials at finalisation, so they are
+covered by the same invariant.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from ..traversal import TraversalStats, dual_tree_traversal
+from ..trees.node import ArrayTree
+from .executor import default_workers, run_tasks
+
+__all__ = ["parallel_dual_tree", "expand_frontier"]
+
+#: Target tasks per worker: enough slack for load balancing without
+#: swamping scheduling overhead.
+TASKS_PER_WORKER = 4
+
+
+def expand_frontier(tree: ArrayTree, min_nodes: int) -> list[int]:
+    """Breadth-first expansion of the query tree until at least
+    ``min_nodes`` subtree roots are available (or only leaves remain)."""
+    frontier = [0]
+    while len(frontier) < min_nodes:
+        nxt: list[int] = []
+        grew = False
+        for node in frontier:
+            kids = tree.children(node)
+            if len(kids):
+                nxt.extend(int(c) for c in kids)
+                grew = True
+            else:
+                nxt.append(node)
+        frontier = nxt
+        if not grew:
+            break
+    return frontier
+
+
+def parallel_dual_tree(
+    qtree: ArrayTree,
+    rtree: ArrayTree,
+    prune_or_approx: Callable[[int, int], int] | None,
+    base_case: Callable[[int, int, int, int], None],
+    pair_min_dist: Callable[[int, int], float] | None = None,
+    workers: int | None = None,
+) -> TraversalStats:
+    """Parallel counterpart of
+    :func:`repro.traversal.dualtree.dual_tree_traversal`."""
+    workers = workers or default_workers()
+    frontier = expand_frontier(qtree, workers * TASKS_PER_WORKER)
+
+    def make_task(q_root: int):
+        def task() -> TraversalStats:
+            return dual_tree_traversal(
+                qtree, rtree, prune_or_approx, base_case,
+                pair_min_dist=pair_min_dist, q_root=q_root,
+            )
+        return task
+
+    results = run_tasks([make_task(q) for q in frontier], workers=workers)
+    total = TraversalStats()
+    for st in results:
+        total.merge(st)
+    return total

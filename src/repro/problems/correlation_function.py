@@ -1,0 +1,112 @@
+"""Two-point correlation *function*: binned pair counts and the
+Landy–Szalay estimator.
+
+The paper evaluates the single-radius 2-point correlation count; the
+astronomy use case its introduction motivates measures the correlation
+function ξ(r) over radial bins, comparing a data catalog D against a
+random catalog R through the Landy–Szalay estimator
+
+    ξ(r) = (DD(r) − 2 DR(r) + RR(r)) / RR(r)
+
+where DD/DR/RR are normalised pair counts per bin.  All three counts run
+through the same dual-tree counting machinery as the headline 2-PC
+benchmark: cross-catalog counts are a (SUM, SUM) program over two
+Storages, and per-bin counts come from differencing cumulative counts at
+the bin edges (each edge enjoys the full inside/outside closed-form
+pruning).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..dsl import PortalExpr, PortalOp, Storage, Var, indicator, pow, sqrt
+
+__all__ = ["pair_count", "binned_pair_counts", "landy_szalay", "XiResult"]
+
+
+def pair_count(A, B=None, h: float = 1.0, **options) -> float:
+    """Ordered cross-pair count: |{(a, b) : ‖a − b‖ < h}|.
+
+    With ``B=None`` counts within ``A``, excluding self pairs (the
+    paper's 2-PC).  Cross-catalog counts include every (a, b) pair.
+    """
+    A = A if isinstance(A, Storage) else Storage(A, name="A")
+    self_join = B is None
+    if self_join:
+        B = A
+    elif not isinstance(B, Storage):
+        B = Storage(B, name="B")
+    if h <= 0:
+        raise ValueError("h must be positive")
+    q, r = Var("q"), Var("r")
+    e = PortalExpr("pair-count")
+    e.addLayer(PortalOp.SUM, q, A)
+    e.addLayer(PortalOp.SUM, r, B, indicator(sqrt(pow(q - r, 2)) < h))
+    options.setdefault("exclude_self", self_join)
+    out = e.execute(**options)
+    return float(out.scalar)
+
+
+def binned_pair_counts(A, B=None, edges=None, **options) -> np.ndarray:
+    """Ordered pair counts per radial bin ``[edges[i], edges[i+1])``.
+
+    Computed as differences of cumulative counts at the edges, so each
+    edge query benefits from the closed-form inside/outside pruning.
+    """
+    edges = np.asarray(edges, dtype=np.float64)
+    if edges.ndim != 1 or len(edges) < 2:
+        raise ValueError("edges must be a 1-D array of at least 2 radii")
+    if np.any(np.diff(edges) <= 0) or edges[0] < 0:
+        raise ValueError("edges must be non-negative and increasing")
+    cumulative = []
+    for h in edges:
+        cumulative.append(0.0 if h == 0 else pair_count(A, B, h=h, **options))
+    return np.diff(cumulative)
+
+
+@dataclass
+class XiResult:
+    """Binned Landy–Szalay correlation-function estimate."""
+
+    edges: np.ndarray
+    xi: np.ndarray
+    dd: np.ndarray
+    dr: np.ndarray
+    rr: np.ndarray
+
+    @property
+    def centers(self) -> np.ndarray:
+        return 0.5 * (self.edges[:-1] + self.edges[1:])
+
+
+def landy_szalay(data, randoms, edges, **options) -> XiResult:
+    """Landy–Szalay estimate of ξ(r) over the given radial bins.
+
+    ``data`` is the observed catalog, ``randoms`` an (ideally larger)
+    uniform catalog over the same volume.  For an unclustered ``data``
+    drawn from the same distribution as ``randoms``, ξ ≈ 0 in every bin.
+    """
+    data = data if isinstance(data, Storage) else Storage(data, name="data")
+    randoms = randoms if isinstance(randoms, Storage) else Storage(
+        randoms, name="randoms")
+    nd, nr = data.n, randoms.n
+    if nd < 2 or nr < 2:
+        raise ValueError("catalogs need at least 2 points each")
+
+    dd = binned_pair_counts(data, None, edges, **options)
+    dr = binned_pair_counts(data, randoms, edges, **options)
+    rr = binned_pair_counts(randoms, None, edges, **options)
+
+    # Normalise ordered counts by the number of ordered pairs.
+    dd_n = dd / (nd * (nd - 1))
+    dr_n = dr / (nd * nr)
+    rr_n = rr / (nr * (nr - 1))
+
+    with np.errstate(divide="ignore", invalid="ignore"):
+        xi = (dd_n - 2.0 * dr_n + rr_n) / rr_n
+    xi[~np.isfinite(xi)] = np.nan
+    return XiResult(edges=np.asarray(edges, float), xi=xi, dd=dd, dr=dr,
+                    rr=rr)

@@ -1,0 +1,29 @@
+"""Hausdorff distance (paper Table III row 3).
+
+Portal specification: ``max_q min_r ‖x_q − x_r‖`` — a MAX outer layer
+over one set and a MIN inner layer over the other.  A pruning problem:
+the inner min admits the same node-bound pruning as nearest neighbors.
+"""
+
+from __future__ import annotations
+
+from ..dsl import PortalExpr, PortalFunc, PortalOp, Storage
+
+__all__ = ["directed_hausdorff", "hausdorff"]
+
+
+def directed_hausdorff(A, B, **options) -> float:
+    """Directed Hausdorff distance ``h(A, B) = max_{a∈A} min_{b∈B} d(a,b)``."""
+    A = A if isinstance(A, Storage) else Storage(A, name="setA")
+    B = B if isinstance(B, Storage) else Storage(B, name="setB")
+    expr = PortalExpr("hausdorff-directed")
+    expr.addLayer(PortalOp.MAX, A)
+    expr.addLayer(PortalOp.MIN, B, PortalFunc.EUCLIDEAN)
+    out = expr.execute(**options)
+    return float(out.scalar)
+
+
+def hausdorff(A, B, **options) -> float:
+    """Symmetric Hausdorff distance ``max(h(A,B), h(B,A))``."""
+    return max(directed_hausdorff(A, B, **options),
+               directed_hausdorff(B, A, **options))

@@ -1,0 +1,81 @@
+"""k-NN classification and regression on top of the k-NN Portal program.
+
+Completes the ML story around nearest neighbors: majority-vote
+classification (with inverse-distance tie-breaking) and distance-weighted
+regression, both driven by the labels/weights a :class:`Storage` carries.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..dsl import Storage
+from .knn import knn
+
+__all__ = ["KNNClassifier", "knn_regress"]
+
+
+class KNNClassifier:
+    """Majority-vote k-NN classifier."""
+
+    def __init__(self, k: int = 5, weighted: bool = False):
+        if k < 1:
+            raise ValueError("k must be >= 1")
+        self.k = k
+        self.weighted = weighted
+        self._train: Storage | None = None
+        self.classes_: np.ndarray | None = None
+        self._codes: np.ndarray | None = None
+
+    def fit(self, X, y) -> "KNNClassifier":
+        y = np.asarray(y)
+        X = X.data if isinstance(X, Storage) else np.asarray(X, float)
+        if len(X) != len(y):
+            raise ValueError("X and y length mismatch")
+        if self.k > len(X):
+            raise ValueError(f"k={self.k} exceeds training size {len(X)}")
+        self.classes_, codes = np.unique(y, return_inverse=True)
+        self._codes = codes.astype(np.int64)
+        self._train = Storage(X, labels=self._codes, name="train")
+        return self
+
+    def predict(self, X, **options) -> np.ndarray:
+        if self._train is None:
+            raise ValueError("classifier is not fitted")
+        dist, idx = knn(np.asarray(X, float), self._train, k=self.k,
+                        **options)
+        if dist.ndim == 1:          # knn() flattens the k = 1 case
+            dist = dist[:, None]
+            idx = idx[:, None]
+        neigh_codes = self._codes[idx]                      # (n, k)
+        n = len(neigh_codes)
+        K = len(self.classes_)
+        votes = np.zeros((n, K))
+        if self.weighted:
+            w = 1.0 / np.maximum(dist, 1e-12)
+        else:
+            w = np.ones_like(dist)
+        for j in range(self.k):
+            np.add.at(votes, (np.arange(n), neigh_codes[:, j]), w[:, j])
+        return self.classes_[votes.argmax(axis=1)]
+
+    def score(self, X, y, **options) -> float:
+        return float(np.mean(self.predict(X, **options) == np.asarray(y)))
+
+
+def knn_regress(X_train, y_train, X_test, k: int = 5,
+                weighted: bool = True, **options) -> np.ndarray:
+    """Distance-weighted k-NN regression."""
+    y_train = np.asarray(y_train, dtype=np.float64)
+    X_train = np.asarray(X_train, dtype=np.float64)
+    if len(X_train) != len(y_train):
+        raise ValueError("X and y length mismatch")
+    dist, idx = knn(np.asarray(X_test, float), X_train, k=k, **options)
+    if dist.ndim == 1:              # knn() flattens the k = 1 case
+        dist = dist[:, None]
+        idx = idx[:, None]
+    vals = y_train[idx]
+    if not weighted:
+        return vals.mean(axis=1)
+    w = 1.0 / np.maximum(dist, 1e-12)
+    return (vals * w).sum(axis=1) / w.sum(axis=1)

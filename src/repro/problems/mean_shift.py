@@ -1,0 +1,111 @@
+"""Mean-shift clustering by composing weighted-KDE Portal programs.
+
+The paper's conclusion: "additional algorithms can be expressed in this
+style with minimal programming effort".  Mean shift is the canonical
+example — each iteration moves every point to the kernel-weighted mean of
+its neighbourhood,
+
+    x ← Σ_r K_σ(x − x_r)·x_r / Σ_r K_σ(x − x_r),
+
+which is one *weighted* KDE per coordinate (numerators, with the
+coordinate values as weights) plus one plain KDE (denominator): d + 1
+two-layer Portal programs per iteration, all sharing the τ knob.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..dsl import PortalExpr, PortalFunc, PortalOp, Storage
+
+__all__ = ["mean_shift", "MeanShiftResult"]
+
+
+@dataclass
+class MeanShiftResult:
+    """Converged modes and cluster assignment."""
+
+    modes: np.ndarray          # (k, d) distinct density modes
+    labels: np.ndarray         # (n,) mode index per input point
+    iterations: int
+    shifted: np.ndarray        # (n, d) final position of every point
+
+
+def _weighted_kde_sums(query: np.ndarray, reference: Storage,
+                       bandwidth: float, tau: float) -> np.ndarray:
+    """Numerator Σ K(q − r)·x_r per coordinate and denominator Σ K(q − r),
+    via d + 1 Portal programs.  Returns the shifted positions."""
+    d = reference.dim
+    qs = Storage(query, name="query")
+
+    def kde_with(weights):
+        e = PortalExpr("mean-shift-kde")
+        ref = Storage(reference.data, weights=weights, name="reference")
+        e.addLayer(PortalOp.FORALL, qs)
+        e.addLayer(PortalOp.SUM, ref, PortalFunc.GAUSSIAN,
+                   bandwidth=bandwidth)
+        return np.asarray(
+            e.execute(tau=tau, exclude_self=False).values
+        )
+
+    denom = kde_with(None)
+    denom = np.maximum(denom, 1e-300)
+    out = np.empty_like(query)
+    for j in range(d):
+        out[:, j] = kde_with(reference.data[:, j].copy()) / denom
+    return out
+
+
+def mean_shift(
+    data,
+    bandwidth: float,
+    max_iter: int = 50,
+    tol: float = 1e-4,
+    tau: float = 1e-6,
+    merge_radius: float | None = None,
+) -> MeanShiftResult:
+    """Cluster ``data`` by mean shift with a Gaussian kernel.
+
+    Parameters
+    ----------
+    bandwidth:
+        Gaussian kernel bandwidth σ (sets the mode scale).
+    tol:
+        Convergence threshold on the max point movement per iteration.
+    tau:
+        KDE approximation knob forwarded to every Portal program.
+    merge_radius:
+        Modes closer than this merge into one cluster (default σ/2).
+    """
+    data = data if isinstance(data, Storage) else Storage(data, name="data")
+    if bandwidth <= 0:
+        raise ValueError("bandwidth must be positive")
+    X = data.data
+    shifted = X.copy()
+    iterations = 0
+    for it in range(max_iter):
+        iterations = it + 1
+        new = _weighted_kde_sums(shifted, data, bandwidth, tau)
+        move = float(np.linalg.norm(new - shifted, axis=1).max())
+        shifted = new
+        if move < tol:
+            break
+
+    # Merge converged points into distinct modes.
+    radius = merge_radius if merge_radius is not None else bandwidth / 2.0
+    modes: list[np.ndarray] = []
+    labels = np.empty(len(X), dtype=np.int64)
+    for i, x in enumerate(shifted):
+        for k, m in enumerate(modes):
+            if float(np.linalg.norm(x - m)) < radius:
+                labels[i] = k
+                break
+        else:
+            labels[i] = len(modes)
+            modes.append(x.copy())
+    return MeanShiftResult(
+        modes=np.asarray(modes), labels=labels,
+        iterations=iterations, shifted=shifted,
+    )

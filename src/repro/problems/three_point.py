@@ -1,0 +1,135 @@
+"""3-point correlation: the m = 3 instance of the generalized N-body form.
+
+The paper's framework covers *n-point* correlation (section II lists it
+among the generalized problems, and Algorithm 1 is stated for m trees).
+This module exercises the genuine multi-tree path: three SUM layers over
+one dataset, kernel ``I(all three pairwise distances < h)``, counting
+ordered triples of distinct points that form a triangle with all sides
+shorter than ``h``.
+
+Pruning uses the triple generalisation of the 2-point rules on node
+triples ``(N₁, N₂, N₃)``:
+
+* if any pairwise node *minimum* distance ≥ h, no triple in the product
+  can qualify — prune;
+* if every pairwise node *maximum* distance < h, all |N₁|·|N₂|·|N₃|
+  triples qualify — count in closed form (minus the degenerate triples
+  with repeated points, handled exactly via inclusion–exclusion on the
+  node overlaps).
+
+The closed-form inclusion is only taken for *disjoint or identical*
+node combinations (always the case for same-tree node triples), keeping
+the correction exact.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..dsl.storage import Storage
+from ..traversal import TraversalStats, multi_tree_traversal
+from ..trees import build_kdtree
+
+__all__ = ["three_point_correlation"]
+
+
+def _ordered_distinct_triples(na: int, nb: int, nc: int,
+                              ab_same: bool, ac_same: bool,
+                              bc_same: bool) -> float:
+    """Number of ordered triples (a, b, c) with pairwise-distinct points,
+    given which of the three node slices coincide."""
+    total = na * nb * nc
+    if ab_same and ac_same and bc_same:
+        # all three from the same slice of n points: n(n-1)(n-2)
+        n = na
+        return n * (n - 1) * (n - 2)
+    if ab_same:
+        return (na * (na - 1)) * nc
+    if ac_same:
+        return (na * (na - 1)) * nb
+    if bc_same:
+        return na * (nb * (nb - 1))
+    return total
+
+
+def three_point_correlation(
+    data,
+    h: float,
+    leaf_size: int = 32,
+    return_stats: bool = False,
+):
+    """Count ordered triples of distinct points with all pairwise
+    distances below ``h``.
+
+    Parameters
+    ----------
+    data:
+        ``(n, d)`` array or Storage.
+    h:
+        Triangle side threshold.
+    leaf_size:
+        Smaller than the dual-tree default: base-case cost is cubic in
+        the leaf size.
+    """
+    if isinstance(data, Storage):
+        data = data.data
+    X = np.ascontiguousarray(data, dtype=np.float64)
+    if h <= 0:
+        raise ValueError("h must be positive")
+    if len(X) < 3:
+        return (0.0, TraversalStats()) if return_stats else 0.0
+
+    tree = build_kdtree(X, leaf_size=leaf_size)
+    pts = tree.points
+    lo, hi = tree.lo, tree.hi
+    start, end = tree.start, tree.end
+    h2 = h * h
+    count = [0.0]
+
+    def node_min2(a: int, b: int) -> float:
+        g = np.maximum(0.0, np.maximum(lo[b] - hi[a], lo[a] - hi[b]))
+        return float(g @ g)
+
+    def node_max2(a: int, b: int) -> float:
+        s = np.maximum(0.0, np.maximum(hi[b] - lo[a], hi[a] - lo[b]))
+        return float(s @ s)
+
+    def prune_or_approx(n1: int, n2: int, n3: int) -> int:
+        pairs = ((n1, n2), (n1, n3), (n2, n3))
+        for a, b in pairs:
+            if node_min2(a, b) >= h2:
+                return 1                       # no qualifying triple
+        if all(node_max2(a, b) < h2 for a, b in pairs):
+            na, nb, nc = (int(end[n] - start[n]) for n in (n1, n2, n3))
+            count[0] += _ordered_distinct_triples(
+                na, nb, nc, n1 == n2, n1 == n3, n2 == n3
+            )
+            return 2                           # closed-form inclusion
+        return 0
+
+    def base_case(n1: int, n2: int, n3: int) -> None:
+        s1, e1 = int(start[n1]), int(end[n1])
+        s2, e2 = int(start[n2]), int(end[n2])
+        s3, e3 = int(start[n3]), int(end[n3])
+        A, B, C = pts[s1:e1], pts[s2:e2], pts[s3:e3]
+
+        def close(P, Q, ps, qs):
+            diff = P[:, None, :] - Q[None, :, :]
+            m = np.einsum("ijk,ijk->ij", diff, diff) < h2
+            if ps == qs:                       # same-tree identical slices
+                np.fill_diagonal(m, False)
+            return m
+
+        mab = close(A, B, s1, s2).astype(np.float64)
+        mac = close(A, C, s1, s3)
+        mbc = close(B, C, s2, s3).astype(np.float64)
+        # Σ_{a,b,c} mab[a,b]·mbc[b,c]·mac[a,c] as one mask GEMM:
+        # paths[a,c] = (mab @ mbc)[a,c], then filter by mac.
+        count[0] += float(((mab @ mbc) * mac).sum())
+
+    stats = multi_tree_traversal([tree, tree, tree], prune_or_approx,
+                                 base_case)
+    result = float(count[0])
+    if return_stats:
+        return result, stats
+    return result

@@ -1,0 +1,49 @@
+"""2-point correlation (paper Table III, validated against scikit-learn).
+
+Portal specification: ``Σ_i Σ_j I(‖x_i − x_j‖ < h)`` — two SUM layers
+over the same dataset with a comparative kernel.  A pruning problem with
+*two* exact opportunities: node pairs entirely farther than ``h``
+contribute zero, node pairs entirely closer contribute ``|N_i|·|N_j|`` in
+closed form — the dual-tree counting that gives the 66–165× speedups of
+paper Table V.
+"""
+
+from __future__ import annotations
+
+from ..dsl import PortalExpr, PortalOp, Storage, Var, indicator, pow, sqrt
+
+__all__ = ["two_point_correlation"]
+
+
+def two_point_correlation(
+    data,
+    h: float,
+    include_self: bool = False,
+    ordered: bool = True,
+    **options,
+) -> float:
+    """Count point pairs closer than ``h``.
+
+    Parameters
+    ----------
+    include_self:
+        Count the trivial (i, i) pairs (off by default, matching the
+        usual correlation-function estimators).
+    ordered:
+        Count ordered pairs (i, j) and (j, i) separately (default); set
+        False for the unordered count.
+    """
+    data = data if isinstance(data, Storage) else Storage(data, name="data")
+    if h <= 0:
+        raise ValueError("h must be positive")
+    q, r = Var("q"), Var("r")
+    expr = PortalExpr("two-point-correlation")
+    expr.addLayer(PortalOp.SUM, q, data)
+    expr.addLayer(PortalOp.SUM, r, data, indicator(sqrt(pow(q - r, 2)) < h))
+    options.setdefault("exclude_self", not include_self)
+    out = expr.execute(**options)
+    count = float(out.scalar)
+    if not ordered:
+        self_pairs = float(data.n) if include_self else 0.0
+        count = (count - self_pairs) / 2.0 + self_pairs
+    return count

@@ -1,0 +1,74 @@
+"""Approximate-condition generator for approximation problems
+(paper section II-C).
+
+For a node pair ``(N_q, N_r)`` the kernel-value band ``[g_lo, g_hi]``
+follows from the node distance bounds.  When the band is narrower than
+the user threshold ``tau``, every point of ``N_r`` contributes nearly the
+same value to every query in ``N_q``, so ComputeApprox replaces the
+O(|N_q|·|N_r|) base case with the *center contribution times the density*
+of the node: for each query ``q``,
+
+    acc[q] += W(N_r) · g(t(q, centroid(N_r)))
+
+where ``W`` is the node's point count (or total weight for weighted
+datasets — the center of mass in Barnes-Hut).  The per-query error is
+bounded by ``W(N_r)·(g_hi − g_lo) ≤ W(N_r)·tau``, giving the
+time/accuracy tuning knob the paper exposes to the user.
+
+A second acceptance criterion, ``mac``, implements the classical
+Barnes-Hut multipole acceptance test ``diameter(N_r)/dist ≤ θ``.
+"""
+
+from __future__ import annotations
+
+from ..dsl.errors import CompileError
+from ..dsl.funcs import MetricKernel
+from ..dsl.layer import Layer
+from ..dsl.ops import PortalOp
+from .spec import RuleSpec
+
+__all__ = ["generate_approx"]
+
+
+def generate_approx(
+    layers: list[Layer],
+    kernel: MetricKernel,
+    tau: float = 0.0,
+    criterion: str = "band",
+    theta: float = 0.5,
+) -> RuleSpec:
+    """Generate the approximation rule for an approximation problem."""
+    inner = layers[-1]
+    if inner.op not in (PortalOp.SUM, PortalOp.PROD):
+        raise CompileError(
+            f"approximation requires an arithmetic inner operator, got "
+            f"{inner.op.name}"
+        )
+    if kernel.monotone() is None:
+        raise CompileError(
+            "approximation requires a kernel monotone in distance "
+            "(paper section II-C)"
+        )
+    if criterion not in ("band", "mac"):
+        raise CompileError(f"unknown approximation criterion {criterion!r}")
+    if criterion == "band":
+        if tau < 0:
+            raise CompileError("tau must be non-negative")
+        description = (
+            f"approximate if g(t_min) − g(t_max) ≤ τ = {tau:g}; "
+            "ComputeApprox: acc[q] += W(N_r)·g(t(q, centroid(N_r)))"
+        )
+    else:
+        if not (0 < theta):
+            raise CompileError("theta must be positive")
+        description = (
+            f"approximate if diameter(N_r)/dist(N_q,N_r) ≤ θ = {theta:g}; "
+            "ComputeApprox: acc[q] += W(N_r)·g(t(q, center-of-mass(N_r)))"
+        )
+    return RuleSpec(
+        kind="approx",
+        tau=tau,
+        theta=theta,
+        criterion=criterion,
+        description=description,
+    )

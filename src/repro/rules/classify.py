@@ -1,0 +1,107 @@
+"""Classification of N-body problems (paper section II-B).
+
+Problems split into two categories:
+
+* **pruning** — some operator is comparative (min/max families, the union
+  filters) or the kernel itself is comparative (an indicator like
+  ``I(|x_q − x_r| < h)``); parts of the computation can then be discarded
+  *exactly*.
+* **approximation** — only arithmetic operators (Σ, Π) with a
+  non-comparative kernel; subsets of the data can be *approximated* by
+  their node summary, trading accuracy for time under a user threshold.
+
+The classifier also performs the paper's algorithm-choice check
+(section II-C): the tree-based algorithm applies when every operator is
+decomposable and the kernel is expressible as a monotone (or comparative)
+function of a supported distance — otherwise Portal falls back to the
+brute-force algorithm it also generates.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..dsl.funcs import MetricKernel
+from ..dsl.layer import Layer
+from ..dsl.ops import PortalOp, op_info
+
+__all__ = ["Classification", "classify"]
+
+
+@dataclass(frozen=True)
+class Classification:
+    """Result of classifying a layer chain."""
+
+    #: 'pruning' or 'approximation'
+    category: str
+    #: 'tree' when the multi-tree algorithm applies, else 'brute'
+    algorithm: str
+    #: human-readable justification, used in compiler diagnostics
+    reasons: tuple[str, ...] = field(default_factory=tuple)
+
+    @property
+    def is_pruning(self) -> bool:
+        return self.category == "pruning"
+
+    @property
+    def is_approximation(self) -> bool:
+        return self.category == "approximation"
+
+
+def classify(layers: list[Layer], kernel: MetricKernel | None) -> Classification:
+    """Classify a validated layer chain.
+
+    Parameters
+    ----------
+    layers:
+        The problem's layers, outermost first.
+    kernel:
+        The innermost layer's normalised kernel, or None when the kernel
+        could not be normalised (external kernel).
+    """
+    reasons: list[str] = []
+
+    comparative_ops = [
+        l.op.name for l in layers if op_info(l.op).comparative
+    ]
+    kernel_comparative = kernel is not None and kernel.is_indicator
+    if comparative_ops:
+        reasons.append(
+            f"comparative operator(s) {', '.join(comparative_ops)} allow "
+            f"exact pruning"
+        )
+    if kernel_comparative:
+        reasons.append("comparative kernel (indicator) allows exact pruning")
+
+    category = "pruning" if (comparative_ops or kernel_comparative) else "approximation"
+    if category == "approximation":
+        reasons.append(
+            "only arithmetic operators with a non-comparative kernel: "
+            "node contributions can be approximated under a user threshold"
+        )
+
+    # Algorithm choice (paper section II-C properties).
+    algorithm = "tree"
+    if layers[-1].op is PortalOp.FORALL:
+        algorithm = "brute"
+        reasons.append(
+            "inner ∀ performs no reduction: nothing to prune or approximate, "
+            "dense evaluation"
+        )
+    elif any(not op_info(l.op).decomposable for l in layers):
+        algorithm = "brute"
+        reasons.append("non-decomposable operator: tree algorithm unavailable")
+    elif kernel is None:
+        algorithm = "brute"
+        reasons.append(
+            "kernel is not a recognised function of a supported distance: "
+            "tree algorithm unavailable, using generated brute force"
+        )
+    elif not kernel_comparative and kernel.monotone() is None:
+        algorithm = "brute"
+        reasons.append(
+            "kernel is not monotone in distance: distance bounds give no "
+            "kernel bounds, using generated brute force"
+        )
+
+    return Classification(category, algorithm, tuple(reasons))

@@ -1,0 +1,113 @@
+"""Prune-condition generator for pruning problems (paper section II-C).
+
+Pruning opportunities are deduced from the comparative operators and/or
+comparative kernel.  The generator builds the condition from the node
+distance bounds: for a node pair ``(N_q, N_r)`` the base-distance interval
+``[t_min, t_max]`` (from bounding-box metadata alone) maps through the
+monotone kernel ``g`` to a kernel-value band ``[g_lo, g_hi]``, and the
+condition compares the band against the reduction's current retained
+values.  Pruning is *exact*: a pruned pair can never contain a value the
+reduction would keep.
+"""
+
+from __future__ import annotations
+
+from ..dsl.funcs import MetricKernel
+from ..dsl.layer import Layer
+from ..dsl.ops import MAX_LIKE, MIN_LIKE, PortalOp
+from ..dsl.errors import CompileError
+from .spec import RuleSpec
+
+__all__ = ["generate_prune"]
+
+
+def generate_prune(layers: list[Layer], kernel: MetricKernel) -> RuleSpec:
+    """Generate the prune rule for a pruning problem (2-layer chain)."""
+    outer, inner = layers[0], layers[-1]
+
+    # Comparative kernel (indicator): range-style pruning.
+    if kernel.is_indicator:
+        thr = kernel.indicator_threshold()
+        if thr is None:
+            # Two-sided or non-constant indicators fall back to no pruning;
+            # problems needing two-sided windows express them as a product
+            # of one-sided indicators or use the problem-level modules.
+            return RuleSpec(
+                kind="none",
+                description="indicator kernel without a recognised one-sided "
+                            "threshold: no pruning condition generated",
+            )
+        op, h = thr
+        inside_action = None
+        if inner.op is PortalOp.SUM and outer.op is PortalOp.SUM:
+            inside_action = "count_product"
+        elif inner.op is PortalOp.SUM:
+            inside_action = "count_per_query"
+        elif inner.op in (PortalOp.UNIONARG,):
+            inside_action = "append_all"
+        return RuleSpec(
+            kind="indicator",
+            indicator_op=op,
+            indicator_h=h,
+            inside_action=inside_action,
+            description=(
+                f"prune if t_min(N_q,N_r) {_negate(op)} {h:g} (all pairs fail "
+                f"I(t {op} {h:g})); closed-form if t_max {op} {h:g} (all pairs "
+                f"satisfy it)"
+            ),
+        )
+
+    # Comparative operator: bound-based pruning.
+    if inner.op in MIN_LIKE:
+        k = inner.k or 1
+        return RuleSpec(
+            kind="bound-min",
+            k=k,
+            description=(
+                "prune if g(t_min(N_q,N_r)) > B(N_q) where B(N_q) is the "
+                f"largest current {_kth(k)} retained value over queries in N_q"
+            ),
+        )
+    if inner.op in MAX_LIKE:
+        k = inner.k or 1
+        return RuleSpec(
+            kind="bound-max",
+            k=k,
+            description=(
+                "prune if g(t_max(N_q,N_r)) < B(N_q) where B(N_q) is the "
+                f"smallest current {_kth(k)} retained value over queries in N_q"
+            ),
+        )
+    if inner.op in (PortalOp.UNION, PortalOp.UNIONARG):
+        # Union filters prune through their comparative kernel; with a
+        # plain (non-indicator) kernel every value passes, so nothing can
+        # be discarded.
+        return RuleSpec(
+            kind="none",
+            description="union filter without a comparative kernel: no "
+                        "pruning condition",
+        )
+    if outer.op in MIN_LIKE | MAX_LIKE:
+        # e.g. Hausdorff: max_q min_r — the inner min drives the pruning,
+        # handled above; a comparative outer over a non-comparative inner
+        # (max_q Σ_r ...) admits no per-pair pruning.
+        return RuleSpec(
+            kind="none",
+            description="comparative outer over arithmetic inner: no "
+                        "per-pair pruning condition",
+        )
+    raise CompileError(
+        "generate_prune called for a problem with no comparative operator "
+        "or kernel"
+    )  # pragma: no cover — classify() routes these to the approx generator
+
+
+def _negate(op: str) -> str:
+    return {"<": ">=", "<=": ">", ">": "<=", ">=": "<"}[op]
+
+
+def _kth(k: int) -> str:
+    if k == 1:
+        return "best"
+    suffix = {1: "st", 2: "nd", 3: "rd"}.get(k % 10 if k % 100 not in (11, 12, 13) else 0, "th")
+    return f"{k}{suffix}-best"

@@ -1,0 +1,10 @@
+"""Multi-tree traversal schemes (paper Algorithm 1)."""
+
+from .dualtree import dual_tree_traversal
+from .multitree import TraversalStats, multi_tree_traversal
+
+__all__ = ["TraversalStats", "multi_tree_traversal", "dual_tree_traversal"]
+
+from .single_tree import single_tree_knn, single_tree_traversal  # noqa: E402
+
+__all__ += ["single_tree_traversal", "single_tree_knn"]

@@ -1,0 +1,75 @@
+"""Optimised dual-tree traversal: the 2-tree fast path of Algorithm 1.
+
+Identical semantics to :func:`repro.traversal.multitree.multi_tree_traversal`
+with ``m = 2``, plus the classic *nearest-first* visiting order: child
+pairs are expanded in ascending node-pair distance, which tightens the
+pruning bounds of comparative reductions (k-NN, Hausdorff) as early as
+possible.  The base case receives raw point-slice boundaries so the
+generated vectorised kernels can slice the permuted point arrays
+directly.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from ..trees.node import ArrayTree
+from .multitree import TraversalStats
+
+__all__ = ["dual_tree_traversal"]
+
+
+def dual_tree_traversal(
+    qtree: ArrayTree,
+    rtree: ArrayTree,
+    prune_or_approx: Callable[[int, int], int] | None,
+    base_case: Callable[[int, int, int, int], None],
+    pair_min_dist: Callable[[int, int], float] | None = None,
+    q_root: int = 0,
+    r_root: int = 0,
+    stats: TraversalStats | None = None,
+) -> TraversalStats:
+    """Traverse the (query, reference) tree pair.
+
+    ``base_case(qs, qe, rs, re)`` gets the leaf slices; ``pair_min_dist``
+    (when given) orders sibling pairs nearest-first.
+    """
+    stats = stats or TraversalStats()
+    q_leaf_arr = qtree.is_leaf_arr
+    r_leaf_arr = rtree.is_leaf_arr
+    qstart, qend = qtree.start, qtree.end
+    rstart, rend = rtree.start, rtree.end
+
+    stack: list[tuple[int, int]] = [(q_root, r_root)]
+    push = stack.append
+    pop = stack.pop
+    while stack:
+        qi, ri = pop()
+        stats.visited += 1
+        if prune_or_approx is not None:
+            code = prune_or_approx(qi, ri)
+            if code:
+                if code == 1:
+                    stats.pruned += 1
+                else:
+                    stats.approximated += 1
+                continue
+        ql = q_leaf_arr[qi]
+        rl = r_leaf_arr[ri]
+        if ql and rl:
+            stats.base_cases += 1
+            stats.base_case_pairs += int(
+                (qend[qi] - qstart[qi]) * (rend[ri] - rstart[ri])
+            )
+            base_case(int(qstart[qi]), int(qend[qi]),
+                      int(rstart[ri]), int(rend[ri]))
+            continue
+        qs = (qi,) if ql else tuple(int(c) for c in qtree.children(qi))
+        rs = (ri,) if rl else tuple(int(c) for c in rtree.children(ri))
+        pairs = [(a, b) for a in qs for b in rs]
+        if pair_min_dist is not None and len(pairs) > 1:
+            # Push farthest first so the nearest pair is popped first.
+            pairs.sort(key=lambda p: pair_min_dist(p[0], p[1]), reverse=True)
+        for p in pairs:
+            push(p)
+    return stats

@@ -1,0 +1,95 @@
+"""Multi-tree traversal — paper Algorithm 1.
+
+The rule set supplies the three functions the algorithm dispatches on:
+
+* ``prune_or_approx(n1, n2, ...) -> int`` — 0: recurse, 1: pruned,
+  2: approximated (ComputeApprox already applied inside);
+* ``base_case(slices...)`` — leaf-tuple point-to-point computation;
+* the ComputeApprox action is folded into ``prune_or_approx`` (the
+  traversal itself never needs to distinguish the two non-zero codes,
+  but statistics do).
+
+Two implementations are provided:
+
+* :func:`multi_tree_traversal` — the faithful m-tree generalisation: all
+  non-leaf nodes of the tuple are split simultaneously and the traversal
+  recurses over the power-set tuples (lines 6–11 of Algorithm 1);
+* :class:`DualTreeTraversal` (see :mod:`repro.traversal.dualtree`) — the
+  optimised 2-tree fast path used by the compiled problems.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from itertools import product
+from typing import Callable, Sequence
+
+from ..trees.node import ArrayTree
+
+__all__ = ["TraversalStats", "multi_tree_traversal"]
+
+
+@dataclass
+class TraversalStats:
+    """Counters for analysing prune/approximate effectiveness."""
+
+    visited: int = 0
+    pruned: int = 0
+    approximated: int = 0
+    base_cases: int = 0
+    base_case_pairs: int = 0  # point pairs evaluated exactly
+
+    def merge(self, other: "TraversalStats") -> None:
+        self.visited += other.visited
+        self.pruned += other.pruned
+        self.approximated += other.approximated
+        self.base_cases += other.base_cases
+        self.base_case_pairs += other.base_case_pairs
+
+
+def multi_tree_traversal(
+    trees: Sequence[ArrayTree],
+    prune_or_approx: Callable[..., int] | None,
+    base_case: Callable[..., None],
+    roots: Sequence[int] | None = None,
+    stats: TraversalStats | None = None,
+) -> TraversalStats:
+    """Run Algorithm 1 over ``m`` trees.
+
+    ``prune_or_approx`` and ``base_case`` receive ``m`` node ids, one per
+    tree; ``base_case`` receives them as node ids (the caller's closure
+    resolves slices).  Iterative with an explicit stack (tree depth is
+    O(log n) but the pair stack can be large).
+    """
+    m = len(trees)
+    stats = stats or TraversalStats()
+    stack = [tuple(roots) if roots is not None else (0,) * m]
+    while stack:
+        nodes = stack.pop()
+        stats.visited += 1
+        if prune_or_approx is not None:
+            code = prune_or_approx(*nodes)
+            if code:
+                if code == 1:
+                    stats.pruned += 1
+                else:
+                    stats.approximated += 1
+                continue
+        if all(trees[i].is_leaf(nodes[i]) for i in range(m)):
+            stats.base_cases += 1
+            npairs = 1
+            for i in range(m):
+                npairs *= trees[i].count(nodes[i])
+            stats.base_case_pairs += npairs
+            base_case(*nodes)
+            continue
+        # Split every non-leaf node (N_i^split), keep leaves whole, and
+        # recurse over the power-set tuples.
+        splits = [
+            [nodes[i]] if trees[i].is_leaf(nodes[i])
+            else list(trees[i].children(nodes[i]))
+            for i in range(m)
+        ]
+        for tup in product(*splits):
+            stack.append(tuple(int(x) for x in tup))
+    return stats

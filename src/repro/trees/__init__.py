@@ -1,0 +1,50 @@
+"""Space-partitioning trees: kd-tree, quadtree/octree, ball tree.
+
+The algorithmic substrate of paper section II-A.  All trees share the
+array-backed :class:`~repro.trees.node.ArrayTree` storage and the
+distance-bound API consumed by the multi-tree traversal.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .balltree import BallTree, build_balltree
+from .kdtree import KDTree, build_kdtree
+from .node import ArrayTree, TreeNode
+from .octree import Octree, build_octree
+
+__all__ = [
+    "ArrayTree", "TreeNode", "KDTree", "Octree", "BallTree",
+    "build_kdtree", "build_octree", "build_balltree", "build_tree",
+]
+
+_BUILDERS = {
+    "kd": build_kdtree,
+    "octree": build_octree,
+    "ball": build_balltree,
+}
+
+
+def build_tree(
+    kind: str,
+    points: np.ndarray,
+    leaf_size: int = 32,
+    weights: np.ndarray | None = None,
+    split: str = "median",
+) -> ArrayTree:
+    """Build a tree of the requested kind ('kd', 'octree' or 'ball').
+
+    ``split`` selects the kd splitting strategy ('median' or 'midpoint');
+    other tree kinds define their own partitioning and ignore it.
+    """
+    try:
+        builder = _BUILDERS[kind]
+    except KeyError:
+        raise ValueError(
+            f"unknown tree kind {kind!r}; choose from {sorted(_BUILDERS)}"
+        ) from None
+    if kind == "kd":
+        return builder(points, leaf_size=leaf_size, weights=weights,
+                       split=split)
+    return builder(points, leaf_size=leaf_size, weights=weights)

@@ -1,0 +1,119 @@
+"""Bounding-volume distance bounds (paper section II-A).
+
+The bounding-box information maintained by the space-partitioning trees
+lets the traversal compute minimum and maximum node-to-node and
+point-to-node distances *without touching the points* — the property the
+paper calls critical for performance, because every prune / approximate
+decision is made from these bounds alone.
+
+All functions are expressed in one of the canonical *base* metrics
+(:data:`repro.dsl.funcs.BASE_METRICS`):
+
+* ``sqeuclidean`` — squared Euclidean distance (the Euclidean family),
+* ``manhattan``  — L1 distance,
+* ``chebyshev``  — L∞ distance.
+
+Inputs are per-dimension ``lo``/``hi`` corner vectors of axis-aligned
+hyper-rectangles.  Every bound returned is *true*: for any points ``a`` in
+box A and ``b`` in box B, ``min_dist(A, B) ≤ d(a, b) ≤ max_dist(A, B)``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = [
+    "box_gaps", "box_spans", "box_min_dist", "box_max_dist",
+    "point_box_min_dist", "point_box_max_dist",
+    "sphere_min_dist", "sphere_max_dist",
+]
+
+
+def box_gaps(alo, ahi, blo, bhi) -> np.ndarray:
+    """Per-dimension separation between two boxes (0 where they overlap)."""
+    return np.maximum(0.0, np.maximum(blo - ahi, alo - bhi))
+
+
+def box_spans(alo, ahi, blo, bhi) -> np.ndarray:
+    """Per-dimension farthest separation between two boxes."""
+    return np.maximum(bhi - alo, ahi - blo)
+
+
+def box_min_dist(base: str, alo, ahi, blo, bhi) -> float:
+    """Minimum base-distance between any pair of points in the two boxes."""
+    g = box_gaps(alo, ahi, blo, bhi)
+    if base == "sqeuclidean":
+        return float(np.dot(g, g))
+    if base == "manhattan":
+        return float(g.sum())
+    if base == "chebyshev":
+        return float(g.max())
+    raise ValueError(f"unknown base metric {base!r}")
+
+
+def box_max_dist(base: str, alo, ahi, blo, bhi) -> float:
+    """Maximum base-distance between any pair of points in the two boxes."""
+    s = box_spans(alo, ahi, blo, bhi)
+    # Degenerate boxes (single point vs itself) can give tiny negatives.
+    s = np.maximum(s, 0.0)
+    if base == "sqeuclidean":
+        return float(np.dot(s, s))
+    if base == "manhattan":
+        return float(s.sum())
+    if base == "chebyshev":
+        return float(s.max())
+    raise ValueError(f"unknown base metric {base!r}")
+
+
+def point_box_min_dist(base: str, x, lo, hi) -> float:
+    """Minimum base-distance from point *x* to a box."""
+    g = np.maximum(0.0, np.maximum(lo - x, x - hi))
+    if base == "sqeuclidean":
+        return float(np.dot(g, g))
+    if base == "manhattan":
+        return float(g.sum())
+    if base == "chebyshev":
+        return float(g.max())
+    raise ValueError(f"unknown base metric {base!r}")
+
+
+def point_box_max_dist(base: str, x, lo, hi) -> float:
+    """Maximum base-distance from point *x* to a box."""
+    s = np.maximum(hi - x, x - lo)
+    s = np.maximum(s, 0.0)
+    if base == "sqeuclidean":
+        return float(np.dot(s, s))
+    if base == "manhattan":
+        return float(s.sum())
+    if base == "chebyshev":
+        return float(s.max())
+    raise ValueError(f"unknown base metric {base!r}")
+
+
+def _euclidean_center_dist(ca, cb) -> float:
+    d = np.asarray(ca) - np.asarray(cb)
+    return float(np.sqrt(np.dot(d, d)))
+
+
+def sphere_min_dist(base: str, ca, ra: float, cb, rb: float) -> float:
+    """Minimum base-distance between two bounding hyperspheres.
+
+    Spheres bound Euclidean balls, so only the Euclidean family is exact;
+    for L1/L∞ the Euclidean bound is scaled conservatively by the norm
+    equivalence constants (√d for L1 lower bounds is not needed — the
+    Euclidean distance lower-bounds L1 and upper×√d bounds L∞ handled by
+    the caller).  Ball trees in this codebase are restricted to the
+    Euclidean family, enforced at compile time.
+    """
+    if base != "sqeuclidean":
+        raise ValueError("ball trees support the Euclidean family only")
+    gap = max(0.0, _euclidean_center_dist(ca, cb) - ra - rb)
+    return gap * gap
+
+
+def sphere_max_dist(base: str, ca, ra: float, cb, rb: float) -> float:
+    """Maximum base-distance between two bounding hyperspheres."""
+    if base != "sqeuclidean":
+        raise ValueError("ball trees support the Euclidean family only")
+    span = _euclidean_center_dist(ca, cb) + ra + rb
+    return span * span

@@ -1,0 +1,226 @@
+"""Array-backed space-partitioning tree storage.
+
+Trees are stored struct-of-arrays for cache-friendly traversal: one NumPy
+array per node attribute, indexed by node id.  Node 0 is the root and
+children appear after their parent (DFS preorder), so iterating node ids
+forward is a valid top-down order.
+
+Points are *reordered* during construction so that every node owns a
+contiguous slice ``[start, end)`` of the permuted point array — the
+property that lets the backend run vectorised base cases directly on leaf
+slices.  ``perm`` maps permuted positions back to the caller's original
+point indices.
+
+Per-node metadata maintained (paper sections II-A, II-C and Table III):
+bounding box ``lo``/``hi``, point count, box ``center``, centroid (mean
+point), widest-dimension ``diameter``, and — when the dataset carries
+weights — total weight and weighted centroid (the center of mass used by
+Barnes-Hut's ComputeApprox).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from . import geometry
+
+__all__ = ["ArrayTree", "TreeNode"]
+
+
+class ArrayTree:
+    """Common storage and query API for kd-trees, octrees and ball trees."""
+
+    kind = "array"
+
+    def __init__(
+        self,
+        points: np.ndarray,
+        perm: np.ndarray,
+        lo: np.ndarray,
+        hi: np.ndarray,
+        start: np.ndarray,
+        end: np.ndarray,
+        child_ids: list[list[int]],
+        weights: np.ndarray | None = None,
+        leaf_size: int = 32,
+    ):
+        self.points = np.ascontiguousarray(points)  # permuted, shape (n, d)
+        self.points_col = np.ascontiguousarray(self.points.T)  # shape (d, n)
+        self.perm = perm
+        self.lo = lo
+        self.hi = hi
+        self.start = start
+        self.end = end
+        self.leaf_size = leaf_size
+        self.n_nodes = len(start)
+        self.weights = None if weights is None else np.asarray(weights, float)[perm]
+
+        # Flattened children adjacency (CSR-style).
+        counts = np.fromiter((len(c) for c in child_ids), dtype=np.int64,
+                             count=self.n_nodes)
+        self.child_offset = np.concatenate([[0], np.cumsum(counts)])
+        self.child_list = np.fromiter(
+            (c for cs in child_ids for c in cs), dtype=np.int64,
+            count=int(counts.sum()),
+        )
+        self.is_leaf_arr = counts == 0
+
+        self.center = 0.5 * (self.lo + self.hi)
+        self.diameter = (self.hi - self.lo).max(axis=1)  # widest-dim span
+
+        # Centroids (and mass data when weighted) per node, O(n log n) total.
+        n_nodes, d = self.n_nodes, self.points.shape[1]
+        self.centroid = np.empty((n_nodes, d))
+        if self.weights is not None:
+            self.wsum = np.empty(n_nodes)
+            self.wcentroid = np.empty((n_nodes, d))
+        for i in range(n_nodes):
+            s, e = self.start[i], self.end[i]
+            pts = self.points[s:e]
+            self.centroid[i] = pts.mean(axis=0)
+            if self.weights is not None:
+                w = self.weights[s:e]
+                tw = w.sum()
+                self.wsum[i] = tw
+                self.wcentroid[i] = (
+                    (w[:, None] * pts).sum(axis=0) / tw if tw > 0 else self.centroid[i]
+                )
+
+    # -- structure -----------------------------------------------------------
+    @property
+    def n(self) -> int:
+        return self.points.shape[0]
+
+    @property
+    def dim(self) -> int:
+        return self.points.shape[1]
+
+    def is_leaf(self, i: int) -> bool:
+        return bool(self.is_leaf_arr[i])
+
+    def children(self, i: int) -> np.ndarray:
+        return self.child_list[self.child_offset[i]:self.child_offset[i + 1]]
+
+    def count(self, i: int) -> int:
+        return int(self.end[i] - self.start[i])
+
+    def slice(self, i: int) -> tuple[int, int]:
+        return int(self.start[i]), int(self.end[i])
+
+    def node(self, i: int) -> "TreeNode":
+        return TreeNode(self, i)
+
+    def leaves(self):
+        """Iterate leaf node ids."""
+        return np.nonzero(self.is_leaf_arr)[0]
+
+    # -- distance bounds ----------------------------------------------------------
+    def min_dist(self, base: str, i: int, other: "ArrayTree", j: int) -> float:
+        """Lower bound on base-distance between points of node *i* and node
+        *j* of *other* (boxes; ball tree overrides with spheres)."""
+        return geometry.box_min_dist(
+            base, self.lo[i], self.hi[i], other.lo[j], other.hi[j]
+        )
+
+    def max_dist(self, base: str, i: int, other: "ArrayTree", j: int) -> float:
+        """Upper bound counterpart of :meth:`min_dist`."""
+        return geometry.box_max_dist(
+            base, self.lo[i], self.hi[i], other.lo[j], other.hi[j]
+        )
+
+    def point_min_dist(self, base: str, x: np.ndarray, i: int) -> float:
+        return geometry.point_box_min_dist(base, x, self.lo[i], self.hi[i])
+
+    def point_max_dist(self, base: str, x: np.ndarray, i: int) -> float:
+        return geometry.point_box_max_dist(base, x, self.lo[i], self.hi[i])
+
+    # -- diagnostics -----------------------------------------------------------
+    def depth(self) -> int:
+        """Maximum depth of the tree (root = 0)."""
+        depth = np.zeros(self.n_nodes, dtype=np.int64)
+        for i in range(self.n_nodes):
+            for c in self.children(i):
+                depth[c] = depth[i] + 1
+        return int(depth.max()) if self.n_nodes else 0
+
+    def validate(self) -> None:
+        """Assert structural invariants; used by the test-suite."""
+        seen = np.zeros(self.n, dtype=bool)
+        for i in self.leaves():
+            s, e = self.slice(i)
+            assert e > s, f"empty leaf {i}"
+            assert not seen[s:e].any(), "leaves overlap"
+            seen[s:e] = True
+        assert seen.all(), "leaves do not cover all points"
+        for i in range(self.n_nodes):
+            s, e = self.slice(i)
+            pts = self.points[s:e]
+            assert np.all(pts >= self.lo[i] - 1e-12), f"box lo violated at {i}"
+            assert np.all(pts <= self.hi[i] + 1e-12), f"box hi violated at {i}"
+            kids = self.children(i)
+            if len(kids):
+                ks = sorted(self.slice(int(c)) for c in kids)
+                assert ks[0][0] == s and ks[-1][1] == e, "children must tile parent"
+                for (a, b), (c, d) in zip(ks, ks[1:]):
+                    assert b == c, "children slices must be contiguous"
+
+    def __repr__(self) -> str:
+        return (
+            f"{type(self).__name__}(n={self.n}, d={self.dim}, "
+            f"nodes={self.n_nodes}, leaf_size={self.leaf_size})"
+        )
+
+
+class TreeNode:
+    """Lightweight view of one tree node — the user/test-facing handle."""
+
+    __slots__ = ("tree", "id")
+
+    def __init__(self, tree: ArrayTree, node_id: int):
+        self.tree = tree
+        self.id = int(node_id)
+
+    @property
+    def lo(self):
+        return self.tree.lo[self.id]
+
+    @property
+    def hi(self):
+        return self.tree.hi[self.id]
+
+    @property
+    def center(self):
+        return self.tree.center[self.id]
+
+    @property
+    def centroid(self):
+        return self.tree.centroid[self.id]
+
+    @property
+    def diameter(self) -> float:
+        return float(self.tree.diameter[self.id])
+
+    @property
+    def count(self) -> int:
+        return self.tree.count(self.id)
+
+    @property
+    def is_leaf(self) -> bool:
+        return self.tree.is_leaf(self.id)
+
+    @property
+    def points(self):
+        s, e = self.tree.slice(self.id)
+        return self.tree.points[s:e]
+
+    @property
+    def indices(self):
+        """Original (pre-permutation) indices of this node's points."""
+        s, e = self.tree.slice(self.id)
+        return self.tree.perm[s:e]
+
+    def children(self):
+        return [TreeNode(self.tree, int(c)) for c in self.tree.children(self.id)]
+
+    def __repr__(self) -> str:
+        return f"TreeNode(id={self.id}, n={self.count}, leaf={self.is_leaf})"

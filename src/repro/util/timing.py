@@ -1,0 +1,53 @@
+"""Timing helpers for the benchmark harnesses."""
+
+from __future__ import annotations
+
+import time
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+
+__all__ = ["Timer", "timed", "best_of"]
+
+
+@dataclass
+class Timer:
+    """Accumulating wall-clock timer."""
+
+    elapsed: float = 0.0
+    laps: list[float] = field(default_factory=list)
+
+    @contextmanager
+    def measure(self):
+        t0 = time.perf_counter()
+        try:
+            yield self
+        finally:
+            dt = time.perf_counter() - t0
+            self.elapsed += dt
+            self.laps.append(dt)
+
+
+@contextmanager
+def timed(label: str | None = None, sink: dict | None = None):
+    """Context manager printing (or recording) a wall-clock measurement."""
+    t0 = time.perf_counter()
+    box: dict = {}
+    try:
+        yield box
+    finally:
+        dt = time.perf_counter() - t0
+        box["seconds"] = dt
+        if sink is not None and label is not None:
+            sink[label] = dt
+        elif label is not None:
+            print(f"{label}: {dt:.4f}s")
+
+
+def best_of(fn, repeats: int = 3) -> float:
+    """Best wall-clock time of ``repeats`` calls (paper-style reporting)."""
+    best = float("inf")
+    for _ in range(repeats):
+        t0 = time.perf_counter()
+        fn()
+        best = min(best, time.perf_counter() - t0)
+    return best

@@ -1,0 +1,59 @@
+"""Leaf-size auto-tuning.
+
+The paper: "we also empirically tune the algorithmic parameter, leaf
+size and level of tree parallelization to achieve scalability" (V-B).
+This helper performs that empirical tuning: it times a problem over a
+candidate grid (on a subsample for large inputs) and returns the best
+leaf size.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Callable, Sequence
+
+import numpy as np
+
+__all__ = ["TuneResult", "tune_leaf_size"]
+
+DEFAULT_CANDIDATES = (16, 32, 64, 128, 256)
+
+
+@dataclass
+class TuneResult:
+    best: int
+    timings: dict[int, float] = field(default_factory=dict)
+
+    def __repr__(self) -> str:
+        rows = ", ".join(f"{k}: {v:.4f}s" for k, v in sorted(self.timings.items()))
+        return f"TuneResult(best={self.best}, {{{rows}}})"
+
+
+def tune_leaf_size(
+    run: Callable[[int], object],
+    candidates: Sequence[int] = DEFAULT_CANDIDATES,
+    repeats: int = 2,
+) -> TuneResult:
+    """Time ``run(leaf_size)`` over the candidate grid; best-of-``repeats``.
+
+    Example
+    -------
+    >>> from repro.problems import knn
+    >>> result = tune_leaf_size(lambda leaf: knn(Q, R, k=5, leaf_size=leaf))
+    >>> knn(Q, R, k=5, leaf_size=result.best)
+    """
+    if not candidates:
+        raise ValueError("need at least one candidate leaf size")
+    timings: dict[int, float] = {}
+    for leaf in candidates:
+        if leaf < 1:
+            raise ValueError(f"invalid leaf size {leaf}")
+        best = float("inf")
+        for _ in range(repeats):
+            t0 = time.perf_counter()
+            run(int(leaf))
+            best = min(best, time.perf_counter() - t0)
+        timings[int(leaf)] = best
+    best_leaf = min(timings, key=timings.get)
+    return TuneResult(best=best_leaf, timings=timings)

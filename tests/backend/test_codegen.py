@@ -1,0 +1,179 @@
+"""Tests for the vectorising code generator: emitted source structure and
+compiled closure behaviour."""
+
+import numpy as np
+import pytest
+
+from repro.backend.codegen import CodegenSpec, emit_expr, generate
+from repro.backend.layout import Layout
+from repro.dsl.errors import CompileError
+from repro.dsl.expr import BinOp, Const, Indicator
+from repro.dsl.ops import PortalOp
+from repro.ir.nodes import IRCall, SymRef
+from repro.rules.spec import RuleSpec
+
+
+class TestEmitExpr:
+    def test_symref(self):
+        assert emit_expr(SymRef("t"), {"t": "tv"}) == "tv"
+
+    def test_unbound_symref_rejected(self):
+        with pytest.raises(CompileError):
+            emit_expr(SymRef("zz"), {})
+
+    def test_binop(self):
+        e = BinOp("*", SymRef("t"), Const(2.0))
+        assert emit_expr(e, {"t": "t"}) == "(t * 2.0)"
+
+    def test_calls_map_to_numpy(self):
+        assert emit_expr(IRCall("sqrt", (SymRef("t"),)), {"t": "t"}) == "np.sqrt(t)"
+        assert emit_expr(IRCall("fast_inverse_sqrt", (SymRef("t"),)),
+                         {"t": "t"}) == "finvsqrt(t)"
+
+    def test_indicator(self):
+        e = Indicator("<", SymRef("t"), Const(1.0))
+        src = emit_expr(e, {"t": "t"})
+        assert "<" in src and "np.multiply" in src
+
+    def test_unknown_call_rejected(self):
+        with pytest.raises(CompileError):
+            emit_expr(IRCall("mystery", ()), {})
+
+
+def _spec(**kw):
+    defaults = dict(
+        dim=3, layout=Layout.COLUMN, base="sqeuclidean",
+        g_ir=SymRef("t"), monotone="increasing",
+        outer_op=PortalOp.FORALL, inner_op=PortalOp.SUM,
+    )
+    defaults.update(kw)
+    return CodegenSpec(**defaults)
+
+
+def _bindings(Q, R, state_arrays, **extra):
+    b = dict(
+        QCOL=np.ascontiguousarray(Q.T), QROW=Q,
+        RCOL=np.ascontiguousarray(R.T), RROW=R,
+        K=1, H=0.0, TAU=0.0, THETA2=0.25, rw=None,
+    )
+    b.update(state_arrays)
+    b.update(extra)
+    return b
+
+
+@pytest.fixture
+def rng():
+    return np.random.default_rng(11)
+
+
+class TestSourceStructure:
+    def test_column_layout_unrolls_dims(self, rng):
+        Q = rng.normal(size=(8, 3))
+        gk = generate(_spec(), _bindings(Q, Q, {"acc": np.zeros(8)}))
+        assert "_d0" in gk.source and "_d2" in gk.source
+        assert "einsum" not in gk.source
+
+    def test_row_layout_uses_gemm_norm_expansion(self, rng):
+        Q = rng.normal(size=(8, 6))
+        n2 = np.einsum("ij,ij->i", Q, Q)
+        gk = generate(_spec(dim=6, layout=Layout.ROW),
+                      _bindings(Q, Q, {"acc": np.zeros(8)}, QN2=n2, RN2=n2))
+        assert "QN2" in gk.source and "@" in gk.source
+        assert "_d0" not in gk.source
+
+    def test_row_layout_manhattan_uses_diff_tensor(self, rng):
+        Q = rng.normal(size=(8, 6))
+        gk = generate(_spec(dim=6, layout=Layout.ROW, base="manhattan"),
+                      _bindings(Q, Q, {"acc": np.zeros(8)}))
+        assert "np.abs(diff).sum" in gk.source
+
+    def test_strength_reduced_kernel_visible(self, rng):
+        Q = rng.normal(size=(8, 3))
+        g = BinOp("/", Const(1.0), IRCall("fast_inverse_sqrt", (SymRef("t"),)))
+        gk = generate(_spec(g_ir=g, inner_op=PortalOp.MIN),
+                      _bindings(Q, Q, {"best": np.full(8, np.inf)}))
+        assert "finvsqrt" in gk.source
+
+    def test_header_mentions_config(self, rng):
+        Q = rng.normal(size=(8, 3))
+        gk = generate(_spec(), _bindings(Q, Q, {"acc": np.zeros(8)}))
+        assert "layout=column" in gk.source
+        assert "inner=SUM" in gk.source
+
+    def test_prod_weighted_rejected(self, rng):
+        Q = rng.normal(size=(8, 3))
+        with pytest.raises(CompileError, match="PROD"):
+            generate(_spec(inner_op=PortalOp.PROD, weighted=True),
+                     _bindings(Q, Q, {"acc": np.ones(8)}))
+
+
+class TestCompiledClosures:
+    def test_sum_base_case(self, rng):
+        Q = rng.normal(size=(8, 3))
+        R = rng.normal(size=(9, 3))
+        acc = np.zeros(8)
+        gk = generate(_spec(), _bindings(Q, R, {"acc": acc}))
+        gk.base_case(0, 8, 0, 9)
+        d2 = ((Q[:, None, :] - R[None, :, :]) ** 2).sum(-1)
+        assert np.allclose(acc, d2.sum(axis=1))
+
+    def test_weighted_sum(self, rng):
+        Q = rng.normal(size=(6, 3))
+        R = rng.normal(size=(7, 3))
+        w = rng.uniform(1, 2, size=7)
+        acc = np.zeros(6)
+        gk = generate(_spec(weighted=True),
+                      _bindings(Q, R, {"acc": acc}, rw=w))
+        gk.base_case(0, 6, 0, 7)
+        d2 = ((Q[:, None, :] - R[None, :, :]) ** 2).sum(-1)
+        assert np.allclose(acc, d2 @ w)
+
+    def test_argmin_updates(self, rng):
+        Q = rng.normal(size=(6, 3))
+        R = rng.normal(size=(7, 3))
+        best = np.full(6, np.inf)
+        bidx = np.full(6, -1, dtype=np.int64)
+        gk = generate(_spec(inner_op=PortalOp.ARGMIN),
+                      _bindings(Q, R, {"best": best, "best_idx": bidx}))
+        gk.base_case(0, 6, 0, 7)
+        d2 = ((Q[:, None, :] - R[None, :, :]) ** 2).sum(-1)
+        assert np.allclose(best, d2.min(axis=1))
+        assert np.array_equal(bidx, d2.argmin(axis=1))
+
+    def test_exclude_self_diagonal(self, rng):
+        Q = rng.normal(size=(5, 3))
+        best = np.full(5, np.inf)
+        bidx = np.full(5, -1, dtype=np.int64)
+        gk = generate(
+            _spec(inner_op=PortalOp.ARGMIN, same_tree=True, exclude_self=True),
+            _bindings(Q, Q, {"best": best, "best_idx": bidx}),
+        )
+        gk.base_case(0, 5, 0, 5)
+        assert np.all(bidx != np.arange(5))
+
+    def test_kmin_sorted(self, rng):
+        Q = rng.normal(size=(5, 3))
+        R = rng.normal(size=(9, 3))
+        best = np.full((5, 3), np.inf)
+        gk = generate(_spec(inner_op=PortalOp.KMIN, k=3),
+                      dict(_bindings(Q, R, {"best": best}), K=3))
+        gk.base_case(0, 5, 0, 9)
+        d2 = np.sort(((Q[:, None, :] - R[None, :, :]) ** 2).sum(-1), axis=1)
+        assert np.allclose(best, d2[:, :3])
+
+    def test_pair_dist_closures(self, rng):
+        Q = rng.normal(size=(8, 3))
+        rule = RuleSpec(kind="bound-min")
+        qlo = Q.min(0)[None].repeat(1, 0)
+        gk = generate(
+            _spec(inner_op=PortalOp.MIN, rule=rule),
+            _bindings(
+                Q, Q, {"best": np.full(8, np.inf)},
+                qlo=Q.min(0)[None], qhi=Q.max(0)[None],
+                rlo=Q.min(0)[None], rhi=Q.max(0)[None],
+                qstart=np.array([0]), qend=np.array([8]),
+                rstart=np.array([0]), rend=np.array([8]),
+            ),
+        )
+        assert gk.pair_min_dist(0, 0) == 0.0
+        assert gk.prune_or_approx is not None

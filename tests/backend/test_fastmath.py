@@ -1,0 +1,63 @@
+"""Tests for the fast inverse square root (section IV-E)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.backend.fastmath import (
+    fast_inverse_sqrt, fast_inverse_sqrt32, fast_sqrt,
+)
+
+
+class TestFloat64:
+    @given(x=st.floats(min_value=1e-300, max_value=1e300))
+    def test_relative_error_bound(self, x):
+        approx = float(fast_inverse_sqrt(x))
+        exact = 1.0 / np.sqrt(x)
+        assert abs(approx - exact) / exact < 5e-6
+
+    def test_vectorised(self):
+        x = np.array([1.0, 4.0, 9.0, 16.0])
+        assert np.allclose(fast_inverse_sqrt(x), 1.0 / np.sqrt(x), rtol=1e-5)
+
+    def test_zero_gives_inf(self):
+        assert np.isinf(fast_inverse_sqrt(0.0))
+        assert np.isinf(fast_inverse_sqrt(np.array([0.0]))[0])
+
+    def test_negative_gives_inf(self):
+        assert np.isinf(fast_inverse_sqrt(-1.0))
+
+    def test_mixed_array(self):
+        out = fast_inverse_sqrt(np.array([0.0, 4.0, -2.0]))
+        assert np.isinf(out[0]) and np.isclose(out[1], 0.5, rtol=1e-5)
+        assert np.isinf(out[2])
+
+    def test_2d_shape_preserved(self):
+        x = np.full((3, 4), 4.0)
+        assert fast_inverse_sqrt(x).shape == (3, 4)
+
+
+class TestFloat32:
+    @given(x=st.floats(min_value=1e-30, max_value=1e30))
+    def test_quake_error_bound(self, x):
+        """The classic routine's error stays under the paper's 0.17 %."""
+        approx = float(fast_inverse_sqrt32(np.float32(x)))
+        exact = 1.0 / np.sqrt(np.float64(x))
+        assert abs(approx - exact) / exact < 1.8e-3
+
+    def test_scalar_shape(self):
+        out = fast_inverse_sqrt32(np.float32(4.0))
+        assert np.ndim(out) == 0 or out.shape == ()
+
+
+class TestFastSqrt:
+    def test_zero_gives_zero_not_nan(self):
+        """The paper's point: 1/(1/√x) returns 0 at x = 0, not NaN."""
+        out = fast_sqrt(np.array([0.0]))
+        assert out[0] == 0.0 and not np.isnan(out[0])
+
+    @given(x=st.floats(min_value=1e-10, max_value=1e10))
+    def test_matches_sqrt(self, x):
+        assert float(fast_sqrt(np.array([x]))[0]) == pytest.approx(
+            float(np.sqrt(x)), rel=1e-5
+        )

@@ -1,0 +1,199 @@
+"""Tests for the compilation driver (modes, options, validation)."""
+
+import numpy as np
+import pytest
+
+from repro.dsl import (
+    CompileError, PortalExpr, PortalFunc, PortalOp, SpecificationError,
+    Storage, Var, indicator, pow, sqrt,
+)
+from repro.backend.jit import CompileOptions
+
+
+@pytest.fixture
+def rng():
+    return np.random.default_rng(12)
+
+
+def nn_expr(rng, d=3, n=60):
+    e = PortalExpr("nn")
+    e.addLayer(PortalOp.FORALL, Storage(rng.normal(size=(n, d)), name="q"))
+    e.addLayer(PortalOp.ARGMIN, Storage(rng.normal(size=(n + 10, d)), name="r"),
+               PortalFunc.EUCLIDEAN)
+    return e
+
+
+class TestOptions:
+    def test_defaults(self):
+        opts = CompileOptions.from_dict({})
+        assert opts.backend == "vectorized" and opts.tree == "kd"
+        assert opts.fastmath
+
+    def test_unknown_rejected(self):
+        with pytest.raises(SpecificationError):
+            CompileOptions.from_dict({"bogus": 1})
+
+
+class TestModes:
+    def test_tree_mode_default(self, rng):
+        prog = nn_expr(rng).compile()
+        assert prog.mode == "tree"
+        assert prog.qtree is not None
+
+    def test_brute_backend_option(self, rng):
+        prog = nn_expr(rng).compile(backend="brute")
+        assert prog.mode == "brute"
+
+    def test_tree_none_forces_brute(self, rng):
+        prog = nn_expr(rng).compile(tree="none")
+        assert prog.mode == "brute"
+
+    def test_external_kernel_forces_brute(self, rng):
+        e = PortalExpr()
+        s1 = Storage(rng.normal(size=(20, 3)))
+        s2 = Storage(rng.normal(size=(20, 3)))
+        e.addLayer(PortalOp.FORALL, s1)
+        e.addLayer(PortalOp.SUM, s2,
+                   lambda Q, R: np.ones((len(Q), len(R))))
+        prog = e.compile()
+        assert prog.mode == "brute"
+        out = prog.run()
+        assert np.allclose(out.values, 20.0)
+
+    def test_nonmonotone_kernel_forces_brute(self, rng):
+        # g(t) = (t-1)² dips and rises: no kernel bounds from distance bounds.
+        q, r = Var("q"), Var("r")
+        t = pow(q - r, 2)
+        e = PortalExpr()
+        s = Storage(rng.normal(size=(20, 3)))
+        e.addLayer(PortalOp.FORALL, s)
+        e.addLayer(PortalOp.SUM, Storage(rng.normal(size=(20, 3))),
+                   (t - 1.0) * (t - 1.0))
+        prog = e.compile()
+        assert prog.mode == "brute"
+        assert prog.classification.algorithm == "brute"
+
+    def test_octree_dim_guard(self, rng):
+        e = PortalExpr()
+        e.addLayer(PortalOp.FORALL, Storage(rng.normal(size=(20, 5))))
+        e.addLayer(PortalOp.ARGMIN, Storage(rng.normal(size=(20, 5))),
+                   PortalFunc.EUCLIDEAN)
+        with pytest.raises(CompileError, match="octrees require"):
+            e.compile(tree="octree")
+
+    def test_ball_tree_euclidean_only(self, rng):
+        e = PortalExpr()
+        e.addLayer(PortalOp.FORALL, Storage(rng.normal(size=(20, 3))))
+        e.addLayer(PortalOp.MIN, Storage(rng.normal(size=(20, 3))),
+                   PortalFunc.MANHATTAN)
+        with pytest.raises(CompileError, match="ball trees"):
+            e.compile(tree="ball")
+
+    def test_ball_tree_works_for_euclidean(self, rng):
+        prog = nn_expr(rng).compile(tree="ball")
+        out = prog.run()
+        assert out.values.shape == (60,)
+
+
+class TestBehaviour:
+    def test_tree_equals_brute(self, rng):
+        e1 = nn_expr(rng)
+        out_tree = e1.execute(fastmath=False)
+        delta = e1.program.validate_against_brute()
+        assert delta < 1e-12
+
+    def _sum_of_distances(self, rng):
+        # SUM is not order-based, so g = sqrt stays in the hot path and
+        # the fastmath knob is visible in the generated source.
+        e = PortalExpr()
+        e.addLayer(PortalOp.FORALL, Storage(rng.normal(size=(30, 3))))
+        e.addLayer(PortalOp.SUM, Storage(rng.normal(size=(30, 3))),
+                   PortalFunc.EUCLIDEAN)
+        return e
+
+    def test_fastmath_off_is_exact_sqrt(self, rng):
+        e = self._sum_of_distances(rng)
+        e.compile(fastmath=False)
+        assert "finvsqrt" not in e.generated_source()
+        e2 = self._sum_of_distances(rng)
+        e2.compile(fastmath=True)
+        assert "finvsqrt" in e2.generated_source()
+
+    def test_monotone_map_deferred_for_ordered_reductions(self, rng):
+        # ARGMIN over sqrt(t): the generated base case reduces raw t and
+        # the sqrt happens once at finalisation.
+        e = nn_expr(rng)
+        e.compile(fastmath=False)
+        src = e.generated_source()
+        assert "np.sqrt" not in src.split("def base_case")[1].split("def ")[0]
+        assert e.program.state.value_transform is not None
+
+    def test_exclude_self_default_on_self_join(self, rng):
+        s = Storage(rng.normal(size=(50, 3)))
+        e = PortalExpr()
+        e.addLayer(PortalOp.FORALL, s)
+        e.addLayer(PortalOp.ARGMIN, s, PortalFunc.EUCLIDEAN)
+        out = e.execute()
+        assert np.all(out.indices != np.arange(50))
+
+    def test_exclude_self_override(self, rng):
+        s = Storage(rng.normal(size=(50, 3)))
+        e = PortalExpr()
+        e.addLayer(PortalOp.FORALL, s)
+        e.addLayer(PortalOp.ARGMIN, s, PortalFunc.EUCLIDEAN)
+        out = e.execute(exclude_self=False)
+        assert np.all(out.indices == np.arange(50))
+        assert np.allclose(out.values, 0.0)
+
+    def test_same_storage_shares_tree(self, rng):
+        s = Storage(rng.normal(size=(50, 3)))
+        e = PortalExpr()
+        e.addLayer(PortalOp.FORALL, s)
+        e.addLayer(PortalOp.ARGMIN, s, PortalFunc.EUCLIDEAN)
+        prog = e.compile()
+        assert prog.qtree is prog.rtree
+
+    def test_stats_populated(self, rng):
+        e = nn_expr(rng)
+        e.execute()
+        st = e.program.stats
+        assert st.base_cases > 0 and st.visited >= st.base_cases
+
+    def test_whitening_runs_through_tree(self, rng):
+        cov = np.diag([1.0, 4.0, 9.0])
+        Q = rng.normal(size=(40, 3))
+        R = rng.normal(size=(50, 3))
+        e = PortalExpr()
+        e.addLayer(PortalOp.FORALL, Storage(Q))
+        e.addLayer(PortalOp.MIN, Storage(R), PortalFunc.MAHALANOBIS,
+                   covariance=cov)
+        out = e.execute(fastmath=False)
+        diff = Q[:, None, :] - R[None, :, :]
+        maha = np.einsum("ijk,kl,ijl->ij", diff, np.linalg.inv(cov), diff)
+        assert np.allclose(out.values, maha.min(axis=1), rtol=1e-8)
+
+    def test_modifier_callable(self, rng):
+        s1 = Storage(rng.normal(size=(20, 3)))
+        s2 = Storage(rng.normal(size=(25, 3)))
+        e = PortalExpr()
+        e.addLayer(PortalOp.SUM, s1, np.log)
+        e.addLayer(PortalOp.SUM, s2, PortalFunc.GAUSSIAN, bandwidth=2.0)
+        out = e.execute(exclude_self=False)
+        d2 = ((s1.data[:, None, :] - s2.data[None, :, :]) ** 2).sum(-1)
+        expected = np.log(np.exp(-d2 / 8.0).sum(axis=1)).sum()
+        assert out.scalar == pytest.approx(expected, rel=1e-4)
+
+    def test_bad_modifier_rejected(self, rng):
+        s = Storage(rng.normal(size=(20, 3)))
+        e = PortalExpr()
+        e.addLayer(PortalOp.SUM, s, "not-a-function")
+        e.addLayer(PortalOp.SUM, s, PortalFunc.GAUSSIAN)
+        from repro.dsl import PortalError
+
+        with pytest.raises(PortalError):
+            e.compile()
+
+    def test_leaf_size_option(self, rng):
+        e = nn_expr(rng, n=200)
+        e.compile(leaf_size=10)
+        assert e.program.qtree.leaf_size == 10

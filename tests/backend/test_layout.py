@@ -1,0 +1,24 @@
+"""Tests for layout selection (sections III-B / IV-F)."""
+
+import pytest
+
+from repro.backend.layout import COLUMN_MAJOR_MAX_DIM, Layout, choose_layout
+
+
+@pytest.mark.parametrize("d", [1, 2, 3, 4])
+def test_low_dim_column(d):
+    assert choose_layout(d) == Layout.COLUMN
+
+
+@pytest.mark.parametrize("d", [5, 11, 28, 68])
+def test_high_dim_row(d):
+    assert choose_layout(d) == Layout.ROW
+
+
+def test_threshold_is_four():
+    assert COLUMN_MAJOR_MAX_DIM == 4
+
+
+def test_invalid_dim():
+    with pytest.raises(ValueError):
+        choose_layout(0)

@@ -1,0 +1,144 @@
+"""Tests for m ≥ 3 layer programs (the general form of equation 2)."""
+
+import numpy as np
+import pytest
+
+from repro.dsl import (
+    CompileError, PortalExpr, PortalOp, Storage, Var, indicator, pow, sqrt,
+)
+
+
+@pytest.fixture
+def rng():
+    return np.random.default_rng(29)
+
+
+def triangle_kernel(a, b, c, h):
+    return (
+        indicator(sqrt(pow(a - b, 2)) < h)
+        * indicator(sqrt(pow(b - c, 2)) < h)
+        * indicator(sqrt(pow(a - c, 2)) < h)
+    )
+
+
+def three_point_expr(storages, h, ops=(PortalOp.SUM,) * 3):
+    a, b, c = Var("a"), Var("b"), Var("c")
+    e = PortalExpr("3pc")
+    e.addLayer(ops[0], a, storages[0])
+    e.addLayer(ops[1], b, storages[1])
+    e.addLayer(ops[2], c, storages[2], triangle_kernel(a, b, c, h))
+    return e
+
+
+class TestThreePointDSL:
+    def test_matches_multitree_implementation(self, rng):
+        from repro.problems import three_point_correlation
+
+        X = rng.normal(size=(70, 3))
+        s = Storage(X)
+        out = three_point_expr((s, s, s), 0.9).execute()
+        assert out.scalar == three_point_correlation(X, 0.9)
+
+    def test_distinct_datasets_no_self_exclusion(self, rng):
+        A = Storage(rng.normal(size=(15, 2)))
+        B = Storage(rng.normal(size=(18, 2)))
+        C = Storage(rng.normal(size=(20, 2)))
+        out = three_point_expr((A, B, C), 1.0).execute()
+        # dense reference
+        dab = np.sqrt(((A.data[:, None] - B.data[None]) ** 2).sum(-1)) < 1.0
+        dbc = np.sqrt(((B.data[:, None] - C.data[None]) ** 2).sum(-1)) < 1.0
+        dac = np.sqrt(((A.data[:, None] - C.data[None]) ** 2).sum(-1)) < 1.0
+        expected = np.einsum("ab,bc,ac->", dab.astype(float),
+                             dbc.astype(float), dac.astype(float))
+        assert out.scalar == expected
+
+    def test_forall_outer_gives_per_point_counts(self, rng):
+        X = rng.normal(size=(40, 3))
+        s = Storage(X)
+        e = three_point_expr((s, s, s), 0.9,
+                             ops=(PortalOp.FORALL, PortalOp.SUM, PortalOp.SUM))
+        out = e.execute()
+        assert out.values.shape == (40,)
+        from repro.problems import three_point_correlation
+
+        assert out.values.sum() == three_point_correlation(X, 0.9)
+
+    def test_min_over_sums(self, rng):
+        # min_a Σ_b Σ_c K — a non-SUM outer over SUM inners.
+        A = Storage(rng.normal(size=(10, 2)))
+        B = Storage(rng.normal(size=(12, 2)))
+        C = Storage(rng.normal(size=(14, 2)))
+        a, b, c = Var("a"), Var("b"), Var("c")
+        kernel = pow(a - b, 2) + pow(b - c, 2) + pow(a - c, 2)
+        e = PortalExpr()
+        e.addLayer(PortalOp.MIN, a, A)
+        e.addLayer(PortalOp.SUM, b, B)
+        e.addLayer(PortalOp.SUM, c, C, kernel)
+        out = e.execute()
+        dab = ((A.data[:, None] - B.data[None]) ** 2).sum(-1)
+        dbc = ((B.data[:, None] - C.data[None]) ** 2).sum(-1)
+        dac = ((A.data[:, None] - C.data[None]) ** 2).sum(-1)
+        dense = (dab[:, :, None] + dbc[None, :, :] + dac[:, None, :])
+        assert out.scalar == pytest.approx(dense.sum(axis=(1, 2)).min())
+
+    def test_ir_dump_has_three_loops(self, rng):
+        X = Storage(rng.normal(size=(10, 2)))
+        e = three_point_expr((X, X, X), 0.5)
+        e.compile()
+        import re
+
+        dump = e.ir_dump("lowered")
+        loops = re.findall(r"^\s*for \w+ in", dump, flags=re.M)
+        assert len(loops) == 3
+        assert "kernel_eval" in dump
+
+    def test_unsupported_operator_rejected(self, rng):
+        X = Storage(rng.normal(size=(10, 2)))
+        a, b, c = Var("a"), Var("b"), Var("c")
+        e = PortalExpr()
+        e.addLayer(PortalOp.FORALL, a, X)
+        e.addLayer(PortalOp.ARGMIN, b, X)
+        e.addLayer(PortalOp.SUM, c, X, triangle_kernel(a, b, c, 1.0))
+        with pytest.raises(CompileError, match="multi-layer"):
+            e.execute()
+
+    def test_exclude_self_masking_guard(self, rng):
+        # MIN reductions cannot use the zero-masking exclusion.
+        X = Storage(rng.normal(size=(10, 2)))
+        a, b, c = Var("a"), Var("b"), Var("c")
+        kernel = pow(a - b, 2) + pow(b - c, 2) + pow(a - c, 2)
+        e = PortalExpr()
+        e.addLayer(PortalOp.MIN, a, X)
+        e.addLayer(PortalOp.MIN, b, X)
+        e.addLayer(PortalOp.MIN, c, X, kernel)
+        with pytest.raises(CompileError, match="exclude_self"):
+            e.execute()
+        out = e.execute(exclude_self=False)
+        assert out.scalar == pytest.approx(0.0)  # a=b=c gives 0
+
+    def test_external_kernel_rejected(self, rng):
+        X = Storage(rng.normal(size=(10, 2)))
+        e = PortalExpr()
+        e.addLayer(PortalOp.SUM, X)
+        e.addLayer(PortalOp.SUM, X)
+        e.addLayer(PortalOp.SUM, X, lambda *a: None)
+        with pytest.raises(CompileError, match="symbolic"):
+            e.execute()
+
+    def test_blocking_matches_unblocked(self, rng):
+        # Force tiny blocks via a large first dataset and compare against
+        # the dense reference.
+        import repro.backend.multilayer as ml
+
+        X = rng.normal(size=(60, 2))
+        s = Storage(X)
+        expr = three_point_expr((s, s, s), 0.8)
+        old = ml._block_size
+        ml._block_size = lambda *a, **k: 7
+        try:
+            blocked = expr.execute().scalar
+        finally:
+            ml._block_size = old
+        from repro.problems import three_point_correlation
+
+        assert blocked == three_point_correlation(X, 0.8)

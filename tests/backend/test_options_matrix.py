@@ -1,0 +1,122 @@
+"""Coverage for the remaining execute()/compile() option combinations."""
+
+import numpy as np
+import pytest
+
+from repro.dsl import (
+    CompileError, PortalExpr, PortalFunc, PortalOp, Storage,
+)
+from repro.baselines import brute
+
+
+@pytest.fixture
+def rng():
+    return np.random.default_rng(36)
+
+
+def nn(rng, n=80, d=3):
+    e = PortalExpr()
+    e.addLayer(PortalOp.FORALL, Storage(rng.normal(size=(n, d)), name="q"))
+    e.addLayer(PortalOp.ARGMIN, Storage(rng.normal(size=(n, d)), name="r"),
+               PortalFunc.EUCLIDEAN)
+    return e
+
+
+class TestLayoutOverride:
+    def test_forced_layouts_agree(self, rng):
+        rng2 = np.random.default_rng(0)
+        Q = rng2.normal(size=(60, 3))
+        R = rng2.normal(size=(70, 3))
+
+        def run(layout):
+            e = PortalExpr()
+            e.addLayer(PortalOp.FORALL, Storage(Q))
+            e.addLayer(PortalOp.ARGMIN, Storage(R), PortalFunc.EUCLIDEAN)
+            return e.execute(layout=layout, fastmath=False).values
+
+        auto = run(None)
+        col = run("column")
+        row = run("row")
+        assert np.allclose(auto, col)
+        assert np.allclose(auto, row, atol=1e-6)
+
+    def test_bad_layout_rejected(self, rng):
+        with pytest.raises(CompileError, match="layout"):
+            nn(rng).compile(layout="diagonal")
+
+
+class TestSplitOption:
+    def test_midpoint_split_same_answers(self, rng):
+        rng2 = np.random.default_rng(1)
+        Q = rng2.normal(size=(60, 3))
+        R = rng2.normal(size=(70, 3))
+
+        def run(split):
+            e = PortalExpr()
+            e.addLayer(PortalOp.FORALL, Storage(Q))
+            e.addLayer(PortalOp.ARGMIN, Storage(R), PortalFunc.EUCLIDEAN)
+            out = e.execute(split=split, fastmath=False)
+            return out.values
+
+        assert np.allclose(run("median"), run("midpoint"))
+
+    def test_bad_split_rejected(self, rng):
+        with pytest.raises(ValueError, match="split"):
+            nn(rng).execute(split="golden-ratio")
+
+
+class TestValidateAgainstBrute:
+    def test_pruning_problem_exact(self, rng):
+        e = nn(rng)
+        e.execute(fastmath=False)
+        assert e.program.validate_against_brute() < 1e-10
+
+    def test_approx_problem_within_tau(self, rng):
+        rng2 = np.random.default_rng(2)
+        X = rng2.uniform(0, 5, size=(200, 3))
+        s = Storage(X)
+        e = PortalExpr()
+        e.addLayer(PortalOp.FORALL, s)
+        e.addLayer(PortalOp.SUM, s, PortalFunc.GAUSSIAN, bandwidth=0.4)
+        e.execute(tau=1e-3, exclude_self=False, fastmath=False)
+        assert e.program.validate_against_brute() <= 1e-3 * 200 + 1e-9
+
+    def test_runs_before_output(self, rng):
+        e = nn(rng)
+        program = e.compile(fastmath=False)
+        # validate before run(): it must run the program itself.
+        assert program.validate_against_brute() < 1e-10
+
+
+class TestStatsAccounting:
+    def test_counts_are_consistent(self, rng):
+        e = nn(rng, n=300)
+        e.execute()
+        st = e.program.stats
+        assert st.visited == st.pruned + st.approximated + st.base_cases + (
+            st.visited - st.pruned - st.approximated - st.base_cases
+        )
+        assert st.base_case_pairs <= 300 * 300
+
+    def test_brute_stats(self, rng):
+        e = nn(rng, n=100)
+        e.execute(backend="brute")
+        assert e.program.stats.base_case_pairs == 100 * 100
+
+
+class TestMultilayerCLIIntrospection:
+    def test_generated_source_placeholder(self, rng):
+        from repro.dsl import Var, indicator, pow, sqrt
+
+        X = Storage(rng.normal(size=(15, 2)))
+        a, b, c = Var("a"), Var("b"), Var("c")
+        k = (indicator(sqrt(pow(a - b, 2)) < 1.0)
+             * indicator(sqrt(pow(b - c, 2)) < 1.0)
+             * indicator(sqrt(pow(a - c, 2)) < 1.0))
+        e = PortalExpr()
+        e.addLayer(PortalOp.SUM, a, X)
+        e.addLayer(PortalOp.SUM, b, X)
+        e.addLayer(PortalOp.SUM, c, X, k)
+        e.compile()
+        assert "multi-layer" in e.generated_source()
+        assert e.program.mode == "multilayer"

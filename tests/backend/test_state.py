@@ -1,0 +1,102 @@
+"""Tests for runtime accumulator state allocation and finalisation."""
+
+import numpy as np
+import pytest
+
+from repro.backend.state import allocate_state
+from repro.dsl.errors import CompileError
+from repro.dsl.ops import PortalOp
+
+
+class TestAllocation:
+    def test_argmin(self):
+        st = allocate_state(PortalOp.FORALL, PortalOp.ARGMIN, None, 10, 20)
+        assert st.arrays["best"].shape == (10,)
+        assert np.all(np.isinf(st.arrays["best"]))
+        assert st.arrays["best_idx"].shape == (10,)
+
+    def test_kargmin(self):
+        st = allocate_state(PortalOp.FORALL, PortalOp.KARGMIN, 3, 10, 20)
+        assert st.arrays["best"].shape == (10, 3)
+        assert st.arrays["best_idx"].shape == (10, 3)
+
+    def test_sum(self):
+        st = allocate_state(PortalOp.FORALL, PortalOp.SUM, None, 10, 20)
+        assert np.all(st.arrays["acc"] == 0.0)
+
+    def test_prod_identity(self):
+        st = allocate_state(PortalOp.FORALL, PortalOp.PROD, None, 10, 20)
+        assert np.all(st.arrays["acc"] == 1.0)
+
+    def test_max_identity(self):
+        st = allocate_state(PortalOp.FORALL, PortalOp.MAX, None, 10, 20)
+        assert np.all(np.isneginf(st.arrays["best"]))
+
+    def test_union_lists(self):
+        st = allocate_state(PortalOp.FORALL, PortalOp.UNIONARG, None, 10, 20)
+        assert len(st.lists) == 10
+
+    def test_inner_forall_dense(self):
+        st = allocate_state(PortalOp.FORALL, PortalOp.FORALL, None, 10, 20)
+        assert st.arrays["dense"].shape == (10, 20)
+
+    def test_unsupported_rejected(self):
+        class Fake:
+            name = "FAKE"
+
+        with pytest.raises(CompileError):
+            allocate_state(PortalOp.FORALL, Fake(), None, 5, 5)
+
+
+class TestFinalize:
+    def test_permutation_mapping(self):
+        st = allocate_state(PortalOp.FORALL, PortalOp.ARGMIN, None, 4, 4)
+        st.arrays["best"][:] = [10.0, 11.0, 12.0, 13.0]
+        st.arrays["best_idx"][:] = [0, 1, 2, 3]
+        qperm = np.array([2, 0, 3, 1])  # permuted[i] = original[qperm[i]]
+        rperm = np.array([1, 3, 0, 2])
+        out = st.finalize(qperm, rperm)
+        # original index 2 sits at permuted position 0 -> value 10.
+        assert out.values[2] == 10.0
+        assert out.indices[2] == rperm[0]
+
+    def test_outer_sum_scalar(self):
+        st = allocate_state(PortalOp.SUM, PortalOp.SUM, None, 3, 5)
+        st.arrays["acc"][:] = [1.0, 2.0, 3.0]
+        out = st.finalize(np.arange(3), None)
+        assert out.scalar == 6.0
+
+    def test_outer_max_scalar(self):
+        st = allocate_state(PortalOp.MAX, PortalOp.MIN, None, 3, 5)
+        st.arrays["best"][:] = [1.0, 5.0, 3.0]
+        out = st.finalize(np.arange(3), None)
+        assert out.scalar == 5.0
+
+    def test_modifier_applied_before_outer_reduce(self):
+        st = allocate_state(PortalOp.SUM, PortalOp.SUM, None, 3, 5,
+                            modifier=np.log)
+        st.arrays["acc"][:] = [np.e, np.e, np.e]
+        out = st.finalize(np.arange(3), None)
+        assert out.scalar == pytest.approx(3.0)
+
+    def test_union_lists_mapped(self):
+        st = allocate_state(PortalOp.FORALL, PortalOp.UNIONARG, None, 2, 4)
+        st.lists[0].append(np.array([0, 1]))
+        st.lists[1].append(np.array([2]))
+        qperm = np.array([1, 0])
+        rperm = np.array([3, 2, 1, 0])
+        out = st.finalize(qperm, rperm)
+        # original query 1 was permuted position 0 -> refs {0,1} -> rperm {3,2}
+        assert sorted(out.indices[1].tolist()) == [2, 3]
+        assert sorted(out.indices[0].tolist()) == [1]
+
+    def test_empty_union_entries(self):
+        st = allocate_state(PortalOp.FORALL, PortalOp.UNIONARG, None, 2, 4)
+        out = st.finalize(np.arange(2), np.arange(4))
+        assert all(len(ix) == 0 for ix in out.indices)
+
+    def test_repr(self):
+        st = allocate_state(PortalOp.SUM, PortalOp.SUM, None, 2, 2)
+        st.arrays["acc"][:] = 1.0
+        out = st.finalize(np.arange(2), None)
+        assert "scalar" in repr(out)

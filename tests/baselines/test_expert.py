@@ -1,0 +1,97 @@
+"""Tests: the hand-optimised expert baselines are correct (they share the
+ground truth with the brute-force reference)."""
+
+import numpy as np
+import pytest
+
+from repro.baselines import brute
+from repro.baselines.expert import (
+    expert_em, expert_emst, expert_hausdorff, expert_kde, expert_knn,
+    expert_range_count, expert_range_search,
+)
+
+
+@pytest.fixture
+def rng():
+    return np.random.default_rng(24)
+
+
+class TestExpertKnn:
+    def test_vs_brute(self, small_qr):
+        Q, R = small_qr
+        d, i = expert_knn(Q, R, k=3)
+        db, _ = brute.brute_knn(Q, R, k=3)
+        assert np.allclose(d, db, atol=1e-6)
+
+    def test_self_join(self, rng):
+        X = rng.normal(size=(80, 3))
+        d, i = expert_knn(X, k=1)
+        assert np.all(i != np.arange(80))
+        db, _ = brute.brute_knn(X, X, k=1, exclude_self=True)
+        assert np.allclose(d, db, atol=1e-6)
+
+
+class TestExpertKde:
+    def test_exact_mode(self, small_qr):
+        Q, R = small_qr
+        out = expert_kde(Q, R, bandwidth=1.0, tau=0.0)
+        assert np.allclose(out, brute.brute_kde(Q, R, 1.0))
+
+    def test_tau_bound(self, small_qr):
+        Q, R = small_qr
+        out = expert_kde(Q, R, bandwidth=1.0, tau=1e-3)
+        exact = brute.brute_kde(Q, R, 1.0)
+        assert np.abs(out - exact).max() <= 1e-3 * len(R)
+
+
+class TestExpertRange:
+    def test_count(self, small_qr):
+        Q, R = small_qr
+        got = expert_range_count(Q, R, h=0.8)
+        assert np.array_equal(got, brute.brute_range_count(Q, R, 0.8))
+
+    def test_count_self_join(self, rng):
+        X = rng.normal(size=(90, 3))
+        got = expert_range_count(X, h=1.0)
+        assert np.array_equal(got,
+                              brute.brute_range_count(X, X, 1.0,
+                                                      exclude_self=True))
+
+    def test_search(self, small_qr):
+        Q, R = small_qr
+        got = expert_range_search(Q, R, h=0.8)
+        expected = brute.brute_range_search(Q, R, 0.8)
+        for g, e in zip(got, expected):
+            assert np.array_equal(g, np.sort(e))
+
+
+class TestExpertHausdorffEmstEm:
+    def test_hausdorff(self, rng):
+        from scipy.spatial.distance import directed_hausdorff as sdh
+
+        A = rng.normal(size=(100, 3))
+        B = rng.normal(size=(110, 3))
+        assert expert_hausdorff(A, B) == pytest.approx(sdh(A, B)[0], abs=1e-6)
+
+    def test_emst(self, rng):
+        from scipy.sparse.csgraph import minimum_spanning_tree
+        from scipy.spatial.distance import pdist, squareform
+
+        X = rng.normal(size=(150, 3))
+        _, _, total = expert_emst(X)
+        expected = float(minimum_spanning_tree(squareform(pdist(X))).sum())
+        assert total == pytest.approx(expected, rel=1e-9)
+
+    def test_em_ll_monotone(self, clustered_2d):
+        X, _ = clustered_2d
+        _, _, _, lls = expert_em(X, 2, max_iter=20)
+        assert all(b >= a - 1e-6 * abs(a) for a, b in zip(lls, lls[1:]))
+
+    def test_em_matches_portal_em(self, clustered_2d):
+        from repro.problems import em_fit
+
+        X, _ = clustered_2d
+        means_e, _, _, lls_e = expert_em(X, 2, max_iter=30)
+        gmm = em_fit(X, 2, max_iter=30)
+        # Same init scheme, same algorithm: final log-likelihoods agree.
+        assert lls_e[-1] == pytest.approx(gmm.log_likelihoods_[-1], rel=1e-6)

@@ -1,0 +1,31 @@
+"""Shared fixtures for the test suite."""
+
+import numpy as np
+import pytest
+
+
+@pytest.fixture
+def rng():
+    return np.random.default_rng(12345)
+
+
+@pytest.fixture
+def small_qr(rng):
+    """A small (query, reference) pair in 3-D."""
+    return rng.normal(size=(120, 3)), rng.normal(size=(150, 3))
+
+
+@pytest.fixture
+def small_highdim(rng):
+    """A small (query, reference) pair in 12-D (row-major layout path)."""
+    return rng.normal(size=(90, 12)), rng.normal(size=(110, 12))
+
+
+@pytest.fixture
+def clustered_2d(rng):
+    """Two well-separated Gaussian clusters in 2-D, with labels."""
+    a = rng.normal(loc=(-4.0, 0.0), scale=1.0, size=(80, 2))
+    b = rng.normal(loc=(4.0, 0.0), scale=1.0, size=(80, 2))
+    X = np.concatenate([a, b])
+    y = np.array([0] * 80 + [1] * 80)
+    return X, y

@@ -1,0 +1,77 @@
+"""Tests for the synthetic dataset generators and the Table-II registry."""
+
+import numpy as np
+import pytest
+
+from repro.data import DATASETS, load, synthetic, table2_rows
+from repro.data.loaders import load_csv, save_csv
+
+
+class TestGenerators:
+    @pytest.mark.parametrize("name", list(DATASETS))
+    def test_shape_matches_registry(self, name):
+        info = DATASETS[name]
+        X = load(name, 500)
+        assert X.shape == (500, info.dim)
+
+    @pytest.mark.parametrize("name", list(DATASETS))
+    def test_deterministic(self, name):
+        assert np.array_equal(load(name, 200, seed=7), load(name, 200, seed=7))
+
+    @pytest.mark.parametrize("name", list(DATASETS))
+    def test_seed_changes_data(self, name):
+        assert not np.array_equal(load(name, 200, seed=1), load(name, 200, seed=2))
+
+    @pytest.mark.parametrize("name", list(DATASETS))
+    def test_finite(self, name):
+        assert np.isfinite(load(name, 300)).all()
+
+    def test_unknown_name(self):
+        with pytest.raises(KeyError):
+            load("MNIST")
+
+    def test_default_sizes(self):
+        X = load("Census")
+        assert len(X) == DATASETS["Census"].default_n
+
+    def test_elliptical_is_anisotropic(self):
+        X = synthetic.elliptical(5000, seed=0)
+        stds = X.std(axis=0)
+        # Axes (2.0, 1.2, 0.7): the spread ordering must reflect them.
+        assert stds[0] > stds[1] > stds[2]
+
+    def test_elliptical_angularly_uniform(self):
+        X = synthetic.elliptical(20000, seed=0, axes=(1.0, 1.0, 1.0))
+        u = X / np.linalg.norm(X, axis=1, keepdims=True)
+        # Mean direction of a uniform sphere sample is ~0.
+        assert np.abs(u.mean(axis=0)).max() < 0.02
+
+    def test_census_is_discrete_heavy(self):
+        X = synthetic.census(1000)
+        # Most columns are small-integer categorical codes.
+        frac_int = np.mean(X[:, :56] == np.round(X[:, :56]))
+        assert frac_int == 1.0
+
+    def test_table2_rows(self):
+        rows = table2_rows()
+        assert len(rows) == 6
+        by_name = {r[0]: r for r in rows}
+        assert by_name["Yahoo!"][1] == 41_904_293
+        assert by_name["HIGGS"][2] == 28
+
+
+class TestCSVHelpers:
+    def test_roundtrip(self, tmp_path):
+        X = np.arange(12.0).reshape(4, 3)
+        p = tmp_path / "x.csv"
+        save_csv(p, X, header=["a", "b", "c"])
+        back = load_csv(p)
+        assert np.allclose(back, X)
+
+    def test_header_mismatch(self, tmp_path):
+        with pytest.raises(ValueError):
+            save_csv(tmp_path / "y.csv", np.ones((2, 3)), header=["a"])
+
+    def test_non_2d_rejected(self, tmp_path):
+        with pytest.raises(ValueError):
+            save_csv(tmp_path / "z.csv", np.ones(5))

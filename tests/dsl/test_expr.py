@@ -1,0 +1,160 @@
+"""Unit and property tests for symbolic kernel expressions."""
+
+import numpy as np
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.dsl.errors import KernelError
+from repro.dsl.expr import (
+    BinOp, Call, Const, DimReduce, Indicator, Var, absval, dim_max, dim_sum,
+    exp, indicator, log, pow, sqrt,
+)
+
+finite = st.floats(min_value=-1e6, max_value=1e6, allow_nan=False)
+
+
+class TestConstruction:
+    def test_var_is_vector(self):
+        assert Var("q").shape == "vector"
+
+    def test_const_wrap(self):
+        e = Var("q") + 1
+        assert isinstance(e.rhs, Const)
+
+    def test_pow_on_vector_reduces(self):
+        e = pow(Var("q") - Var("r"), 2)
+        assert isinstance(e, DimReduce)
+        assert e.shape == "scalar"
+
+    def test_pow_on_scalar_stays_scalar(self):
+        e = pow(Const(3.0), 2)
+        assert isinstance(e, BinOp)
+        assert e.shape == "scalar"
+
+    def test_pow_requires_constant_exponent(self):
+        with pytest.raises(KernelError):
+            pow(Var("q"), Var("r"))
+
+    def test_sqrt_rejects_vector(self):
+        with pytest.raises(KernelError):
+            sqrt(Var("q"))
+
+    def test_exp_rejects_vector(self):
+        with pytest.raises(KernelError):
+            exp(Var("q"))
+
+    def test_abs_keeps_vector(self):
+        e = absval(Var("q"))
+        assert e.shape == "vector"
+
+    def test_comparison_builds_indicator(self):
+        e = pow(Var("q") - Var("r"), 2) < 1.0
+        assert isinstance(e, Indicator)
+
+    def test_comparison_rejects_vectors(self):
+        with pytest.raises(KernelError):
+            Var("q") < 1.0
+
+    def test_indicator_helper_rejects_non_comparison(self):
+        with pytest.raises(KernelError):
+            indicator(Const(1.0))
+
+    def test_unknown_operand_rejected(self):
+        with pytest.raises(KernelError):
+            Var("q") + "nope"
+
+    def test_auto_named_vars_unique(self):
+        assert Var().name != Var().name
+
+
+class TestStructure:
+    def test_free_vars(self):
+        q, r = Var("q"), Var("r")
+        e = sqrt(pow(q - r, 2))
+        assert {v.name for v in e.free_vars()} == {"q", "r"}
+
+    def test_structural_equality(self):
+        q, r = Var("q"), Var("r")
+        assert pow(q - r, 2) == pow(Var("q") - Var("r"), 2)
+        assert pow(q - r, 2) != pow(q - r, 3)
+
+    def test_hashable(self):
+        q, r = Var("q"), Var("r")
+        assert len({pow(q - r, 2), pow(q - r, 2)}) == 1
+
+    def test_substitute(self):
+        q, r = Var("q"), Var("r")
+        inner = pow(q - r, 2)
+        e = sqrt(inner)
+        out = e.substitute({inner: Const(4.0)})
+        assert float(out.evaluate({})) == 2.0
+
+    def test_walk_visits_all(self):
+        q, r = Var("q"), Var("r")
+        nodes = list(sqrt(pow(q - r, 2)).walk())
+        assert any(isinstance(n, Var) for n in nodes)
+        assert any(isinstance(n, DimReduce) for n in nodes)
+
+
+class TestEvaluation:
+    def test_scalar_arithmetic(self):
+        e = (Const(2.0) + 3) * 4 - 6 / 2
+        assert float(e.evaluate({})) == 17.0
+
+    def test_vector_pow_is_squared_norm(self, rng):
+        q = rng.normal(size=5)
+        r = rng.normal(size=5)
+        e = pow(Var("q") - Var("r"), 2)
+        expected = float(((q - r) ** 2).sum())
+        assert np.isclose(e.evaluate({"q": q, "r": r}), expected)
+
+    def test_broadcast_pairwise(self, rng):
+        Q = rng.normal(size=(4, 3))
+        R = rng.normal(size=(6, 3))
+        e = pow(Var("q") - Var("r"), 2)
+        v = e.evaluate({"q": Q[:, None, :], "r": R[None, :, :]})
+        assert v.shape == (4, 6)
+
+    def test_dim_sum_dim_max(self, rng):
+        x = rng.normal(size=7)
+        assert np.isclose(dim_sum(absval(Var("x"))).evaluate({"x": x}),
+                          np.abs(x).sum())
+        assert np.isclose(dim_max(absval(Var("x"))).evaluate({"x": x}),
+                          np.abs(x).max())
+
+    def test_indicator_evaluates_01(self):
+        e = Const(1.0) < 2.0
+        assert e.evaluate({}) == 1.0
+        e2 = Const(3.0) < 2.0
+        assert e2.evaluate({}) == 0.0
+
+    def test_unbound_var_raises(self):
+        with pytest.raises(KernelError, match="unbound"):
+            Var("q").evaluate({})
+
+    def test_exp_log_roundtrip(self):
+        e = log(exp(Const(1.5)))
+        assert np.isclose(float(e.evaluate({})), 1.5)
+
+    def test_neg(self):
+        assert float((-Const(2.0)).evaluate({})) == -2.0
+
+    @given(a=finite, b=finite)
+    def test_binop_matches_python(self, a, b):
+        env = {}
+        assert float((Const(a) + Const(b)).evaluate(env)) == a + b
+        assert float((Const(a) - Const(b)).evaluate(env)) == a - b
+        assert float((Const(a) * Const(b)).evaluate(env)) == pytest.approx(
+            a * b, rel=1e-12, abs=1e-300
+        )
+
+    @given(x=st.floats(min_value=1e-6, max_value=1e6))
+    def test_sqrt_matches_numpy(self, x):
+        assert float(sqrt(Const(x)).evaluate({})) == pytest.approx(
+            float(np.sqrt(x))
+        )
+
+
+@pytest.fixture
+def rng():
+    return np.random.default_rng(0)

@@ -1,0 +1,148 @@
+"""Tests for metric kernels and the kernel normaliser."""
+
+import numpy as np
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.dsl.errors import KernelError
+from repro.dsl.expr import Const, DistVar, Var, absval, dim_max, dim_sum, exp, indicator, pow, sqrt
+from repro.dsl.funcs import (
+    MetricKernel, PortalFunc, normalize_kernel, resolve_func,
+)
+
+q, r = Var("q"), Var("r")
+
+
+class TestNormalization:
+    def test_euclidean_pattern(self):
+        mk = normalize_kernel(sqrt(pow(q - r, 2)), q, r)
+        assert mk.base == "sqeuclidean"
+        assert mk.monotone() == "increasing"
+
+    def test_sqeuclidean_pattern(self):
+        mk = normalize_kernel(pow(q - r, 2), q, r)
+        assert mk.base == "sqeuclidean"
+        assert isinstance(mk.g, DistVar)
+
+    def test_manhattan_pattern(self):
+        mk = normalize_kernel(dim_sum(absval(q - r)), q, r)
+        assert mk.base == "manhattan"
+
+    def test_chebyshev_pattern(self):
+        mk = normalize_kernel(dim_max(absval(q - r)), q, r)
+        assert mk.base == "chebyshev"
+
+    def test_reversed_difference_matches(self):
+        mk = normalize_kernel(pow(r - q, 2), q, r)
+        assert mk is not None and mk.base == "sqeuclidean"
+
+    def test_gaussian_composition(self):
+        mk = normalize_kernel(exp(-pow(q - r, 2) / 2.0), q, r)
+        assert mk.base == "sqeuclidean"
+        assert mk.monotone() == "decreasing"
+
+    def test_external_when_var_escapes(self):
+        # q appears outside any distance form.
+        e = pow(q - r, 2) + dim_sum(q)
+        assert normalize_kernel(e, q, r) is None
+
+    def test_no_distance_form_is_external(self):
+        assert normalize_kernel(Const(3.0), q, r) is None
+
+    def test_mixed_metrics_rejected(self):
+        e = pow(q - r, 2) + dim_sum(absval(q - r))
+        with pytest.raises(KernelError, match="mixes"):
+            normalize_kernel(e, q, r)
+
+    def test_indicator_kernel(self):
+        mk = normalize_kernel(indicator(sqrt(pow(q - r, 2)) < 2.0), q, r)
+        assert mk.is_indicator
+        assert mk.indicator_threshold() == ("<", 4.0)
+
+    def test_indicator_threshold_translates_sqrt(self):
+        mk = normalize_kernel(indicator(pow(q - r, 2) < 9.0), q, r)
+        assert mk.indicator_threshold() == ("<", 9.0)
+
+    def test_indicator_reversed_comparison(self):
+        mk = MetricKernel("sqeuclidean",
+                          indicator(Const(4.0) > sqrt(DistVar("t"))))
+        op, h = mk.indicator_threshold()
+        assert op == "<" and h == 16.0
+
+
+class TestMetricKernelBounds:
+    @given(tmin=st.floats(min_value=0, max_value=100),
+           width=st.floats(min_value=0, max_value=100))
+    def test_bounds_bracket_values_euclidean(self, tmin, width):
+        mk = MetricKernel("sqeuclidean", sqrt(DistVar("t")))
+        tmax = tmin + width
+        lo, hi = mk.bounds(tmin, tmax)
+        for t in np.linspace(tmin, tmax, 7):
+            v = mk.value(t)
+            assert lo - 1e-9 <= v <= hi + 1e-9
+
+    @given(tmin=st.floats(min_value=0, max_value=50),
+           width=st.floats(min_value=0, max_value=50))
+    def test_bounds_bracket_values_gaussian(self, tmin, width):
+        mk = MetricKernel(
+            "sqeuclidean",
+            exp(-(DistVar("t")) / 8.0),
+        )
+        tmax = tmin + width
+        lo, hi = mk.bounds(tmin, tmax)
+        for t in np.linspace(tmin, tmax, 7):
+            v = mk.value(t)
+            assert lo - 1e-9 <= v <= hi + 1e-9
+
+    def test_monotone_none_for_nonmonotone(self):
+        # g(t) = (t - 1)^2 dips then rises.
+        t = DistVar("t")
+        mk = MetricKernel("sqeuclidean", (t - 1.0) * (t - 1.0))
+        assert mk.monotone() is None
+
+    def test_unknown_base_rejected(self):
+        with pytest.raises(KernelError):
+            MetricKernel("hamming", DistVar("t"))
+
+
+class TestPredefined:
+    @pytest.mark.parametrize("func,base", [
+        (PortalFunc.EUCLIDEAN, "sqeuclidean"),
+        (PortalFunc.SQREUCDIST, "sqeuclidean"),
+        (PortalFunc.MANHATTAN, "manhattan"),
+        (PortalFunc.CHEBYSHEV, "chebyshev"),
+    ])
+    def test_base_metrics(self, func, base):
+        mk, ext = resolve_func(func)
+        assert ext is None and mk.base == base
+
+    def test_mahalanobis_whitens(self):
+        mk, _ = resolve_func(PortalFunc.MAHALANOBIS,
+                             params={"covariance": np.eye(3)})
+        assert mk.whiten
+        assert mk.covariance.shape == (3, 3)
+
+    def test_gaussian_bandwidth(self):
+        mk, _ = resolve_func(PortalFunc.GAUSSIAN, params={"bandwidth": 2.0})
+        assert np.isclose(mk.value(0.0), 1.0)
+        assert mk.value(8.0) == pytest.approx(np.exp(-1.0))
+
+    def test_gaussian_bad_bandwidth(self):
+        with pytest.raises(KernelError):
+            resolve_func(PortalFunc.GAUSSIAN, params={"bandwidth": 0.0})
+
+    def test_callable_is_external(self):
+        fn = lambda Q, R: np.zeros((len(Q), len(R)))  # noqa: E731
+        mk, ext = resolve_func(fn)
+        assert mk is None and ext is fn
+
+    def test_none_kernel(self):
+        assert resolve_func(None) == (None, None)
+
+    def test_garbage_rejected(self):
+        with pytest.raises(KernelError):
+            resolve_func(3.14)
+
+    def test_describe_mentions_base(self):
+        mk, _ = resolve_func(PortalFunc.EUCLIDEAN)
+        assert "‖q−r‖²" in mk.describe()

@@ -1,0 +1,111 @@
+"""Tests for Layer construction (the addLayer argument forms)."""
+
+import numpy as np
+import pytest
+
+from repro.dsl import (
+    PortalFunc, PortalOp, SpecificationError, Storage, Var, pow, sqrt,
+)
+from repro.dsl.errors import OperatorError
+from repro.dsl.layer import Layer
+
+
+@pytest.fixture
+def store(rng):
+    return Storage(rng.normal(size=(20, 3)), name="pts")
+
+
+@pytest.fixture
+def rng():
+    return np.random.default_rng(2)
+
+
+class TestBuildForms:
+    def test_op_storage(self, store):
+        layer = Layer.build(PortalOp.FORALL, (store,), {})
+        assert layer.op is PortalOp.FORALL and layer.storage is store
+
+    def test_op_storage_func(self, store):
+        layer = Layer.build(PortalOp.ARGMIN, (store, PortalFunc.EUCLIDEAN), {})
+        assert layer.func is PortalFunc.EUCLIDEAN
+
+    def test_op_var_storage(self, store):
+        v = Var("q")
+        layer = Layer.build(PortalOp.FORALL, (v, store), {})
+        assert layer.var is v
+
+    def test_op_var_storage_func(self, store):
+        q, r = Var("q"), Var("r")
+        e = sqrt(pow(q - r, 2))
+        layer = Layer.build(PortalOp.ARGMIN, (r, store, e), {})
+        assert layer.var is r and layer.func is e
+
+    def test_tuple_k(self, store):
+        layer = Layer.build((PortalOp.KARGMIN, 3), (store, PortalFunc.EUCLIDEAN), {})
+        assert layer.k == 3
+
+    def test_k_exceeding_size_rejected(self, store):
+        with pytest.raises(SpecificationError, match="exceeds"):
+            Layer.build((PortalOp.KARGMIN, 21), (store, PortalFunc.EUCLIDEAN), {})
+
+    def test_missing_storage_rejected(self):
+        with pytest.raises(SpecificationError, match="Storage"):
+            Layer.build(PortalOp.FORALL, (Var("q"),), {})
+
+    def test_extra_args_rejected(self, store):
+        with pytest.raises(SpecificationError, match="too many"):
+            Layer.build(PortalOp.FORALL, (store, PortalFunc.EUCLIDEAN, 1), {})
+
+    def test_k_on_single_op_rejected(self, store):
+        with pytest.raises(OperatorError):
+            Layer.build((PortalOp.ARGMIN, 2), (store,), {})
+
+    def test_params_stored(self, store):
+        layer = Layer.build(PortalOp.SUM, (store, PortalFunc.GAUSSIAN),
+                            {"bandwidth": 0.7})
+        assert layer.params["bandwidth"] == 0.7
+
+
+class TestOutputSize:
+    def test_forall_injects_dataset_size(self, store):
+        layer = Layer.build(PortalOp.FORALL, (store,), {})
+        assert layer.output_size == store.n
+
+    def test_single_injects_one(self, store):
+        layer = Layer.build(PortalOp.MIN, (store, PortalFunc.EUCLIDEAN), {})
+        assert layer.output_size == 1
+
+    def test_multi_injects_k(self, store):
+        layer = Layer.build((PortalOp.KMIN, 4), (store, PortalFunc.EUCLIDEAN), {})
+        assert layer.output_size == 4
+
+    def test_union_unbounded(self, store):
+        layer = Layer.build(PortalOp.UNIONARG, (store,), {})
+        assert layer.output_size == -1
+
+
+class TestKernelResolution:
+    def test_predefined_resolves(self, store):
+        layer = Layer.build(PortalOp.ARGMIN, (store, PortalFunc.EUCLIDEAN), {})
+        layer.var = Var("r")
+        layer.resolve_kernel(Var("q"))
+        assert layer.metric_kernel is not None
+        assert layer.metric_kernel.base == "sqeuclidean"
+
+    def test_symbolic_resolves(self, store):
+        q, r = Var("q"), Var("r")
+        layer = Layer.build(PortalOp.ARGMIN, (r, store, sqrt(pow(q - r, 2))), {})
+        layer.resolve_kernel(q)
+        assert layer.metric_kernel is not None
+
+    def test_callable_is_external(self, store):
+        fn = lambda Q, R: np.zeros((len(Q), len(R)))  # noqa: E731
+        layer = Layer.build(PortalOp.SUM, (store, fn), {})
+        layer.var = Var("r")
+        layer.resolve_kernel(Var("q"))
+        assert layer.metric_kernel is None and layer.external is fn
+
+    def test_describe(self, store):
+        layer = Layer.build((PortalOp.KARGMIN, 2), (store, PortalFunc.EUCLIDEAN), {})
+        text = layer.describe()
+        assert "KARGMIN" in text and "pts" in text and "EUCLIDEAN" in text

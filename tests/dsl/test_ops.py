@@ -1,0 +1,105 @@
+"""Unit tests for the Portal operator table (paper Table I)."""
+
+import math
+
+import pytest
+
+from repro.dsl.errors import OperatorError
+from repro.dsl.ops import (
+    MAX_LIKE, MIN_LIKE, OpCategory, PortalOp, op_info, operator_table,
+    resolve_op,
+)
+
+
+class TestOperatorTable:
+    def test_all_category(self):
+        assert op_info(PortalOp.FORALL).category is OpCategory.ALL
+
+    @pytest.mark.parametrize("op", [
+        PortalOp.SUM, PortalOp.PROD, PortalOp.MIN, PortalOp.MAX,
+        PortalOp.ARGMIN, PortalOp.ARGMAX,
+    ])
+    def test_single_category(self, op):
+        assert op_info(op).category is OpCategory.SINGLE
+
+    @pytest.mark.parametrize("op", [
+        PortalOp.KMIN, PortalOp.KMAX, PortalOp.KARGMIN, PortalOp.KARGMAX,
+        PortalOp.UNION, PortalOp.UNIONARG,
+    ])
+    def test_multi_category(self, op):
+        assert op_info(op).category is OpCategory.MULTI
+
+    def test_every_operator_has_info(self):
+        for op in PortalOp:
+            info = op_info(op)
+            assert info.mathematical
+
+    def test_table_has_13_rows(self):
+        assert len(operator_table()) == len(PortalOp) == 13
+
+    def test_identities(self):
+        assert op_info(PortalOp.SUM).identity == 0.0
+        assert op_info(PortalOp.PROD).identity == 1.0
+        assert op_info(PortalOp.MIN).identity == math.inf
+        assert op_info(PortalOp.MAX).identity == -math.inf
+        assert op_info(PortalOp.KARGMIN).identity == math.inf
+
+    def test_comparative_flags(self):
+        for op in MIN_LIKE | MAX_LIKE:
+            assert op_info(op).comparative
+        assert not op_info(PortalOp.SUM).comparative
+        assert not op_info(PortalOp.FORALL).comparative
+
+    def test_arithmetic_flags(self):
+        assert op_info(PortalOp.SUM).arithmetic
+        assert op_info(PortalOp.PROD).arithmetic
+        assert not op_info(PortalOp.MIN).arithmetic
+
+    def test_index_flags(self):
+        for op in (PortalOp.ARGMIN, PortalOp.ARGMAX, PortalOp.KARGMIN,
+                   PortalOp.KARGMAX, PortalOp.UNIONARG):
+            assert op_info(op).returns_index
+        assert not op_info(PortalOp.MIN).returns_index
+
+    def test_all_decomposable(self):
+        for op in PortalOp:
+            assert op_info(op).decomposable
+
+
+class TestResolveOp:
+    def test_bare_operator(self):
+        assert resolve_op(PortalOp.SUM) == (PortalOp.SUM, None)
+
+    def test_string_operator(self):
+        assert resolve_op("argmin") == (PortalOp.ARGMIN, None)
+
+    def test_tuple_with_k(self):
+        assert resolve_op((PortalOp.KARGMIN, 5)) == (PortalOp.KARGMIN, 5)
+
+    def test_string_tuple(self):
+        assert resolve_op(("KMIN", 3)) == (PortalOp.KMIN, 3)
+
+    def test_missing_k_rejected(self):
+        with pytest.raises(OperatorError, match="requires k"):
+            resolve_op(PortalOp.KARGMIN)
+
+    def test_unneeded_k_rejected(self):
+        with pytest.raises(OperatorError, match="does not take"):
+            resolve_op((PortalOp.SUM, 3))
+
+    @pytest.mark.parametrize("bad_k", [0, -1, 2.5, True])
+    def test_bad_k_rejected(self, bad_k):
+        with pytest.raises(OperatorError):
+            resolve_op((PortalOp.KARGMIN, bad_k))
+
+    def test_unknown_name_rejected(self):
+        with pytest.raises(OperatorError, match="unknown"):
+            resolve_op("NOPE")
+
+    def test_non_operator_rejected(self):
+        with pytest.raises(OperatorError):
+            resolve_op(42)
+
+    def test_malformed_tuple_rejected(self):
+        with pytest.raises(OperatorError):
+            resolve_op((PortalOp.KMIN, 1, 2))

@@ -1,0 +1,93 @@
+"""Unit tests for the 2-D Laplace expansion operators."""
+
+import numpy as np
+import pytest
+
+from repro.fmm import direct_potential, l2l, l2p, m2l, m2m, m2p, p2m
+
+
+@pytest.fixture
+def rng():
+    return np.random.default_rng(37)
+
+
+@pytest.fixture
+def system(rng):
+    pts = rng.uniform(0, 1, (25, 2))
+    q = rng.normal(size=25)
+    z = pts[:, 0] + 1j * pts[:, 1]
+    zc = 0.5 + 0.5j
+    return z, q, zc
+
+
+def truth(z, q, at: complex) -> float:
+    return float((q * np.log(np.abs(at - z))).sum())
+
+
+P = 14
+
+
+class TestOperators:
+    def test_m2p_far_field(self, system):
+        z, q, zc = system
+        a = p2m(z, q, zc, P)
+        at = 7.0 + 3.0j
+        assert m2p(a, np.array([at]), zc)[0] == pytest.approx(
+            truth(z, q, at), abs=1e-10)
+
+    def test_m2m_preserves_far_field(self, system):
+        z, q, zc = system
+        a = p2m(z, q, zc, P)
+        zc2 = 0.2 + 0.7j
+        shifted = m2m(a, zc - zc2)
+        at = -6.0 + 5.0j
+        assert m2p(shifted, np.array([at]), zc2)[0] == pytest.approx(
+            truth(z, q, at), abs=1e-9)
+
+    def test_m2l_local_field(self, system):
+        z, q, zc = system
+        a = p2m(z, q, zc, P)
+        zl = 8.0 + 8.0j
+        b = m2l(a, zc - zl)
+        at = zl + 0.07 - 0.04j
+        assert l2p(b, np.array([at]), zl)[0] == pytest.approx(
+            truth(z, q, at), abs=1e-9)
+
+    def test_l2l_exact_recentering(self, system):
+        z, q, zc = system
+        a = p2m(z, q, zc, P)
+        zl = 8.0 + 8.0j
+        b = m2l(a, zc - zl)
+        zl2 = zl + 0.15 + 0.1j
+        b2 = l2l(b, zl - zl2)
+        at = zl2 + 0.05j
+        # L2L is an exact polynomial re-centering.
+        assert l2p(b2, np.array([at]), zl2)[0] == pytest.approx(
+            l2p(b, np.array([at]), zl)[0], rel=1e-12)
+
+    def test_truncation_error_decays_geometrically(self, system):
+        z, q, zc = system
+        at = 1.6 + 1.6j   # moderately separated: truncation visible
+        errs = []
+        for p in (2, 6, 10):
+            a = p2m(z, q, zc, p)
+            errs.append(abs(m2p(a, np.array([at]), zc)[0] - truth(z, q, at)))
+        assert errs[0] > errs[1] > errs[2]
+
+    def test_total_charge_preserved_by_m2m(self, system):
+        z, q, zc = system
+        a = p2m(z, q, zc, P)
+        shifted = m2m(a, 0.3 - 0.2j)
+        assert shifted[0] == pytest.approx(q.sum())
+
+    def test_direct_potential_skips_self(self, rng):
+        pts = rng.uniform(0, 1, (10, 2))
+        q = rng.normal(size=10)
+        z = pts[:, 0] + 1j * pts[:, 1]
+        phi = direct_potential(z, z, q)
+        expected = np.zeros(10)
+        for i in range(10):
+            for j in range(10):
+                if i != j:
+                    expected[i] += q[j] * np.log(abs(z[i] - z[j]))
+        assert np.allclose(phi, expected)

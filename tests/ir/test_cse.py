@@ -1,0 +1,86 @@
+"""Tests for the common-subexpression-elimination pass."""
+
+import numpy as np
+import pytest
+
+from repro.dsl.expr import BinOp, Const
+from repro.ir.nodes import (
+    Assign, AugAssign, Block, IRCall, IRFunction, IRProgram, LoadExpr,
+    ReturnStmt, SymRef,
+)
+from repro.ir.passes import common_subexpression_eliminate
+
+
+def prog_of(stmts):
+    return IRProgram({"F": IRFunction("F", (), Block(stmts))})
+
+
+class TestCSE:
+    def test_squared_expression_hoisted(self):
+        big = BinOp("-", LoadExpr("a", (SymRef("i"),)),
+                    LoadExpr("b", (SymRef("i"),)))
+        p = prog_of([Assign("t", BinOp("*", big, big))])
+        out = common_subexpression_eliminate(p)
+        stmts = out["F"].body.stmts
+        assert len(stmts) == 2
+        assert stmts[0].target.startswith("cse")
+        assert repr(stmts[1].value).count("load") == 0
+
+    def test_leaf_repeats_untouched(self):
+        # Repeated bare SymRefs are not worth a temporary.
+        p = prog_of([Assign("t", BinOp("*", SymRef("x"), SymRef("x")))])
+        out = common_subexpression_eliminate(p)
+        assert len(out["F"].body.stmts) == 1
+
+    def test_augassign_handled(self):
+        big = IRCall("abs", (BinOp("-", SymRef("x"), SymRef("y")),))
+        p = prog_of([AugAssign("t", "+", BinOp("*", big, big))])
+        out = common_subexpression_eliminate(p)
+        assert len(out["F"].body.stmts) == 2
+
+    def test_no_repeats_no_change(self):
+        p = prog_of([Assign("t", BinOp("+", SymRef("x"), SymRef("y")))])
+        out = common_subexpression_eliminate(p)
+        assert len(out["F"].body.stmts) == 1
+
+    def test_semantics_preserved(self):
+        from repro.backend.interp import interpret_function
+
+        big = BinOp("-", LoadExpr("a", (Const(1.0),)),
+                    LoadExpr("b", (Const(0.0),)))
+        p = prog_of([
+            Assign("t", BinOp("*", big, big)),
+            ReturnStmt(SymRef("t")),
+        ])
+        env = {"a": np.array([1.0, 5.0]), "b": np.array([2.0])}
+        before = interpret_function(p["F"], dict(env))
+        after = interpret_function(
+            common_subexpression_eliminate(p)["F"], dict(env)
+        )
+        assert before == after == 9.0
+
+    def test_nested_loops_reached(self):
+        from repro.ir.nodes import For
+
+        big = BinOp("-", LoadExpr("a", (SymRef("d"),)),
+                    LoadExpr("b", (SymRef("d"),)))
+        p = prog_of([
+            For("d", Const(0), Const(3), Block([
+                AugAssign("t", "+", BinOp("*", big, big)),
+            ])),
+        ])
+        out = common_subexpression_eliminate(p)
+        loop = out["F"].body.stmts[0]
+        assert len(loop.body.stmts) == 2
+
+    def test_full_pipeline_produces_cse_temps(self):
+        from repro.dsl import PortalExpr, PortalFunc, PortalOp, Storage
+
+        rng = np.random.default_rng(0)
+        e = PortalExpr()
+        e.addLayer(PortalOp.FORALL, Storage(rng.normal(size=(20, 3))))
+        e.addLayer(PortalOp.ARGMIN, Storage(rng.normal(size=(20, 3))),
+                   PortalFunc.EUCLIDEAN)
+        e.compile()
+        assert "cse" in e.ir_dump("final")
+        assert "cse" not in e.ir_dump("strength")

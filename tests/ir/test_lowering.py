@@ -1,0 +1,156 @@
+"""Tests for the lowering stage (sections IV-A and IV-B)."""
+
+import numpy as np
+import pytest
+
+from repro.dsl import (
+    CompileError, PortalExpr, PortalFunc, PortalOp, Storage,
+)
+from repro.ir.lowering import kernel_to_ir, lower
+from repro.ir.nodes import Alloc, CallStmt, For, IfStmt, IRCall, StoreStmt, SymRef
+from repro.rules import build_rules
+from repro.dsl.expr import Call, Const, DistVar
+from repro.dsl.funcs import MetricKernel
+
+
+@pytest.fixture
+def rng():
+    return np.random.default_rng(8)
+
+
+def make_lowered(rng, inner_op, func=PortalFunc.EUCLIDEAN, outer_op=PortalOp.FORALL,
+                 **params):
+    e = PortalExpr("test")
+    e.addLayer(outer_op, Storage(rng.normal(size=(20, 3)), name="query"))
+    e.addLayer(inner_op, Storage(rng.normal(size=(25, 3)), name="reference"),
+               func, **params)
+    e.validate()
+    kernel = e.layers[1].metric_kernel
+    cls, rule = build_rules(e.layers, kernel, tau=params.get("tau", 0.0))
+    return lower(e.layers, kernel, cls, rule, "test")
+
+
+class TestKernelToIR:
+    def test_distvar_becomes_symref(self):
+        out = kernel_to_ir(DistVar("t"))
+        assert out == SymRef("t")
+
+    def test_call_becomes_ircall(self):
+        out = kernel_to_ir(Call("sqrt", DistVar("t")))
+        assert isinstance(out, IRCall) and out.func == "sqrt"
+
+    def test_power_becomes_pow_call(self):
+        from repro.dsl.expr import BinOp
+
+        out = kernel_to_ir(BinOp("**", DistVar("t"), Const(2.0)))
+        assert isinstance(out, IRCall) and out.func == "pow"
+
+
+class TestBaseCaseStructure:
+    def test_loop_nest_order(self, rng):
+        prog = make_lowered(rng, PortalOp.ARGMIN)
+        fn = prog["BaseCase"]
+        # Outer loop over query, inner loop over reference, innermost dim.
+        outer = [s for s in fn.body.stmts if isinstance(s, For)][0]
+        inner = [s for s in outer.body.stmts if isinstance(s, For)][0]
+        dim_loop = [s for s in inner.body.stmts if isinstance(s, For)][0]
+        assert dim_loop.var == "d"
+
+    def test_storage_injection_argmin(self, rng):
+        prog = make_lowered(rng, PortalOp.ARGMIN)
+        allocs = [s for s in prog["BaseCase"].body.walk() if isinstance(s, Alloc)]
+        names = {a.name for a in allocs}
+        assert {"storage0", "storage1", "storage1_arg", "t"} <= names
+
+    def test_kargmin_allocates_k_units(self, rng):
+        prog = make_lowered(rng, (PortalOp.KARGMIN, 4))
+        allocs = {s.name: s for s in prog["BaseCase"].body.walk()
+                  if isinstance(s, Alloc)}
+        assert allocs["storage1"].size == Const(4.0)
+
+    def test_min_update_is_comparison(self, rng):
+        prog = make_lowered(rng, PortalOp.MIN)
+        assert any(isinstance(s, IfStmt) for s in prog["BaseCase"].body.walk())
+
+    def test_kargmin_uses_sorted_insert(self, rng):
+        prog = make_lowered(rng, (PortalOp.KARGMIN, 3))
+        calls = [s.func for s in prog["BaseCase"].body.walk()
+                 if isinstance(s, CallStmt)]
+        assert "sorted_insert_asc" in calls
+
+    def test_forall_outer_stores(self, rng):
+        prog = make_lowered(rng, PortalOp.ARGMIN)
+        assert any(isinstance(s, StoreStmt) and s.array == "storage0"
+                   for s in prog["BaseCase"].body.walk())
+
+    def test_manhattan_uses_abs(self, rng):
+        prog = make_lowered(rng, PortalOp.MIN, PortalFunc.MANHATTAN)
+        calls = [e for s in prog["BaseCase"].body.walk() for expr in s.exprs()
+                 for e in expr.walk() if isinstance(e, IRCall)]
+        assert any(c.func == "abs" for c in calls)
+
+    def test_mahalanobis_lowered_naive(self, rng):
+        prog = make_lowered(rng, PortalOp.MIN, PortalFunc.MAHALANOBIS,
+                            covariance=np.eye(3))
+        calls = [e for s in prog["BaseCase"].body.walk() for expr in s.exprs()
+                 for e in expr.walk() if isinstance(e, IRCall)]
+        assert any(c.func == "mahalanobis" for c in calls)
+
+    def test_brute_force_generated(self, rng):
+        prog = make_lowered(rng, PortalOp.ARGMIN)
+        assert "BruteForce" in prog.functions
+
+    def test_three_layers_lower_to_generalized_nest(self, rng):
+        e = PortalExpr()
+        s = Storage(rng.normal(size=(10, 2)), name="D")
+        e.addLayer(PortalOp.SUM, s)
+        e.addLayer(PortalOp.SUM, s)
+        e.addLayer(PortalOp.SUM, s, PortalFunc.EUCLIDEAN)
+        e.validate()
+        kernel = e.layers[-1].metric_kernel
+        cls, rule = build_rules(e.layers, kernel)
+        prog = lower(e.layers, kernel, cls, rule)
+        loops = [st for st in prog["BaseCase"].body.walk()
+                 if isinstance(st, For)]
+        assert len(loops) == 3
+        assert prog.meta["m"] == 3
+        calls = [ex for st in prog["BaseCase"].body.walk()
+                 for expr in st.exprs() for ex in expr.walk()
+                 if isinstance(ex, IRCall) and ex.func == "kernel_eval"]
+        assert calls
+
+
+class TestPruneApproxStructure:
+    def test_pruning_problem_has_zero_approx(self, rng):
+        prog = make_lowered(rng, PortalOp.ARGMIN)
+        # ComputeApprox returns 0 for pruning problems (paper Fig. 2).
+        from repro.ir.nodes import ReturnStmt
+
+        rets = [s for s in prog["ComputeApprox"].body.stmts
+                if isinstance(s, ReturnStmt)]
+        assert rets and rets[-1].value == Const(0.0)
+
+    def test_prune_uses_box_metadata(self, rng):
+        prog = make_lowered(rng, PortalOp.ARGMIN)
+        from repro.ir.nodes import LoadExpr
+
+        loads = {e.array for s in prog["PruneApprox"].body.walk()
+                 for expr in s.exprs() for e in expr.walk()
+                 if isinstance(e, LoadExpr)}
+        assert {"N1_min", "N1_max", "N2_min", "N2_max"} <= loads
+
+    def test_approx_problem_has_band_condition(self, rng):
+        prog = make_lowered(rng, PortalOp.SUM, PortalFunc.GAUSSIAN,
+                            bandwidth=1.0, tau=0.1)
+        calls = [e for s in prog["PruneApprox"].body.walk()
+                 for expr in s.exprs() for e in expr.walk()
+                 if isinstance(e, IRCall)]
+        assert any(c.func in ("band_hi", "band_lo") for c in calls)
+
+    def test_approx_compute_uses_node_weight(self, rng):
+        prog = make_lowered(rng, PortalOp.SUM, PortalFunc.GAUSSIAN,
+                            bandwidth=1.0, tau=0.1)
+        calls = [e for s in prog["ComputeApprox"].body.walk()
+                 for expr in s.exprs() for e in expr.walk()
+                 if isinstance(e, IRCall)]
+        assert any(c.func == "node_weight" for c in calls)

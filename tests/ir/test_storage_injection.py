@@ -1,0 +1,47 @@
+"""Tests for the storage-injection plan (paper section IV-B rules)."""
+
+import numpy as np
+import pytest
+
+from repro.dsl import PortalFunc, PortalOp, Storage
+from repro.dsl.layer import Layer
+from repro.ir.storage_injection import injection_plan
+
+
+@pytest.fixture
+def store():
+    return Storage(np.random.default_rng(0).normal(size=(50, 3)), name="pts")
+
+
+def plan_for(store, *specs):
+    layers = [Layer.build(op, args, {}) for op, args in specs]
+    return injection_plan(layers)
+
+
+class TestInjectionRules:
+    def test_forall_injects_dataset_size(self, store):
+        rows = plan_for(store, (PortalOp.FORALL, (store,)))
+        assert rows[0].units == 50
+
+    def test_single_injects_one(self, store):
+        rows = plan_for(store, (PortalOp.ARGMIN, (store, PortalFunc.EUCLIDEAN)))
+        assert rows[0].units == 1
+        assert rows[0].with_index
+
+    def test_multi_injects_k(self, store):
+        rows = plan_for(store, ((PortalOp.KARGMIN, 7),
+                                (store, PortalFunc.EUCLIDEAN)))
+        assert rows[0].units == 7
+
+    def test_union_unbounded(self, store):
+        rows = plan_for(store, (PortalOp.UNIONARG, (store,)))
+        assert rows[0].units == -1
+
+    def test_nn_plan_shape(self, store):
+        rows = plan_for(
+            store,
+            (PortalOp.FORALL, (store,)),
+            (PortalOp.ARGMIN, (store, PortalFunc.EUCLIDEAN)),
+        )
+        assert [r.units for r in rows] == [50, 1]
+        assert rows[1].description.startswith("ARGMIN injects 1 unit")

@@ -1,0 +1,83 @@
+"""Tests for the parallel executor and the task→data scheduler."""
+
+import numpy as np
+import pytest
+
+from repro.parallel import (
+    default_workers, expand_frontier, parallel_dual_tree, run_tasks,
+)
+from repro.trees import build_kdtree
+
+
+@pytest.fixture
+def rng():
+    return np.random.default_rng(14)
+
+
+class TestExecutor:
+    def test_results_in_order(self):
+        tasks = [lambda i=i: i * i for i in range(10)]
+        assert run_tasks(tasks, workers=4) == [i * i for i in range(10)]
+
+    def test_serial_fallback(self):
+        tasks = [lambda: 1, lambda: 2]
+        assert run_tasks(tasks, workers=1) == [1, 2]
+
+    def test_exception_propagates(self):
+        def boom():
+            raise ValueError("boom")
+
+        with pytest.raises(ValueError, match="boom"):
+            run_tasks([boom, lambda: 1], workers=2)
+
+    def test_default_workers_positive(self):
+        assert default_workers() >= 1
+
+
+class TestFrontier:
+    def test_enough_nodes(self, rng):
+        t = build_kdtree(rng.normal(size=(256, 2)), leaf_size=4)
+        frontier = expand_frontier(t, 16)
+        assert len(frontier) >= 16
+
+    def test_frontier_partitions_points(self, rng):
+        t = build_kdtree(rng.normal(size=(256, 2)), leaf_size=4)
+        frontier = expand_frontier(t, 8)
+        slices = sorted(t.slice(n) for n in frontier)
+        assert slices[0][0] == 0 and slices[-1][1] == 256
+        for (a, b), (c, d) in zip(slices, slices[1:]):
+            assert b == c
+
+    def test_all_leaves_stops(self, rng):
+        t = build_kdtree(rng.normal(size=(16, 2)), leaf_size=8)
+        frontier = expand_frontier(t, 1000)
+        assert len(frontier) == len(t.leaves())
+
+
+class TestParallelTraversal:
+    def test_matches_serial(self, rng):
+        from repro.traversal import dual_tree_traversal
+
+        X = rng.normal(size=(300, 3))
+        t = build_kdtree(X, leaf_size=16)
+        acc_serial = np.zeros(300)
+        acc_par = np.zeros(300)
+
+        def make_base(acc):
+            def base(qs, qe, rs, re):
+                diff = t.points[qs:qe, None, :] - t.points[None, rs:re, :]
+                acc[qs:qe] += np.exp(-(diff ** 2).sum(-1)).sum(axis=1)
+            return base
+
+        dual_tree_traversal(t, t, None, make_base(acc_serial))
+        stats = parallel_dual_tree(t, t, None, make_base(acc_par), workers=4)
+        assert np.allclose(acc_serial, acc_par)
+        assert stats.base_case_pairs == 300 * 300
+
+    def test_portal_parallel_option(self, rng):
+        from repro.problems import knn
+
+        X = rng.normal(size=(400, 3))
+        d1, i1 = knn(X, k=3, fastmath=False)
+        d2, i2 = knn(X, k=3, fastmath=False, parallel=True, workers=3)
+        assert np.allclose(d1, d2)

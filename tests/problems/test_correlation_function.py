@@ -1,0 +1,86 @@
+"""Tests for binned pair counts and the Landy–Szalay estimator."""
+
+import numpy as np
+import pytest
+
+from repro.baselines import brute
+from repro.problems import (
+    binned_pair_counts, landy_szalay, pair_count, two_point_correlation,
+)
+
+
+@pytest.fixture
+def rng():
+    return np.random.default_rng(30)
+
+
+class TestPairCount:
+    def test_self_matches_two_point(self, rng):
+        X = rng.normal(size=(150, 3))
+        assert pair_count(X, h=0.7) == two_point_correlation(X, 0.7)
+
+    def test_cross_matches_brute(self, rng):
+        A = rng.normal(size=(80, 3))
+        B = rng.normal(size=(90, 3))
+        d2 = ((A[:, None, :] - B[None, :, :]) ** 2).sum(-1)
+        assert pair_count(A, B, h=1.0) == float((d2 < 1.0).sum())
+
+    def test_bad_h(self, rng):
+        with pytest.raises(ValueError):
+            pair_count(rng.normal(size=(10, 2)), h=0.0)
+
+
+class TestBinnedCounts:
+    def test_bins_partition_cumulative(self, rng):
+        X = rng.normal(size=(120, 3))
+        edges = np.array([0.0, 0.5, 1.0, 2.0])
+        per_bin = binned_pair_counts(X, None, edges)
+        assert per_bin.sum() == pair_count(X, h=2.0)
+        assert (per_bin >= 0).all()
+
+    def test_counts_match_brute_histogram(self, rng):
+        X = rng.normal(size=(100, 3))
+        edges = np.array([0.2, 0.6, 1.2])
+        per_bin = binned_pair_counts(X, None, edges)
+        d2 = ((X[:, None, :] - X[None, :, :]) ** 2).sum(-1)
+        d = np.sqrt(d2)
+        np.fill_diagonal(d, np.inf)
+        expected = np.histogram(d[np.isfinite(d)], bins=edges)[0]
+        assert np.array_equal(per_bin, expected)
+
+    def test_bad_edges(self, rng):
+        X = rng.normal(size=(10, 2))
+        with pytest.raises(ValueError):
+            binned_pair_counts(X, None, [1.0])
+        with pytest.raises(ValueError):
+            binned_pair_counts(X, None, [1.0, 0.5])
+        with pytest.raises(ValueError):
+            binned_pair_counts(X, None, [-1.0, 1.0])
+
+
+class TestLandySzalay:
+    def test_unclustered_xi_near_zero(self, rng):
+        box = lambda n: rng.uniform(0, 10, size=(n, 3))  # noqa: E731
+        res = landy_szalay(box(500), box(1000), edges=[0.5, 1.0, 1.5])
+        assert np.nanmax(np.abs(res.xi)) < 0.5
+
+    def test_clustered_xi_positive_at_small_r(self, rng):
+        box = lambda n: rng.uniform(0, 10, size=(n, 3))  # noqa: E731
+        centers = box(25)
+        clustered = centers[rng.integers(0, 25, 500)] + rng.normal(
+            scale=0.15, size=(500, 3))
+        res = landy_szalay(clustered, box(1000), edges=[0.3, 0.8, 2.0])
+        assert res.xi[0] > 1.0            # strong small-scale clustering
+        assert res.xi[0] > res.xi[-1]     # decreasing with separation
+
+    def test_result_fields(self, rng):
+        box = lambda n: rng.uniform(0, 5, size=(n, 2))  # noqa: E731
+        res = landy_szalay(box(100), box(150), edges=[0.2, 0.5, 1.0])
+        assert len(res.xi) == 2
+        assert np.allclose(res.centers, [0.35, 0.75])
+        assert res.dd.sum() >= 0 and res.rr.sum() > 0
+
+    def test_tiny_catalog_rejected(self, rng):
+        with pytest.raises(ValueError):
+            landy_szalay(rng.normal(size=(1, 2)), rng.normal(size=(10, 2)),
+                         edges=[0.1, 1.0])

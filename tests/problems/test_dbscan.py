@@ -1,0 +1,80 @@
+"""Tests for DBSCAN over the range-search substrate."""
+
+import numpy as np
+import pytest
+
+from repro.problems import dbscan
+from repro.problems.dbscan import NOISE
+
+
+@pytest.fixture
+def rng():
+    return np.random.default_rng(34)
+
+
+@pytest.fixture
+def two_moons_ish(rng):
+    """Two dense blobs plus scattered noise."""
+    a = rng.normal((-5, 0), 0.4, (100, 2))
+    b = rng.normal((5, 0), 0.4, (100, 2))
+    noise = rng.uniform(-15, 15, (20, 2))
+    return np.concatenate([a, b, noise])
+
+
+class TestDBSCAN:
+    def test_two_clusters_found(self, two_moons_ish):
+        res = dbscan(two_moons_ish, eps=1.0, min_samples=5)
+        assert res.n_clusters == 2
+
+    def test_blob_members_share_label(self, two_moons_ish):
+        res = dbscan(two_moons_ish, eps=1.0, min_samples=5)
+        assert len(np.unique(res.labels[:100])) == 1
+        assert len(np.unique(res.labels[100:200])) == 1
+        assert res.labels[0] != res.labels[150]
+
+    def test_isolated_points_are_noise(self, rng):
+        blob = rng.normal(size=(80, 2)) * 0.3
+        lone = np.array([[50.0, 50.0], [-60.0, 10.0]])
+        res = dbscan(np.concatenate([blob, lone]), eps=1.0, min_samples=4)
+        assert res.labels[-1] == NOISE and res.labels[-2] == NOISE
+
+    def test_core_mask(self, rng):
+        X = rng.normal(size=(100, 2)) * 0.2
+        res = dbscan(X, eps=0.5, min_samples=3)
+        assert res.core_mask.sum() > 80       # dense blob: almost all core
+
+    def test_cluster_sizes(self, two_moons_ish):
+        res = dbscan(two_moons_ish, eps=1.0, min_samples=5)
+        sizes = res.cluster_sizes()
+        assert sizes.sum() + (res.labels == NOISE).sum() == len(two_moons_ish)
+        assert (sizes >= 100).all()
+
+    def test_min_samples_one_no_noise(self, rng):
+        X = rng.normal(size=(50, 2))
+        res = dbscan(X, eps=0.5, min_samples=1)
+        assert (res.labels != NOISE).all()
+
+    def test_all_noise_when_eps_tiny(self, rng):
+        X = rng.normal(size=(50, 2))
+        res = dbscan(X, eps=1e-9, min_samples=3)
+        assert res.n_clusters == 0
+        assert (res.labels == NOISE).all()
+        assert len(res.cluster_sizes()) == 0
+
+    def test_border_points_attach_to_cluster(self):
+        # A chain of points 0.05 apart: interior points see 2 neighbours
+        # (core at min_samples=3), the endpoints see only 1 (border) yet
+        # attach to the chain's cluster.
+        X = np.stack([np.arange(21) * 0.05, np.zeros(21)], axis=1)
+        res = dbscan(X, eps=0.06, min_samples=3)
+        assert res.n_clusters == 1
+        assert (res.labels == 0).all()
+        assert not res.core_mask[0] and not res.core_mask[-1]
+        assert res.core_mask[1:-1].all()
+
+    def test_validation(self, rng):
+        X = rng.normal(size=(10, 2))
+        with pytest.raises(ValueError):
+            dbscan(X, eps=0.0)
+        with pytest.raises(ValueError):
+            dbscan(X, eps=1.0, min_samples=0)

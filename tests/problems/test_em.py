@@ -1,0 +1,78 @@
+"""Tests for EM over Portal sub-problems."""
+
+import numpy as np
+import pytest
+
+from repro.dsl import Storage
+from repro.problems import GaussianMixtureEM, em_fit
+
+
+@pytest.fixture
+def rng():
+    return np.random.default_rng(21)
+
+
+class TestFit:
+    def test_log_likelihood_monotone(self, clustered_2d):
+        X, _ = clustered_2d
+        gmm = em_fit(X, 2, max_iter=25)
+        lls = gmm.log_likelihoods_
+        assert all(b >= a - 1e-6 * abs(a) for a, b in zip(lls, lls[1:]))
+
+    def test_recovers_two_clusters(self, clustered_2d):
+        X, y = clustered_2d
+        gmm = em_fit(X, 2, max_iter=40)
+        labels = gmm.predict(X)
+        acc = max(np.mean(labels == y), np.mean(labels == 1 - y))
+        assert acc > 0.95
+
+    def test_means_near_truth(self, clustered_2d):
+        X, _ = clustered_2d
+        gmm = em_fit(X, 2, max_iter=40)
+        xs = np.sort(gmm.means_[:, 0])
+        assert xs[0] == pytest.approx(-4.0, abs=0.8)
+        assert xs[1] == pytest.approx(4.0, abs=0.8)
+
+    def test_weights_sum_to_one(self, clustered_2d):
+        X, _ = clustered_2d
+        gmm = em_fit(X, 3, max_iter=10)
+        assert gmm.weights_.sum() == pytest.approx(1.0)
+
+    def test_responsibilities_normalised(self, clustered_2d):
+        X, _ = clustered_2d
+        gmm = em_fit(X, 2, max_iter=10)
+        resp = gmm.predict_proba(X)
+        assert resp.shape == (len(X), 2)
+        assert np.allclose(resp.sum(axis=1), 1.0)
+
+    def test_accepts_storage(self, clustered_2d):
+        X, _ = clustered_2d
+        gmm = em_fit(Storage(X), 2, max_iter=5)
+        assert gmm.n_iter_ >= 1
+
+    def test_bad_k_rejected(self, clustered_2d):
+        X, _ = clustered_2d
+        with pytest.raises(ValueError):
+            GaussianMixtureEM(n_components=0).fit(X)
+        with pytest.raises(ValueError):
+            GaussianMixtureEM(n_components=len(X) + 1).fit(X)
+
+    def test_log_likelihood_matches_direct(self, clustered_2d):
+        """The Portal Σ log Σ sub-problem equals a direct computation."""
+        X, _ = clustered_2d
+        gmm = em_fit(X, 2, max_iter=5)
+        from repro.problems.em import _log_gaussian
+
+        direct = np.zeros(len(X))
+        total = np.zeros(len(X))
+        for k in range(2):
+            total += gmm.weights_[k] * np.exp(
+                _log_gaussian(X, gmm.means_[k], gmm.covariances_[k])
+            )
+        expected = float(np.log(total).sum())
+        assert gmm.log_likelihood(X) == pytest.approx(expected, rel=1e-10)
+
+    def test_convergence_stops_early(self, clustered_2d):
+        X, _ = clustered_2d
+        gmm = GaussianMixtureEM(n_components=2, max_iter=200, tol=1e-4).fit(X)
+        assert gmm.n_iter_ < 200

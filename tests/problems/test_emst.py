@@ -1,0 +1,93 @@
+"""Tests for the Euclidean minimum spanning tree (dual-tree Borůvka)."""
+
+import numpy as np
+import pytest
+from scipy.sparse.csgraph import minimum_spanning_tree
+from scipy.spatial.distance import pdist, squareform
+
+from repro.problems import emst
+
+
+def scipy_mst_weight(X) -> float:
+    return float(minimum_spanning_tree(squareform(pdist(X))).sum())
+
+
+@pytest.fixture
+def rng():
+    return np.random.default_rng(20)
+
+
+class TestEMST:
+    def test_weight_matches_scipy(self, rng):
+        X = rng.normal(size=(200, 3))
+        res = emst(X)
+        assert res.total_weight == pytest.approx(scipy_mst_weight(X), rel=1e-10)
+
+    def test_edge_count(self, rng):
+        X = rng.normal(size=(120, 2))
+        res = emst(X)
+        assert res.edges.shape == (119, 2)
+        assert len(res.weights) == 119
+
+    def test_spanning_connected(self, rng):
+        import networkx as nx
+
+        X = rng.normal(size=(100, 3))
+        res = emst(X)
+        g = nx.Graph()
+        g.add_nodes_from(range(100))
+        g.add_edges_from(map(tuple, res.edges))
+        assert nx.is_connected(g)
+        assert g.number_of_edges() == 99
+
+    def test_weights_sorted(self, rng):
+        res = emst(rng.normal(size=(80, 2)))
+        assert np.all(np.diff(res.weights) >= -1e-12)
+
+    def test_clustered_data(self, rng):
+        A = rng.normal(size=(60, 2))
+        B = rng.normal(size=(60, 2)) + 20.0
+        X = np.concatenate([A, B])
+        res = emst(X)
+        assert res.total_weight == pytest.approx(scipy_mst_weight(X), rel=1e-10)
+        # Exactly one long bridge edge between the clusters.
+        bridge = sum(1 for (a, b) in res.edges if (a < 60) != (b < 60))
+        assert bridge == 1
+
+    def test_high_dim(self, rng):
+        X = rng.normal(size=(80, 10))
+        res = emst(X)
+        assert res.total_weight == pytest.approx(scipy_mst_weight(X), rel=1e-10)
+
+    def test_two_points(self):
+        X = np.array([[0.0, 0.0], [3.0, 4.0]])
+        res = emst(X)
+        assert res.total_weight == pytest.approx(5.0)
+        assert res.rounds == 1
+
+    def test_too_few_points(self):
+        with pytest.raises(ValueError):
+            emst(np.array([[1.0, 2.0]]))
+
+    def test_duplicate_points(self, rng):
+        # scipy.csgraph treats explicit zero distances as missing edges, so
+        # validate against networkx, which handles zero-weight edges.
+        import networkx as nx
+
+        base = rng.normal(size=(30, 2))
+        X = np.concatenate([base, base[:10]])
+        res = emst(X)
+        g = nx.Graph()
+        D = squareform(pdist(X))
+        n = len(X)
+        g.add_weighted_edges_from(
+            (i, j, D[i, j]) for i in range(n) for j in range(i + 1, n)
+        )
+        expected = sum(d["weight"] for _, _, d in
+                       nx.minimum_spanning_edges(g, data=True))
+        assert res.total_weight == pytest.approx(expected, abs=1e-9)
+
+    def test_stats_collected(self, rng):
+        res = emst(rng.normal(size=(100, 2)))
+        assert res.stats.base_cases > 0
+        assert res.rounds >= 1

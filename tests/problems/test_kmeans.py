@@ -1,0 +1,65 @@
+"""Tests for k-means over Portal assignment steps."""
+
+import numpy as np
+import pytest
+
+from repro.problems import kmeans
+
+
+@pytest.fixture
+def rng():
+    return np.random.default_rng(39)
+
+
+@pytest.fixture
+def blobs(rng):
+    X = np.concatenate([
+        rng.normal((-5, 0), 0.5, (100, 2)),
+        rng.normal((5, 0), 0.5, (100, 2)),
+        rng.normal((0, 6), 0.5, (100, 2)),
+    ])
+    return X
+
+
+class TestKMeans:
+    def test_recovers_centers(self, blobs):
+        res = kmeans(blobs, 3, seed=1)
+        targets = np.array([[-5, 0], [5, 0], [0, 6]], dtype=float)
+        for t in targets:
+            assert np.linalg.norm(res.centroids - t, axis=1).min() < 0.5
+
+    def test_inertia_monotone(self, blobs):
+        res = kmeans(blobs, 3, seed=1)
+        h = res.inertia_history
+        assert all(b <= a + 1e-9 for a, b in zip(h, h[1:]))
+
+    def test_labels_partition(self, blobs):
+        res = kmeans(blobs, 3, seed=1)
+        assert res.labels.shape == (300,)
+        assert set(np.unique(res.labels)) <= {0, 1, 2}
+
+    def test_k1_centroid_is_mean(self, rng):
+        X = rng.normal(size=(50, 3))
+        res = kmeans(X, 1)
+        assert np.allclose(res.centroids[0], X.mean(axis=0))
+
+    def test_k_equals_n(self, rng):
+        X = rng.normal(size=(8, 2))
+        res = kmeans(X, 8, seed=0)
+        assert res.inertia == pytest.approx(0.0, abs=1e-12)
+
+    def test_converges_quickly_on_separated_blobs(self, blobs):
+        res = kmeans(blobs, 3, seed=1, max_iter=100)
+        assert res.iterations < 20
+
+    def test_bad_k(self, rng):
+        X = rng.normal(size=(10, 2))
+        with pytest.raises(ValueError):
+            kmeans(X, 0)
+        with pytest.raises(ValueError):
+            kmeans(X, 11)
+
+    def test_deterministic_given_seed(self, blobs):
+        a = kmeans(blobs, 3, seed=7)
+        b = kmeans(blobs, 3, seed=7)
+        assert np.array_equal(a.labels, b.labels)

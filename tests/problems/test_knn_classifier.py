@@ -1,0 +1,84 @@
+"""Tests for the k-NN classifier/regressor."""
+
+import numpy as np
+import pytest
+
+from repro.problems.knn_classifier import KNNClassifier, knn_regress
+
+
+@pytest.fixture
+def rng():
+    return np.random.default_rng(40)
+
+
+@pytest.fixture
+def two_class(rng):
+    X = np.concatenate([rng.normal(-3, 1, (120, 3)),
+                        rng.normal(3, 1, (120, 3))])
+    y = np.array(["neg"] * 120 + ["pos"] * 120)
+    return X, y
+
+
+class TestClassifier:
+    def test_separable_accuracy(self, two_class):
+        X, y = two_class
+        clf = KNNClassifier(k=5).fit(X, y)
+        assert clf.score(X, y) > 0.97
+
+    def test_string_labels_returned(self, two_class):
+        X, y = two_class
+        clf = KNNClassifier(k=3).fit(X, y)
+        pred = clf.predict(np.array([[-3.0, 0, 0], [3.0, 0, 0]]))
+        assert pred[0] == "neg" and pred[1] == "pos"
+
+    def test_weighted_breaks_ties_by_distance(self):
+        # Two class-0 points far away, one class-1 point very near: with
+        # k=3 unweighted votes class 0 wins; weighted votes pick class 1.
+        X = np.array([[0.0, 0.0], [10.0, 0.0], [10.0, 0.2]])
+        y = np.array([1, 0, 0])
+        probe = np.array([[0.5, 0.0]])
+        plain = KNNClassifier(k=3, weighted=False).fit(X, y).predict(probe)
+        weighted = KNNClassifier(k=3, weighted=True).fit(X, y).predict(probe)
+        assert plain[0] == 0 and weighted[0] == 1
+
+    def test_k_validation(self, two_class):
+        X, y = two_class
+        with pytest.raises(ValueError):
+            KNNClassifier(k=0)
+        with pytest.raises(ValueError):
+            KNNClassifier(k=len(X) + 1).fit(X, y)
+
+    def test_unfitted(self, rng):
+        with pytest.raises(ValueError, match="not fitted"):
+            KNNClassifier().predict(rng.normal(size=(3, 2)))
+
+    def test_mismatched_lengths(self, rng):
+        with pytest.raises(ValueError):
+            KNNClassifier().fit(rng.normal(size=(5, 2)), [0, 1])
+
+    def test_k1_copies_nearest_label(self, two_class):
+        X, y = two_class
+        clf = KNNClassifier(k=1).fit(X, y)
+        assert clf.score(X, y) == 1.0  # self excluded? no: test vs train
+        # (test points equal training points: the nearest neighbour of a
+        # training point queried against the training set is itself)
+
+
+class TestRegression:
+    def test_recovers_smooth_function(self, rng):
+        X = rng.uniform(-3, 3, (400, 1))
+        y = np.sin(X[:, 0])
+        Xt = rng.uniform(-2.5, 2.5, (50, 1))
+        pred = knn_regress(X, y, Xt, k=8)
+        assert np.abs(pred - np.sin(Xt[:, 0])).max() < 0.15
+
+    def test_unweighted_is_mean(self):
+        X = np.array([[0.0], [1.0], [2.0], [100.0]])
+        y = np.array([1.0, 2.0, 3.0, 50.0])
+        pred = knn_regress(X, y, np.array([[1.0]]), k=3, weighted=False)
+        assert pred[0] == pytest.approx(2.0)
+
+    def test_length_validation(self, rng):
+        with pytest.raises(ValueError):
+            knn_regress(rng.normal(size=(5, 2)), np.ones(4),
+                        rng.normal(size=(2, 2)))

@@ -1,0 +1,72 @@
+"""Tests for mean-shift clustering (composition of KDE Portal programs)."""
+
+import numpy as np
+import pytest
+
+from repro.problems import mean_shift
+
+
+@pytest.fixture
+def rng():
+    return np.random.default_rng(33)
+
+
+@pytest.fixture
+def three_blobs(rng):
+    X = np.concatenate([
+        rng.normal((-4, 0), 0.4, (120, 2)),
+        rng.normal((4, 0), 0.4, (120, 2)),
+        rng.normal((0, 6), 0.4, (80, 2)),
+    ])
+    truth = np.repeat([0, 1, 2], [120, 120, 80])
+    return X, truth
+
+
+class TestMeanShift:
+    def test_finds_three_modes(self, three_blobs):
+        X, _ = three_blobs
+        res = mean_shift(X, bandwidth=0.7)
+        assert len(res.modes) == 3
+
+    def test_modes_near_centers(self, three_blobs):
+        X, _ = three_blobs
+        res = mean_shift(X, bandwidth=0.7)
+        centers = np.array([[-4, 0], [4, 0], [0, 6]], dtype=float)
+        for c in centers:
+            assert np.linalg.norm(res.modes - c, axis=1).min() < 0.5
+
+    def test_clusters_match_truth(self, three_blobs):
+        X, truth = three_blobs
+        res = mean_shift(X, bandwidth=0.7)
+        # Every true cluster maps to exactly one label.
+        for t in np.unique(truth):
+            labels = res.labels[truth == t]
+            assert len(np.unique(labels)) == 1
+
+    def test_single_blob_single_mode(self, rng):
+        X = rng.normal(size=(150, 3)) * 0.3
+        res = mean_shift(X, bandwidth=1.0)
+        assert len(res.modes) == 1
+        assert np.linalg.norm(res.modes[0]) < 0.3
+
+    def test_converges(self, three_blobs):
+        X, _ = three_blobs
+        res = mean_shift(X, bandwidth=0.7, max_iter=100)
+        assert res.iterations < 100
+
+    def test_shifted_positions_at_modes(self, three_blobs):
+        X, _ = three_blobs
+        res = mean_shift(X, bandwidth=0.7)
+        d = np.linalg.norm(res.shifted - res.modes[res.labels], axis=1)
+        assert d.max() < 0.7 / 2
+
+    def test_bad_bandwidth(self, rng):
+        with pytest.raises(ValueError):
+            mean_shift(rng.normal(size=(10, 2)), bandwidth=0.0)
+
+    def test_tau_knob_consistency(self, three_blobs):
+        X, _ = three_blobs
+        exact = mean_shift(X, bandwidth=0.7, tau=0.0)
+        approx = mean_shift(X, bandwidth=0.7, tau=1e-4)
+        assert len(exact.modes) == len(approx.modes)
+        assert np.array_equal(exact.labels, approx.labels)

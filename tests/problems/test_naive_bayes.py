@@ -1,0 +1,74 @@
+"""Tests for the naive Bayes classifier built on per-class Mahalanobis
+Portal programs."""
+
+import numpy as np
+import pytest
+
+from repro.baselines import MlpackLikeNBC
+from repro.problems import NaiveBayesClassifier, naive_bayes_fit
+
+
+@pytest.fixture
+def rng():
+    return np.random.default_rng(22)
+
+
+@pytest.fixture
+def three_class(rng):
+    X = np.concatenate([
+        rng.normal((-5, 0), 1.0, size=(100, 2)),
+        rng.normal((5, 0), 1.0, size=(100, 2)),
+        rng.normal((0, 6), 1.0, size=(100, 2)),
+    ])
+    y = np.repeat([0, 1, 2], 100)
+    return X, y
+
+
+class TestClassifier:
+    def test_separable_accuracy(self, three_class):
+        X, y = three_class
+        nbc = naive_bayes_fit(X, y)
+        assert nbc.score(X, y) > 0.97
+
+    def test_agrees_with_reference(self, three_class):
+        X, y = three_class
+        ours = naive_bayes_fit(X, y).predict(X)
+        ref = MlpackLikeNBC().fit(X, y).predict(X)
+        assert np.mean(ours == ref) > 0.99
+
+    def test_priors_affect_decision(self, rng):
+        # Heavily imbalanced overlapping classes: prior should tip ties.
+        X = np.concatenate([rng.normal(0, 1, (500, 2)),
+                            rng.normal(0.5, 1, (20, 2))])
+        y = np.array([0] * 500 + [1] * 20)
+        nbc = naive_bayes_fit(X, y)
+        pred = nbc.predict(rng.normal(0.25, 0.2, (50, 2)))
+        assert np.mean(pred == 0) > 0.8
+
+    def test_decision_scores_shape(self, three_class):
+        X, y = three_class
+        nbc = naive_bayes_fit(X, y)
+        scores = nbc.decision_scores(X[:10])
+        assert scores.shape == (10, 3)
+
+    def test_string_labels(self, rng):
+        X = np.concatenate([rng.normal(-3, 1, (50, 2)),
+                            rng.normal(3, 1, (50, 2))])
+        y = np.array(["cat"] * 50 + ["dog"] * 50)
+        nbc = naive_bayes_fit(X, y)
+        pred = nbc.predict(np.array([[-3.0, 0.0], [3.0, 0.0]]))
+        assert pred[0] == "cat" and pred[1] == "dog"
+
+    def test_unfitted_rejected(self, rng):
+        with pytest.raises(ValueError, match="not fitted"):
+            NaiveBayesClassifier().predict(rng.normal(size=(3, 2)))
+
+    def test_mismatched_xy_rejected(self, rng):
+        with pytest.raises(ValueError):
+            NaiveBayesClassifier().fit(rng.normal(size=(5, 2)), [0, 1])
+
+    def test_tiny_class_rejected(self, rng):
+        X = rng.normal(size=(5, 2))
+        y = [0, 0, 0, 0, 1]
+        with pytest.raises(ValueError, match="at least 2"):
+            NaiveBayesClassifier().fit(X, y)

@@ -1,0 +1,76 @@
+"""Tests for range search and range count."""
+
+import numpy as np
+import pytest
+
+from repro.baselines import brute
+from repro.problems import range_count, range_search
+
+
+@pytest.fixture
+def rng():
+    return np.random.default_rng(17)
+
+
+class TestRangeSearch:
+    def test_matches_brute(self, small_qr):
+        Q, R = small_qr
+        got = range_search(Q, R, h=0.8)
+        expected = brute.brute_range_search(Q, R, 0.8)
+        for g, e in zip(got, expected):
+            assert np.array_equal(g, np.sort(e))
+
+    def test_self_join_excludes_self(self, rng):
+        X = rng.normal(size=(80, 3))
+        got = range_search(X, h=0.9)
+        for i, g in enumerate(got):
+            assert i not in g
+
+    def test_annulus(self, small_qr):
+        Q, R = small_qr
+        got = range_search(Q, R, h=1.2, h_min=0.6)
+        d = np.sqrt(((Q[:, None, :] - R[None, :, :]) ** 2).sum(-1))
+        for i, g in enumerate(got):
+            expected = np.flatnonzero((d[i] >= 0.6) & (d[i] < 1.2))
+            # Points exactly at h_min boundary belong to the outer search only.
+            expected_strict = np.flatnonzero((d[i] < 1.2) & ~(d[i] < 0.6))
+            assert np.array_equal(g, expected_strict)
+
+    def test_empty_results(self, rng):
+        Q = rng.normal(size=(20, 3))
+        R = rng.normal(size=(20, 3)) + 100.0
+        got = range_search(Q, R, h=0.5)
+        assert all(len(g) == 0 for g in got)
+
+    def test_bad_h_rejected(self, small_qr):
+        Q, R = small_qr
+        with pytest.raises(ValueError):
+            range_search(Q, R, h=0.0)
+        with pytest.raises(ValueError):
+            range_search(Q, R, h=1.0, h_min=1.5)
+
+
+class TestRangeCount:
+    def test_matches_brute(self, small_qr):
+        Q, R = small_qr
+        got = range_count(Q, R, h=0.8)
+        assert np.array_equal(got, brute.brute_range_count(Q, R, 0.8))
+
+    def test_count_equals_search_length(self, small_qr):
+        Q, R = small_qr
+        counts = range_count(Q, R, h=0.7)
+        lists = range_search(Q, R, h=0.7)
+        assert np.array_equal(counts, [len(l) for l in lists])
+
+    def test_self_join_count(self, rng):
+        X = rng.normal(size=(70, 3))
+        got = range_count(X, h=1.0)
+        expected = brute.brute_range_count(X, X, 1.0, exclude_self=True)
+        assert np.array_equal(got, expected)
+
+    def test_all_inside_closed_form(self, rng):
+        # Tiny spread, huge radius: every pair is inside; the traversal
+        # should answer almost entirely through ComputeApprox.
+        X = rng.normal(size=(200, 3)) * 0.01
+        got = range_count(X, h=10.0)
+        assert np.all(got == 199.0)

@@ -1,0 +1,63 @@
+"""Tests for 3-point correlation (the m = 3 multi-tree instance)."""
+
+import numpy as np
+import pytest
+
+from repro.problems import three_point_correlation
+
+
+def brute_three_point(X, h):
+    d2 = ((X[:, None, :] - X[None, :, :]) ** 2).sum(-1)
+    m = (d2 < h * h).astype(float)
+    np.fill_diagonal(m, 0.0)
+    return float(np.einsum("ab,bc,ac->", m, m, m))
+
+
+@pytest.fixture
+def rng():
+    return np.random.default_rng(27)
+
+
+class TestThreePoint:
+    def test_matches_brute(self, rng):
+        X = rng.normal(size=(100, 3))
+        assert three_point_correlation(X, 0.8) == brute_three_point(X, 0.8)
+
+    def test_2d(self, rng):
+        X = rng.normal(size=(80, 2))
+        assert three_point_correlation(X, 0.5) == brute_three_point(X, 0.5)
+
+    def test_high_dim(self, rng):
+        X = rng.normal(size=(60, 8))
+        assert three_point_correlation(X, 2.5) == brute_three_point(X, 2.5)
+
+    def test_closed_form_inclusion_fires(self, rng):
+        A = rng.normal(size=(50, 3)) * 0.05
+        B = rng.normal(size=(50, 3)) * 0.05 + 10.0
+        X = np.concatenate([A, B])
+        got, stats = three_point_correlation(X, 1.0, return_stats=True)
+        assert got == brute_three_point(X, 1.0)
+        assert stats.approximated > 0          # all-inside node triples
+        assert stats.pruned > 0                # cross-cluster triples
+
+    def test_tiny_radius(self, rng):
+        X = rng.normal(size=(50, 3))
+        assert three_point_correlation(X, 1e-9) == 0.0
+
+    def test_huge_radius_counts_all_distinct(self, rng):
+        X = rng.normal(size=(30, 3))
+        n = 30
+        assert three_point_correlation(X, 1e6) == n * (n - 1) * (n - 2)
+
+    def test_fewer_than_three_points(self, rng):
+        assert three_point_correlation(rng.normal(size=(2, 3)), 1.0) == 0.0
+
+    def test_bad_h(self, rng):
+        with pytest.raises(ValueError):
+            three_point_correlation(rng.normal(size=(10, 2)), -1.0)
+
+    def test_ordered_vs_unordered_relation(self, rng):
+        # Every unordered triangle contributes 3! = 6 ordered triples.
+        X = rng.normal(size=(60, 3))
+        got = three_point_correlation(X, 0.9)
+        assert got % 6 == 0

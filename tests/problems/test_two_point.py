@@ -1,0 +1,56 @@
+"""Tests for 2-point correlation."""
+
+import numpy as np
+import pytest
+
+from repro.baselines import brute
+from repro.problems import two_point_correlation
+
+
+@pytest.fixture
+def rng():
+    return np.random.default_rng(19)
+
+
+class TestCounts:
+    def test_matches_brute(self, rng):
+        X = rng.normal(size=(300, 3))
+        got = two_point_correlation(X, h=0.5)
+        assert got == brute.brute_two_point(X, 0.5)
+
+    def test_include_self_adds_n(self, rng):
+        X = rng.normal(size=(100, 3))
+        a = two_point_correlation(X, h=0.5)
+        b = two_point_correlation(X, h=0.5, include_self=True)
+        assert b == a + 100
+
+    def test_unordered_halves(self, rng):
+        X = rng.normal(size=(100, 3))
+        ordered = two_point_correlation(X, h=0.7)
+        unordered = two_point_correlation(X, h=0.7, ordered=False)
+        assert unordered == ordered / 2
+
+    def test_tiny_radius_zero(self, rng):
+        X = rng.normal(size=(100, 3))
+        assert two_point_correlation(X, h=1e-12) == 0.0
+
+    def test_huge_radius_all_pairs(self, rng):
+        X = rng.normal(size=(80, 3))
+        assert two_point_correlation(X, h=1e6) == 80 * 79
+
+    def test_clustered_data_exercises_both_prunes(self, rng):
+        # Two distant blobs: cross-cluster pairs prune "all outside",
+        # in-cluster pairs mostly resolve "all inside" in closed form.
+        A = rng.normal(size=(150, 3)) * 0.1
+        B = rng.normal(size=(150, 3)) * 0.1 + 50.0
+        X = np.concatenate([A, B])
+        got = two_point_correlation(X, h=5.0)
+        assert got == brute.brute_two_point(X, 5.0)
+
+    def test_high_dim(self, rng):
+        X = rng.normal(size=(150, 8))
+        assert two_point_correlation(X, h=2.0) == brute.brute_two_point(X, 2.0)
+
+    def test_bad_h(self, rng):
+        with pytest.raises(ValueError):
+            two_point_correlation(rng.normal(size=(10, 2)), h=-1.0)

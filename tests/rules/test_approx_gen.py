@@ -1,0 +1,76 @@
+"""Tests for the approximate-condition generator."""
+
+import numpy as np
+import pytest
+
+from repro.dsl import CompileError, PortalFunc, PortalOp, Storage, Var
+from repro.dsl.layer import Layer
+from repro.rules.approx_gen import generate_approx
+
+
+@pytest.fixture
+def store():
+    return Storage(np.random.default_rng(2).normal(size=(30, 3)), name="s")
+
+
+def kde_layers(store, bandwidth=1.0):
+    q, r = Var("q"), Var("r")
+    ls = [
+        Layer.build(PortalOp.FORALL, (q, store), {}),
+        Layer.build(PortalOp.SUM, (r, store, PortalFunc.GAUSSIAN),
+                    {"bandwidth": bandwidth}),
+    ]
+    ls[-1].resolve_kernel(q)
+    return ls, ls[-1].metric_kernel
+
+
+class TestBandCriterion:
+    def test_band_rule(self, store):
+        ls, k = kde_layers(store)
+        rule = generate_approx(ls, k, tau=0.05)
+        assert rule.kind == "approx" and rule.criterion == "band"
+        assert rule.tau == 0.05
+        assert "τ" in rule.description
+
+    def test_negative_tau_rejected(self, store):
+        ls, k = kde_layers(store)
+        with pytest.raises(CompileError):
+            generate_approx(ls, k, tau=-1.0)
+
+    def test_non_arithmetic_inner_rejected(self, store):
+        q, r = Var("q"), Var("r")
+        ls = [
+            Layer.build(PortalOp.FORALL, (q, store), {}),
+            Layer.build(PortalOp.MIN, (r, store, PortalFunc.EUCLIDEAN), {}),
+        ]
+        ls[-1].resolve_kernel(q)
+        with pytest.raises(CompileError, match="arithmetic"):
+            generate_approx(ls, ls[-1].metric_kernel)
+
+    def test_nonmonotone_kernel_rejected(self, store):
+        from repro.dsl.expr import DistVar
+        from repro.dsl.funcs import MetricKernel
+
+        t = DistVar("t")
+        k = MetricKernel("sqeuclidean", (t - 1.0) * (t - 1.0))
+        ls, _ = kde_layers(store)
+        with pytest.raises(CompileError, match="monotone"):
+            generate_approx(ls, k)
+
+
+class TestMacCriterion:
+    def test_mac_rule(self, store):
+        ls, k = kde_layers(store)
+        rule = generate_approx(ls, k, criterion="mac", theta=0.4)
+        assert rule.criterion == "mac" and rule.theta == 0.4
+        assert "θ" in rule.description
+
+    def test_bad_theta_rejected(self, store):
+        ls, k = kde_layers(store)
+        with pytest.raises(CompileError):
+            generate_approx(ls, k, criterion="mac", theta=0.0)
+
+    def test_unknown_criterion_rejected(self, store):
+        ls, k = kde_layers(store)
+        with pytest.raises(CompileError, match="criterion"):
+            generate_approx(ls, k, criterion="magic")

@@ -1,0 +1,91 @@
+"""Tests for problem classification (paper section II-B): every Table-III
+problem must land in its paper category."""
+
+import numpy as np
+import pytest
+
+from repro.dsl import PortalFunc, PortalOp, Storage, Var, indicator, pow, sqrt
+from repro.dsl.layer import Layer
+from repro.rules.classify import classify
+
+
+@pytest.fixture
+def store():
+    return Storage(np.random.default_rng(0).normal(size=(30, 3)), name="s")
+
+
+def layers_of(store, *specs, params=None):
+    out = []
+    for op, func in specs:
+        layer = Layer.build(op, (store, func) if func is not None else (store,),
+                            params or {})
+        out.append(layer)
+    q, r = Var("q"), Var("r")
+    out[0].var, out[-1].var = q, r
+    out[-1].resolve_kernel(q)
+    return out
+
+
+def _kernel(layers):
+    return layers[-1].metric_kernel
+
+
+class TestTable3Categories:
+    def test_knn_is_pruning(self, store):
+        ls = layers_of(store, (PortalOp.FORALL, None),
+                       (PortalOp.ARGMIN, PortalFunc.EUCLIDEAN))
+        c = classify(ls, _kernel(ls))
+        assert c.is_pruning and c.algorithm == "tree"
+
+    def test_range_search_is_pruning(self, store):
+        q, r = Var("q"), Var("r")
+        ind = indicator(sqrt(pow(q - r, 2)) < 1.0)
+        ls = [
+            Layer.build(PortalOp.FORALL, (q, store), {}),
+            Layer.build(PortalOp.UNIONARG, (r, store, ind), {}),
+        ]
+        ls[-1].resolve_kernel(q)
+        c = classify(ls, _kernel(ls))
+        assert c.is_pruning
+
+    def test_hausdorff_is_pruning(self, store):
+        ls = layers_of(store, (PortalOp.MAX, None),
+                       (PortalOp.MIN, PortalFunc.EUCLIDEAN))
+        assert classify(ls, _kernel(ls)).is_pruning
+
+    def test_kde_is_approximation(self, store):
+        ls = layers_of(store, (PortalOp.FORALL, None),
+                       (PortalOp.SUM, PortalFunc.GAUSSIAN))
+        c = classify(ls, _kernel(ls))
+        assert c.is_approximation and c.algorithm == "tree"
+
+    def test_two_point_is_pruning_via_kernel(self, store):
+        q, r = Var("q"), Var("r")
+        ind = indicator(sqrt(pow(q - r, 2)) < 0.5)
+        ls = [
+            Layer.build(PortalOp.SUM, (q, store), {}),
+            Layer.build(PortalOp.SUM, (r, store, ind), {}),
+        ]
+        ls[-1].resolve_kernel(q)
+        c = classify(ls, _kernel(ls))
+        # Arithmetic operators but a comparative kernel -> pruning.
+        assert c.is_pruning
+
+    def test_estep_forall_forall_brute(self, store):
+        ls = layers_of(store, (PortalOp.FORALL, None),
+                       (PortalOp.FORALL, PortalFunc.GAUSSIAN))
+        c = classify(ls, _kernel(ls))
+        assert c.algorithm == "brute"
+
+    def test_external_kernel_brute(self, store):
+        fn = lambda Q, R: np.zeros((len(Q), len(R)))  # noqa: E731
+        ls = layers_of(store, (PortalOp.FORALL, None), (PortalOp.SUM, fn))
+        c = classify(ls, None)
+        assert c.algorithm == "brute"
+        assert c.is_approximation
+
+    def test_reasons_populated(self, store):
+        ls = layers_of(store, (PortalOp.FORALL, None),
+                       (PortalOp.ARGMIN, PortalFunc.EUCLIDEAN))
+        c = classify(ls, _kernel(ls))
+        assert any("comparative operator" in r for r in c.reasons)

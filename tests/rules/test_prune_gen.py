@@ -1,0 +1,103 @@
+"""Tests for the prune-condition generator (paper section II-C)."""
+
+import numpy as np
+import pytest
+
+from repro.dsl import PortalFunc, PortalOp, Storage, Var, indicator, pow, sqrt
+from repro.dsl.layer import Layer
+from repro.rules import build_rules
+from repro.rules.prune_gen import generate_prune
+
+
+@pytest.fixture
+def store():
+    return Storage(np.random.default_rng(1).normal(size=(40, 3)), name="s")
+
+
+def make(store, outer_op, inner_op, func, k=None, params=None):
+    inner_spec = (inner_op, k) if k else inner_op
+    q, r = Var("q"), Var("r")
+    ls = [
+        Layer.build(outer_op, (q, store), {}),
+        Layer.build(inner_spec, (r, store, func), params or {}),
+    ]
+    ls[-1].resolve_kernel(q)
+    return ls, ls[-1].metric_kernel
+
+
+class TestBoundRules:
+    def test_argmin_bound_min(self, store):
+        ls, k = make(store, PortalOp.FORALL, PortalOp.ARGMIN,
+                     PortalFunc.EUCLIDEAN)
+        rule = generate_prune(ls, k)
+        assert rule.kind == "bound-min" and rule.k == 1
+
+    def test_kargmin_carries_k(self, store):
+        ls, k = make(store, PortalOp.FORALL, PortalOp.KARGMIN,
+                     PortalFunc.EUCLIDEAN, k=5)
+        rule = generate_prune(ls, k)
+        assert rule.kind == "bound-min" and rule.k == 5
+        assert "5th-best" in rule.description
+
+    def test_argmax_bound_max(self, store):
+        ls, k = make(store, PortalOp.FORALL, PortalOp.ARGMAX,
+                     PortalFunc.EUCLIDEAN)
+        assert generate_prune(ls, k).kind == "bound-max"
+
+    def test_hausdorff_inner_min(self, store):
+        ls, k = make(store, PortalOp.MAX, PortalOp.MIN, PortalFunc.EUCLIDEAN)
+        assert generate_prune(ls, k).kind == "bound-min"
+
+
+class TestIndicatorRules:
+    def _indicator_layers(self, store, outer, inner, h=0.7):
+        q, r = Var("q"), Var("r")
+        ind = indicator(sqrt(pow(q - r, 2)) < h)
+        ls = [
+            Layer.build(outer, (q, store), {}),
+            Layer.build(inner, (r, store, ind), {}),
+        ]
+        ls[-1].resolve_kernel(q)
+        return ls, ls[-1].metric_kernel
+
+    def test_two_point_count_product(self, store):
+        ls, k = self._indicator_layers(store, PortalOp.SUM, PortalOp.SUM)
+        rule = generate_prune(ls, k)
+        assert rule.kind == "indicator"
+        assert rule.inside_action == "count_product"
+        assert rule.indicator_h == pytest.approx(0.49)
+
+    def test_range_count_per_query(self, store):
+        ls, k = self._indicator_layers(store, PortalOp.FORALL, PortalOp.SUM)
+        assert generate_prune(ls, k).inside_action == "count_per_query"
+
+    def test_range_search_append_all(self, store):
+        ls, k = self._indicator_layers(store, PortalOp.FORALL,
+                                       PortalOp.UNIONARG)
+        assert generate_prune(ls, k).inside_action == "append_all"
+
+    def test_union_no_indicator_no_rule(self, store):
+        ls, k = make(store, PortalOp.FORALL, PortalOp.UNIONARG,
+                     PortalFunc.EUCLIDEAN)
+        assert generate_prune(ls, k).kind == "none"
+
+
+class TestBuildRules:
+    def test_routes_pruning(self, store):
+        ls, k = make(store, PortalOp.FORALL, PortalOp.ARGMIN,
+                     PortalFunc.EUCLIDEAN)
+        cls, rule = build_rules(ls, k)
+        assert cls.is_pruning and rule.prunes
+
+    def test_routes_approx(self, store):
+        ls, k = make(store, PortalOp.FORALL, PortalOp.SUM,
+                     PortalFunc.GAUSSIAN, params={"bandwidth": 1.0})
+        cls, rule = build_rules(ls, k, tau=0.01)
+        assert cls.is_approximation and rule.approximates
+        assert rule.tau == 0.01
+
+    def test_brute_gets_none(self, store):
+        ls, _ = make(store, PortalOp.FORALL, PortalOp.SUM,
+                     lambda Q, R: np.zeros((len(Q), len(R))))
+        cls, rule = build_rules(ls, None)
+        assert rule.kind == "none"

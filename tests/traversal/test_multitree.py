@@ -1,0 +1,97 @@
+"""Tests for Algorithm 1: the multi-tree and dual-tree traversals."""
+
+import numpy as np
+import pytest
+
+from repro.traversal import (
+    TraversalStats, dual_tree_traversal, multi_tree_traversal,
+)
+from repro.trees import build_kdtree
+
+
+@pytest.fixture
+def rng():
+    return np.random.default_rng(13)
+
+
+class TestDualTree:
+    def test_no_rules_visits_all_leaf_pairs(self, rng):
+        t1 = build_kdtree(rng.normal(size=(64, 2)), leaf_size=8)
+        t2 = build_kdtree(rng.normal(size=(48, 2)), leaf_size=8)
+        pairs = []
+        stats = dual_tree_traversal(
+            t1, t2, None, lambda qs, qe, rs, re: pairs.append((qs, rs))
+        )
+        assert stats.base_cases == len(t1.leaves()) * len(t2.leaves())
+        assert stats.base_case_pairs == 64 * 48
+        assert len(set(pairs)) == len(pairs)
+
+    def test_prune_respected(self, rng):
+        t = build_kdtree(rng.normal(size=(64, 2)), leaf_size=8)
+        stats = dual_tree_traversal(
+            t, t, lambda qi, ri: 1, lambda *a: pytest.fail("pruned pair ran")
+        )
+        assert stats.pruned == 1 and stats.base_cases == 0
+
+    def test_approx_counted(self, rng):
+        t = build_kdtree(rng.normal(size=(64, 2)), leaf_size=8)
+        stats = dual_tree_traversal(t, t, lambda qi, ri: 2, lambda *a: None)
+        assert stats.approximated == 1
+
+    def test_nearest_first_ordering_called(self, rng):
+        t = build_kdtree(rng.normal(size=(64, 2)), leaf_size=8)
+        calls = []
+
+        def pair_min(qi, ri):
+            calls.append((qi, ri))
+            return 0.0
+
+        dual_tree_traversal(t, t, None, lambda *a: None, pair_min_dist=pair_min)
+        assert calls  # ordering callback exercised
+
+    def test_subtree_root_restriction(self, rng):
+        t = build_kdtree(rng.normal(size=(64, 2)), leaf_size=8)
+        left = int(t.children(0)[0])
+        seen = []
+        dual_tree_traversal(t, t, None,
+                            lambda qs, qe, rs, re: seen.append((qs, qe)),
+                            q_root=left)
+        lo, hi = t.slice(left)
+        assert all(lo <= qs and qe <= hi for qs, qe in seen)
+
+
+class TestMultiTree:
+    def test_two_trees_matches_dual(self, rng):
+        t1 = build_kdtree(rng.normal(size=(32, 2)), leaf_size=4)
+        t2 = build_kdtree(rng.normal(size=(40, 2)), leaf_size=4)
+        count = [0]
+        stats = multi_tree_traversal(
+            [t1, t2], None, lambda a, b: count.__setitem__(0, count[0] + 1)
+        )
+        assert count[0] == len(t1.leaves()) * len(t2.leaves())
+        assert stats.base_case_pairs == 32 * 40
+
+    def test_three_trees_power_set(self, rng):
+        trees = [build_kdtree(rng.normal(size=(16, 2)), leaf_size=4)
+                 for _ in range(3)]
+        count = [0]
+        multi_tree_traversal(
+            trees, None, lambda a, b, c: count.__setitem__(0, count[0] + 1)
+        )
+        expect = np.prod([len(t.leaves()) for t in trees])
+        assert count[0] == expect
+
+    def test_prune_short_circuits(self, rng):
+        trees = [build_kdtree(rng.normal(size=(16, 2)), leaf_size=4)
+                 for _ in range(2)]
+        stats = multi_tree_traversal(trees, lambda a, b: 1, lambda a, b: None)
+        assert stats.visited == 1 and stats.pruned == 1
+
+    def test_stats_merge(self):
+        a = TraversalStats(visited=1, pruned=2, approximated=3,
+                           base_cases=4, base_case_pairs=5)
+        b = TraversalStats(visited=10, pruned=20, approximated=30,
+                           base_cases=40, base_case_pairs=50)
+        a.merge(b)
+        assert (a.visited, a.pruned, a.approximated, a.base_cases,
+                a.base_case_pairs) == (11, 22, 33, 44, 55)

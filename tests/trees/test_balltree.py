@@ -1,0 +1,60 @@
+"""Tests for the ball tree (plug-and-play tree type)."""
+
+import numpy as np
+import pytest
+
+from repro.trees import BallTree, build_balltree, build_tree
+
+
+class TestConstruction:
+    def test_basic(self, rng):
+        t = build_balltree(rng.normal(size=(100, 3)), leaf_size=10)
+        t.validate()
+        assert isinstance(t, BallTree)
+
+    def test_radius_covers_points(self, rng):
+        t = build_balltree(rng.normal(size=(100, 4)), leaf_size=8)
+        for i in range(t.n_nodes):
+            s, e = t.slice(i)
+            d = np.sqrt(((t.points[s:e] - t.centroid[i]) ** 2).sum(axis=1))
+            assert (d <= t.radius[i] + 1e-9).all()
+
+    def test_sphere_bounds_true(self, rng):
+        t = build_balltree(rng.normal(size=(60, 3)), leaf_size=6)
+        leaves = list(t.leaves())
+        for i in leaves[:4]:
+            for j in leaves[:4]:
+                mn = t.min_dist("sqeuclidean", i, t, j)
+                mx = t.max_dist("sqeuclidean", i, t, j)
+                si, ei = t.slice(i)
+                sj, ej = t.slice(j)
+                diff = t.points[si:ei, None, :] - t.points[None, sj:ej, :]
+                d2 = (diff * diff).sum(axis=-1)
+                assert mn <= d2.min() + 1e-9
+                assert d2.max() <= mx + 1e-9
+
+    def test_point_bounds_true(self, rng):
+        t = build_balltree(rng.normal(size=(50, 3)), leaf_size=5)
+        x = rng.normal(size=3)
+        for i in t.leaves():
+            s, e = t.slice(i)
+            d2 = ((t.points[s:e] - x) ** 2).sum(axis=1)
+            assert t.point_min_dist("sqeuclidean", x, i) <= d2.min() + 1e-9
+            assert d2.max() <= t.point_max_dist("sqeuclidean", x, i) + 1e-9
+
+
+class TestDispatcher:
+    def test_build_tree_kinds(self, rng):
+        X = rng.normal(size=(40, 3))
+        assert build_tree("kd", X).kind == "kd"
+        assert build_tree("ball", X).kind == "ball"
+        assert build_tree("octree", X).kind == "octree"
+
+    def test_unknown_kind(self, rng):
+        with pytest.raises(ValueError, match="unknown tree kind"):
+            build_tree("rtree", rng.normal(size=(10, 2)))
+
+
+@pytest.fixture
+def rng():
+    return np.random.default_rng(7)

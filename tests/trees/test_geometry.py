@@ -1,0 +1,96 @@
+"""Property tests: node distance bounds are *true* bounds."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+from hypothesis.extra import numpy as hnp
+
+from repro.trees import geometry
+
+BASES = ("sqeuclidean", "manhattan", "chebyshev")
+
+
+def _dist(base, a, b):
+    d = np.abs(a - b)
+    if base == "sqeuclidean":
+        return float((d * d).sum())
+    if base == "manhattan":
+        return float(d.sum())
+    return float(d.max())
+
+
+def cloud(n=6, d=3):
+    return hnp.arrays(
+        np.float64, (n, d),
+        elements=st.floats(-50, 50, allow_nan=False, width=64),
+    )
+
+
+@settings(max_examples=60, deadline=None)
+@given(A=cloud(), B=cloud())
+@pytest.mark.parametrize("base", BASES)
+def test_box_bounds_are_true_bounds(base, A, B):
+    alo, ahi = A.min(axis=0), A.max(axis=0)
+    blo, bhi = B.min(axis=0), B.max(axis=0)
+    mn = geometry.box_min_dist(base, alo, ahi, blo, bhi)
+    mx = geometry.box_max_dist(base, alo, ahi, blo, bhi)
+    for a in A:
+        for b in B:
+            d = _dist(base, a, b)
+            assert mn <= d + 1e-9
+            assert d <= mx + 1e-9
+
+
+@settings(max_examples=60, deadline=None)
+@given(A=cloud(), x=hnp.arrays(np.float64, (3,),
+                               elements=st.floats(-50, 50, allow_nan=False,
+                                                  width=64)))
+@pytest.mark.parametrize("base", BASES)
+def test_point_box_bounds(base, A, x):
+    lo, hi = A.min(axis=0), A.max(axis=0)
+    mn = geometry.point_box_min_dist(base, x, lo, hi)
+    mx = geometry.point_box_max_dist(base, x, lo, hi)
+    for a in A:
+        d = _dist(base, x, a)
+        assert mn <= d + 1e-9
+        assert d <= mx + 1e-9
+
+
+def test_overlapping_boxes_min_zero():
+    lo = np.zeros(3)
+    hi = np.ones(3)
+    assert geometry.box_min_dist("sqeuclidean", lo, hi, lo + 0.5, hi + 0.5) == 0.0
+
+
+def test_touching_boxes_min_zero():
+    lo = np.zeros(2)
+    hi = np.ones(2)
+    assert geometry.box_min_dist("manhattan", lo, hi, hi, hi + 1) == 0.0
+
+
+def test_unknown_base_rejected():
+    z = np.zeros(2)
+    with pytest.raises(ValueError):
+        geometry.box_min_dist("hamming", z, z, z, z)
+    with pytest.raises(ValueError):
+        geometry.box_max_dist("hamming", z, z, z, z)
+
+
+@settings(max_examples=40, deadline=None)
+@given(A=cloud(), B=cloud())
+def test_sphere_bounds_are_true_bounds(A, B):
+    ca, cb = A.mean(axis=0), B.mean(axis=0)
+    ra = float(np.sqrt(((A - ca) ** 2).sum(axis=1)).max())
+    rb = float(np.sqrt(((B - cb) ** 2).sum(axis=1)).max())
+    mn = geometry.sphere_min_dist("sqeuclidean", ca, ra, cb, rb)
+    mx = geometry.sphere_max_dist("sqeuclidean", ca, ra, cb, rb)
+    for a in A:
+        for b in B:
+            d = _dist("sqeuclidean", a, b)
+            assert mn <= d + 1e-6
+            assert d <= mx + 1e-6
+
+
+def test_sphere_non_euclidean_rejected():
+    with pytest.raises(ValueError):
+        geometry.sphere_min_dist("manhattan", np.zeros(2), 1.0, np.ones(2), 1.0)

@@ -1,0 +1,174 @@
+"""Unit and property tests for the kd-tree."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+from hypothesis.extra import numpy as hnp
+
+from repro.trees import build_kdtree
+
+
+def points_strategy(max_n=80, max_d=5):
+    return hnp.arrays(
+        np.float64,
+        st.tuples(st.integers(1, max_n), st.integers(1, max_d)),
+        elements=st.floats(-100, 100, allow_nan=False, width=64),
+    )
+
+
+class TestConstruction:
+    def test_basic(self, rng):
+        t = build_kdtree(rng.normal(size=(100, 3)), leaf_size=10)
+        assert t.n == 100 and t.dim == 3
+        t.validate()
+
+    def test_leaf_size_respected(self, rng):
+        t = build_kdtree(rng.normal(size=(128, 2)), leaf_size=8)
+        for leaf in t.leaves():
+            assert t.count(leaf) <= 8
+
+    def test_single_point(self):
+        t = build_kdtree(np.array([[1.0, 2.0]]))
+        assert t.n_nodes == 1 and t.is_leaf(0)
+
+    def test_duplicate_points_terminate(self):
+        pts = np.ones((50, 3))
+        t = build_kdtree(pts, leaf_size=4)
+        # All coincident: must not split forever; single oversized leaf is OK.
+        assert t.is_leaf(0)
+        t.validate()
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            build_kdtree(np.empty((0, 3)))
+
+    def test_bad_leaf_size_rejected(self, rng):
+        with pytest.raises(ValueError):
+            build_kdtree(rng.normal(size=(5, 2)), leaf_size=0)
+
+    def test_perm_is_permutation(self, rng):
+        t = build_kdtree(rng.normal(size=(60, 2)), leaf_size=5)
+        assert sorted(t.perm.tolist()) == list(range(60))
+
+    def test_points_match_perm(self, rng):
+        X = rng.normal(size=(60, 2))
+        t = build_kdtree(X, leaf_size=5)
+        assert np.array_equal(t.points, X[t.perm])
+
+    def test_median_split_balance(self, rng):
+        t = build_kdtree(rng.normal(size=(256, 3)), leaf_size=2)
+        # Median splits keep sibling sizes within 1 of each other.
+        for i in range(t.n_nodes):
+            kids = t.children(i)
+            if len(kids) == 2:
+                a, b = (t.count(int(k)) for k in kids)
+                assert abs(a - b) <= 1
+
+    def test_depth_logarithmic(self, rng):
+        t = build_kdtree(rng.normal(size=(1024, 3)), leaf_size=1)
+        assert t.depth() <= 14  # ~log2(1024) + slack
+
+    def test_weights_propagate(self, rng):
+        X = rng.normal(size=(40, 2))
+        w = rng.uniform(1, 2, size=40)
+        t = build_kdtree(X, leaf_size=8, weights=w)
+        assert np.isclose(t.wsum[0], w.sum())
+        expect = (w[:, None] * X).sum(0) / w.sum()
+        assert np.allclose(t.wcentroid[0], expect)
+
+    @settings(max_examples=30, deadline=None)
+    @given(pts=points_strategy())
+    def test_invariants_property(self, pts):
+        t = build_kdtree(pts, leaf_size=4)
+        t.validate()
+
+    @settings(max_examples=30, deadline=None)
+    @given(pts=points_strategy(max_n=40))
+    def test_boxes_tight(self, pts):
+        t = build_kdtree(pts, leaf_size=4)
+        for i in range(t.n_nodes):
+            s, e = t.slice(i)
+            assert np.allclose(t.lo[i], t.points[s:e].min(axis=0))
+            assert np.allclose(t.hi[i], t.points[s:e].max(axis=0))
+
+
+class TestSlidingMidpoint:
+    def test_invariants(self, rng):
+        t = build_kdtree(rng.normal(size=(200, 3)), leaf_size=8,
+                         split="midpoint")
+        t.validate()
+
+    def test_clustered_data(self, rng):
+        A = rng.normal(size=(100, 2)) * 0.1
+        B = rng.normal(size=(100, 2)) * 0.1 + 10.0
+        t = build_kdtree(np.concatenate([A, B]), leaf_size=8,
+                         split="midpoint")
+        t.validate()
+        # The first midpoint cut separates the clusters cleanly.
+        kids = t.children(0)
+        assert len(kids) == 2
+        sizes = sorted(t.count(int(c)) for c in kids)
+        assert sizes == [100, 100]
+
+    def test_duplicates_terminate(self):
+        t = build_kdtree(np.ones((40, 2)), leaf_size=4, split="midpoint")
+        t.validate()
+
+    def test_skewed_data_slides(self, rng):
+        # 99 points at ~0 and one at 100: the plain midpoint would leave
+        # an empty side repeatedly; sliding must keep both sides nonempty.
+        X = np.concatenate([rng.normal(size=(99, 1)) * 0.01,
+                            [[100.0]]])
+        t = build_kdtree(X, leaf_size=4, split="midpoint")
+        t.validate()
+        for i in range(t.n_nodes):
+            for c in t.children(i):
+                assert t.count(int(c)) >= 1
+
+    def test_unknown_strategy_rejected(self, rng):
+        with pytest.raises(ValueError, match="split strategy"):
+            build_kdtree(rng.normal(size=(10, 2)), split="random")
+
+    def test_same_knn_results(self, rng):
+        from repro.problems import knn
+
+        X = rng.normal(size=(300, 3))
+        d_med, _ = knn(X, k=3, fastmath=False)
+        # knn always uses median (the execute option selects tree kind,
+        # not split); compare the underlying traversal engines directly.
+        from repro.baselines.brute import brute_knn
+        from repro.traversal import single_tree_knn
+
+        t_mid = build_kdtree(X, leaf_size=16, split="midpoint")
+        inv = np.empty(300, dtype=np.int64)
+        inv[t_mid.perm] = np.arange(300)
+        d_mid, _ = single_tree_knn(X, t_mid, k=3, exclude_index=inv)
+        assert np.allclose(d_med, d_mid)
+
+
+class TestNodeAPI:
+    def test_node_view(self, rng):
+        X = rng.normal(size=(30, 2))
+        t = build_kdtree(X, leaf_size=4)
+        root = t.node(0)
+        assert root.count == 30
+        assert not root.is_leaf
+        assert len(root.children()) == 2
+        assert root.points.shape == (30, 2)
+        assert sorted(root.indices.tolist()) == list(range(30))
+
+    def test_centroid(self, rng):
+        X = rng.normal(size=(30, 2))
+        t = build_kdtree(X, leaf_size=4)
+        assert np.allclose(t.node(0).centroid, X.mean(axis=0))
+
+    def test_diameter_is_widest_span(self, rng):
+        X = rng.normal(size=(30, 2))
+        t = build_kdtree(X, leaf_size=4)
+        assert np.isclose(t.node(0).diameter,
+                          (X.max(axis=0) - X.min(axis=0)).max())
+
+
+@pytest.fixture
+def rng():
+    return np.random.default_rng(5)

@@ -1,0 +1,67 @@
+"""Tests for the quadtree/octree."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+from hypothesis.extra import numpy as hnp
+
+from repro.trees import build_octree
+
+
+class TestConstruction:
+    def test_3d(self, rng):
+        t = build_octree(rng.normal(size=(200, 3)), leaf_size=8)
+        t.validate()
+        assert t.kind == "octree"
+
+    def test_2d_quadtree(self, rng):
+        t = build_octree(rng.normal(size=(200, 2)), leaf_size=8)
+        t.validate()
+        for i in range(t.n_nodes):
+            assert len(t.children(i)) <= 4
+
+    def test_1d(self, rng):
+        t = build_octree(rng.normal(size=(50, 1)), leaf_size=4)
+        t.validate()
+        for i in range(t.n_nodes):
+            assert len(t.children(i)) <= 2
+
+    def test_max_8_children(self, rng):
+        t = build_octree(rng.normal(size=(500, 3)), leaf_size=4)
+        for i in range(t.n_nodes):
+            assert len(t.children(i)) <= 8
+
+    def test_high_dim_rejected(self, rng):
+        with pytest.raises(ValueError, match="3 dimensions"):
+            build_octree(rng.normal(size=(10, 4)))
+
+    def test_duplicates_terminate(self):
+        t = build_octree(np.ones((40, 3)), leaf_size=4)
+        t.validate()
+
+    def test_leaf_size_respected_where_splittable(self, rng):
+        t = build_octree(rng.normal(size=(256, 3)), leaf_size=8)
+        for leaf in t.leaves():
+            # Allow oversized leaves only for coincident points.
+            if t.count(leaf) > 8:
+                s, e = t.slice(leaf)
+                assert np.allclose(t.points[s:e], t.points[s])
+
+    def test_center_of_mass(self, rng):
+        X = rng.normal(size=(100, 3))
+        w = rng.uniform(1, 3, size=100)
+        t = build_octree(X, leaf_size=8, weights=w)
+        assert np.allclose(t.wcentroid[0], (w[:, None] * X).sum(0) / w.sum())
+
+    @settings(max_examples=25, deadline=None)
+    @given(pts=hnp.arrays(
+        np.float64, st.tuples(st.integers(1, 60), st.integers(1, 3)),
+        elements=st.floats(-20, 20, allow_nan=False, width=64)))
+    def test_invariants_property(self, pts):
+        t = build_octree(pts, leaf_size=4)
+        t.validate()
+
+
+@pytest.fixture
+def rng():
+    return np.random.default_rng(6)

@@ -1,0 +1,114 @@
+"""Tests for the Portal command-line interface."""
+
+import numpy as np
+import pytest
+
+from repro.cli import main
+from repro.data import save_csv
+
+PROGRAM = """
+Storage query("query.csv");
+Storage reference("reference.csv");
+PortalExpr nn;
+nn.addLayer(FORALL, query);
+nn.addLayer(ARGMIN, reference, EUCLIDEAN);
+nn.execute();
+Storage output = nn.getOutput();
+"""
+
+
+@pytest.fixture
+def setup(tmp_path):
+    rng = np.random.default_rng(0)
+    prog = tmp_path / "nn.portal"
+    prog.write_text(PROGRAM)
+    q = tmp_path / "q.csv"
+    r = tmp_path / "r.csv"
+    save_csv(q, rng.normal(size=(50, 3)))
+    save_csv(r, rng.normal(size=(60, 3)))
+    return str(prog), [f"--bind=query.csv={q}", f"--bind=reference.csv={r}"]
+
+
+class TestCli:
+    def test_run(self, setup, capsys):
+        prog, binds = setup
+        assert main(["run", prog, *binds]) == 0
+        out = capsys.readouterr().out
+        assert "== nn ==" in out and "values" in out
+
+    def test_run_with_options(self, setup, capsys):
+        prog, binds = setup
+        assert main(["run", prog, *binds, "--option", "fastmath=false",
+                     "--option", "leaf_size=16"]) == 0
+
+    def test_ir_stage(self, setup, capsys):
+        prog, binds = setup
+        assert main(["ir", prog, *binds, "--stage", "lowered"]) == 0
+        out = capsys.readouterr().out
+        assert "BaseCase" in out and "alloc storage0" in out
+
+    def test_ir_generated(self, setup, capsys):
+        prog, binds = setup
+        assert main(["ir", prog, *binds, "--generated"]) == 0
+        assert "_pairwise" in capsys.readouterr().out
+
+    def test_explain(self, setup, capsys):
+        prog, binds = setup
+        assert main(["explain", prog, *binds]) == 0
+        out = capsys.readouterr().out
+        assert "category:  pruning" in out
+        assert "rule:" in out
+
+    def test_parse_error_exit_code(self, tmp_path, capsys):
+        bad = tmp_path / "bad.portal"
+        bad.write_text("Var q $")
+        assert main(["run", str(bad)]) == 1
+        assert "error" in capsys.readouterr().err
+
+    def test_missing_file(self, capsys):
+        assert main(["run", "/nonexistent.portal"]) == 1
+
+    def test_bad_option_format(self, setup):
+        prog, binds = setup
+        with pytest.raises(SystemExit):
+            main(["run", prog, *binds, "--option", "nokey"])
+
+    def test_bad_bind_format(self, setup):
+        prog, _ = setup
+        with pytest.raises(SystemExit):
+            main(["run", prog, "--bind", "nopath"])
+
+
+class TestTuner:
+    def test_tune_returns_best(self):
+        from repro.util import tune_leaf_size
+
+        calls = []
+
+        def run(leaf):
+            calls.append(leaf)
+            import time
+
+            time.sleep(0.001 if leaf == 64 else 0.005)
+
+        res = tune_leaf_size(run, candidates=(32, 64), repeats=1)
+        assert res.best == 64
+        assert set(res.timings) == {32, 64}
+
+    def test_tune_validation(self):
+        from repro.util import tune_leaf_size
+
+        with pytest.raises(ValueError):
+            tune_leaf_size(lambda leaf: None, candidates=())
+        with pytest.raises(ValueError):
+            tune_leaf_size(lambda leaf: None, candidates=(0,), repeats=1)
+
+    def test_tune_on_real_problem(self):
+        from repro.problems import knn
+        from repro.util import tune_leaf_size
+
+        rng = np.random.default_rng(1)
+        Q = rng.normal(size=(300, 3))
+        res = tune_leaf_size(lambda leaf: knn(Q, k=1, leaf_size=leaf),
+                             candidates=(16, 128), repeats=1)
+        assert res.best in (16, 128)
