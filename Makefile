@@ -1,12 +1,15 @@
 PYTHON ?= python
 
-.PHONY: install test bench examples results clean
+.PHONY: install test test-fast bench examples results clean
 
 install:
 	$(PYTHON) -m pip install -e . || $(PYTHON) setup.py develop
 
 test:
 	$(PYTHON) -m pytest tests/
+
+test-fast:
+	$(PYTHON) -m pytest tests/ -m "not slow"
 
 test-verbose:
 	$(PYTHON) -m pytest tests/ -v

@@ -15,8 +15,8 @@ import numpy as np
 import pytest
 
 from harness import (
-    BENCH_SIZES, dataset, emit, format_table, paper_scale_note, split_qr,
-    wall,
+    BENCH_SIZES, STATS_HEADERS, dataset, emit, format_table, observed_wall,
+    paper_scale_note, split_qr, stats_columns, wall,
 )
 from repro.baselines.expert import (
     expert_em, expert_emst, expert_hausdorff, expert_kde, expert_knn,
@@ -78,10 +78,11 @@ PORTAL_SPECS = {
 _ROWS: dict[str, list] = {}
 
 
-def _record(problem, name, t_portal, t_expert):
+def _record(problem, name, t_portal, t_expert, counters=None):
     diff = 100.0 * (t_portal - t_expert) / t_expert
+    obs = stats_columns(counters) if counters is not None else ["-"] * 3
     _ROWS.setdefault(problem, []).append(
-        [name, round(t_portal, 4), round(t_expert, 4), round(diff, 1)]
+        [name, round(t_portal, 4), round(t_expert, 4), round(diff, 1), *obs]
     )
 
 
@@ -97,9 +98,9 @@ def test_knn(benchmark, name):
     Q, R = split_qr(X)
     if name == DATASET_NAMES[0]:
         benchmark.pedantic(lambda: knn(Q, R, k=5), rounds=2, iterations=1)
-    t_p = wall(lambda: knn(Q, R, k=5), 2)
+    t_p, c = observed_wall(lambda: knn(Q, R, k=5), 2)
     t_e = wall(lambda: expert_knn(Q, R, k=5), 2)
-    _record("k-NN", name, t_p, t_e)
+    _record("k-NN", name, t_p, t_e, c)
 
 
 @pytest.mark.parametrize("name", DATASET_NAMES)
@@ -110,9 +111,9 @@ def test_kde(benchmark, name):
     if name == DATASET_NAMES[0]:
         benchmark.pedantic(lambda: kde(Q, R, bandwidth=bw, tau=1e-3),
                            rounds=2, iterations=1)
-    t_p = wall(lambda: kde(Q, R, bandwidth=bw, tau=1e-3), 2)
+    t_p, c = observed_wall(lambda: kde(Q, R, bandwidth=bw, tau=1e-3), 2)
     t_e = wall(lambda: expert_kde(Q, R, bandwidth=bw, tau=1e-3), 2)
-    _record("KDE", name, t_p, t_e)
+    _record("KDE", name, t_p, t_e, c)
 
 
 @pytest.mark.parametrize("name", DATASET_NAMES)
@@ -123,9 +124,9 @@ def test_range_count(benchmark, name):
     if name == DATASET_NAMES[0]:
         benchmark.pedantic(lambda: range_count(Q, R, h=h),
                            rounds=2, iterations=1)
-    t_p = wall(lambda: range_count(Q, R, h=h), 2)
+    t_p, c = observed_wall(lambda: range_count(Q, R, h=h), 2)
     t_e = wall(lambda: expert_range_count(Q, R, h=h), 2)
-    _record("RS", name, t_p, t_e)
+    _record("RS", name, t_p, t_e, c)
 
 
 @pytest.mark.parametrize("name", DATASET_NAMES)
@@ -134,9 +135,9 @@ def test_mst(benchmark, name):
     X = np.ascontiguousarray(X[:1200])
     if name == DATASET_NAMES[0]:
         benchmark.pedantic(lambda: emst(X), rounds=1, iterations=1)
-    t_p = wall(lambda: emst(X))
+    t_p, c = observed_wall(lambda: emst(X))
     t_e = wall(lambda: expert_emst(X))
-    _record("MST", name, t_p, t_e)
+    _record("MST", name, t_p, t_e, c)
 
 
 @pytest.mark.parametrize("name", DATASET_NAMES)
@@ -146,9 +147,9 @@ def test_em(benchmark, name):
     if name == DATASET_NAMES[0]:
         benchmark.pedantic(lambda: em_fit(X, 5, max_iter=4),
                            rounds=1, iterations=1)
-    t_p = wall(lambda: em_fit(X, 5, max_iter=4), 2)
+    t_p, c = observed_wall(lambda: em_fit(X, 5, max_iter=4), 2)
     t_e = wall(lambda: expert_em(X, 5, max_iter=4), 2)
-    _record("EM", name, t_p, t_e)
+    _record("EM", name, t_p, t_e, c)
 
 
 @pytest.mark.parametrize("name", DATASET_NAMES)
@@ -158,9 +159,9 @@ def test_hausdorff(benchmark, name):
     if name == DATASET_NAMES[0]:
         benchmark.pedantic(lambda: directed_hausdorff(A, B),
                            rounds=2, iterations=1)
-    t_p = wall(lambda: directed_hausdorff(A, B), 2)
+    t_p, c = observed_wall(lambda: directed_hausdorff(A, B), 2)
     t_e = wall(lambda: expert_hausdorff(A, B), 2)
-    _record("HD", name, t_p, t_e)
+    _record("HD", name, t_p, t_e, c)
 
 
 def _loc_rows():
@@ -189,7 +190,8 @@ def test_table4_emit(benchmark):
             continue
         lines.append(format_table(
             f"Table IV ({prob}) — Portal vs expert",
-            ["Dataset", "Portal (s)", "Expert (s)", "% diff"],
+            ["Dataset", "Portal (s)", "Expert (s)", "% diff",
+             *STATS_HEADERS],
             rows,
         ))
         lines.append("")

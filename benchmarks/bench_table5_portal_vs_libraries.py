@@ -15,7 +15,10 @@ magnitude of each factor, not its exact value.
 import numpy as np
 import pytest
 
-from harness import dataset, emit, format_table, wall
+from harness import (
+    STATS_HEADERS, dataset, emit, format_table, observed_wall,
+    stats_columns, wall,
+)
 from repro.baselines import (
     MlpackLikeNBC, fdps_like_forces, sklearn_like_two_point,
 )
@@ -35,13 +38,13 @@ def test_two_point_correlation(benchmark, name):
     if name == TPC_DATASETS[0]:
         benchmark.pedantic(lambda: two_point_correlation(X, h),
                            rounds=2, iterations=1)
-    t_p = wall(lambda: two_point_correlation(X, h))
+    t_p, obs = observed_wall(lambda: two_point_correlation(X, h))
     c_p = two_point_correlation(X, h)
     t_l = wall(lambda: sklearn_like_two_point(X, h))
     c_l = sklearn_like_two_point(X, h)
     assert c_p == c_l
     _ROWS["2-PC"].append([name, round(t_p, 4), round(t_l, 4),
-                          round(t_l / t_p, 1)])
+                          round(t_l / t_p, 1), *stats_columns(obs)])
 
 
 NBC_DATASETS = ["Yahoo!", "HIGGS", "KDD"]
@@ -57,12 +60,12 @@ def test_naive_bayes(benchmark, name):
     clf_l = MlpackLikeNBC().fit(X, y)
     if name == NBC_DATASETS[0]:
         benchmark.pedantic(lambda: clf_p.predict(X), rounds=2, iterations=1)
-    t_p = wall(lambda: clf_p.predict(X))
+    t_p, obs = observed_wall(lambda: clf_p.predict(X))
     t_l = wall(lambda: clf_l.predict(X))
     agree = float(np.mean(clf_p.predict(X) == clf_l.predict(X)))
     assert agree > 0.99
     _ROWS["NBC"].append([name, round(t_p, 4), round(t_l, 4),
-                         round(t_l / t_p, 1)])
+                         round(t_l / t_p, 1), *stats_columns(obs)])
 
 
 def test_barnes_hut(benchmark):
@@ -72,10 +75,10 @@ def test_barnes_hut(benchmark):
         lambda: barnes_hut_acceleration(X, mass, theta=0.5),
         rounds=2, iterations=1,
     )
-    t_p = wall(lambda: barnes_hut_acceleration(X, mass, theta=0.5))
+    t_p, obs = observed_wall(lambda: barnes_hut_acceleration(X, mass, theta=0.5))
     t_l = wall(lambda: fdps_like_forces(X, mass, theta=0.5))
     _ROWS["BH"].append(["Elliptical", round(t_p, 4), round(t_l, 4),
-                        round(t_l / t_p, 1)])
+                        round(t_l / t_p, 1), *stats_columns(obs)])
 
 
 def test_table5_emit(benchmark):
@@ -92,7 +95,8 @@ def test_table5_emit(benchmark):
             continue
         lines.append(format_table(
             f"Table V ({prob}) — Portal vs {lib}  ({note})",
-            ["Dataset", "Portal (s)", f"{lib} (s)", "speedup ×"],
+            ["Dataset", "Portal (s)", f"{lib} (s)", "speedup ×",
+             *STATS_HEADERS],
             rows,
         ))
         lines.append("")

@@ -19,6 +19,7 @@ import time
 import numpy as np
 
 from repro.data import DATASETS, load
+from repro.observe import Counters, collect
 
 RESULTS_DIR = os.path.join(os.path.dirname(__file__), "results")
 
@@ -55,6 +56,36 @@ def wall(fn, repeats: int = 1) -> float:
         fn()
         best = min(best, time.perf_counter() - t0)
     return best
+
+
+def observed_wall(fn, repeats: int = 1) -> tuple[float, Counters]:
+    """Best-of wall-clock seconds plus the ``repro.observe`` counters
+    accumulated over all repeats (rates are repeat-invariant; absolute
+    counts and pass times cover every repeat)."""
+    with collect() as counters:
+        best = wall(fn, repeats)
+    return best, counters
+
+
+#: Headers matching :func:`stats_columns`, for table scripts.
+STATS_HEADERS = ["prune%", "approx%", "passes (ms)"]
+
+
+def stats_columns(counters: Counters) -> list[str]:
+    """Observability columns for the paper-table rows: prune rate,
+    approximation rate, and per-compile IR pass time (the Table IV/V
+    audit trail — see docs/observability.md)."""
+    prune = counters.rate("traversal.pruned", "traversal.visited")
+    approx = counters.rate("traversal.approximated", "traversal.visited")
+    d = counters.as_dict()
+    pass_s = sum(v for k, v in d.items()
+                 if k.startswith("passes.") and k.endswith("_s"))
+    compiles = max(1, int(d.get("compile.count", 1)))
+    return [
+        f"{100.0 * prune:.1f}",
+        f"{100.0 * approx:.1f}",
+        f"{1e3 * pass_s / compiles:.2f}",
+    ]
 
 
 def format_table(title: str, headers: list[str], rows: list[list]) -> str:

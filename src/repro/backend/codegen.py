@@ -35,6 +35,7 @@ from ..dsl.errors import CompileError
 from ..dsl.expr import BinOp, Call, Const, Expr, Indicator, Neg
 from ..dsl.ops import MAX_LIKE, MIN_LIKE, PortalOp, op_info
 from ..ir.nodes import IRCall, LoadExpr, SymRef
+from ..observe import span
 from ..rules.spec import RuleSpec
 from .fastmath import fast_inverse_sqrt
 from .layout import Layout
@@ -406,24 +407,27 @@ def generate(spec: CodegenSpec, bindings: dict) -> GeneratedKernels:
     (``best``/``best_idx``/``acc``/``out_lists``/``dense``), weights
     ``rw``, and scalars ``K``/``H``/``TAU``/``THETA2``.
     """
-    chunks = [
-        "# Generated by the Portal backend — vectorised NumPy translation",
-        f"# layout={spec.layout} base={spec.base} inner={spec.inner_op.name} "
-        f"outer={spec.outer_op.name} rule="
-        f"{spec.rule.kind if spec.rule else 'none'}",
-        _pairwise_source(spec),
-        _base_case_source(spec),
-        _pair_dist_source(spec),
-    ]
-    prune_src = _prune_source(spec)
-    if prune_src is not None:
-        chunks.append(prune_src)
-    source = "\n\n".join(chunks) + "\n"
+    with span("codegen", layout=str(spec.layout), dim=spec.dim,
+              inner_op=spec.inner_op.name) as sp:
+        chunks = [
+            "# Generated by the Portal backend — vectorised NumPy translation",
+            f"# layout={spec.layout} base={spec.base} inner={spec.inner_op.name} "
+            f"outer={spec.outer_op.name} rule="
+            f"{spec.rule.kind if spec.rule else 'none'}",
+            _pairwise_source(spec),
+            _base_case_source(spec),
+            _pair_dist_source(spec),
+        ]
+        prune_src = _prune_source(spec)
+        if prune_src is not None:
+            chunks.append(prune_src)
+        source = "\n\n".join(chunks) + "\n"
+        sp.note(source_loc=source.count("\n"))
 
-    namespace = {"np": np, "finvsqrt": fast_inverse_sqrt}
-    namespace.update(bindings)
-    code = compile(source, f"<portal-generated-{id(spec)}>", "exec")
-    exec(code, namespace)
+        namespace = {"np": np, "finvsqrt": fast_inverse_sqrt}
+        namespace.update(bindings)
+        code = compile(source, f"<portal-generated-{id(spec)}>", "exec")
+        exec(code, namespace)
 
     return GeneratedKernels(
         source=source,

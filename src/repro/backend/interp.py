@@ -21,6 +21,7 @@ from ..ir.nodes import (
     Alloc, Assign, AugAssign, Block, CallStmt, Comment, For, IfStmt,
     IRFunction, ReturnStmt, Stmt, StoreStmt, SymRef,
 )
+from ..observe import span
 
 __all__ = ["interpret_function", "base_case_env"]
 
@@ -147,11 +148,12 @@ def _exec_block(block: Block, env: dict) -> None:
 def interpret_function(fn: IRFunction, env: dict):
     """Execute an IR function.  Returns the explicit return value if the
     function returns one, else the mutated environment."""
-    try:
-        _exec_block(fn.body, env)
-    except _Return as r:
-        return r.value
-    return env
+    with span("interp.function", function=fn.name):
+        try:
+            _exec_block(fn.body, env)
+        except _Return as r:
+            return r.value
+        return env
 
 
 def base_case_env(

@@ -8,6 +8,7 @@ lowering + optimisation passes, backend code generation — and returns a
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass, field
 from typing import Callable
 
@@ -22,8 +23,9 @@ from ..dsl.funcs import MetricKernel
 from ..dsl.layer import Layer
 from ..dsl.ops import PortalOp, op_info
 from ..ir.lowering import kernel_to_ir, lower
-from ..ir.passes import PassManager
+from ..ir.passes import TOGGLEABLE_PASSES, PassManager
 from ..ir.printer import render_program, render_stages
+from ..observe import contribute, span
 from ..ir.strength_reduction import reduce_expr
 from ..parallel import parallel_dual_tree
 from ..rules import build_rules
@@ -48,6 +50,9 @@ class CompileOptions:
     theta: float = 0.5               # multipole acceptance parameter
     parallel: bool = False
     workers: int | None = None
+    #: pin the parallel task decomposition independently of ``workers``
+    #: (same tasks → bit-identical outputs across worker counts)
+    min_tasks: int | None = None
     fastmath: bool = True
     exclude_self: bool | None = None  # default: True when query is reference
     #: override the dimensionality-based layout choice ('row' | 'column');
@@ -55,6 +60,9 @@ class CompileOptions:
     layout: str | None = None
     #: kd-tree splitting strategy ('median' — the paper's — or 'midpoint')
     split: str = "median"
+    #: IR optimisation passes to skip (differential-testing knob); any
+    #: subset of :data:`repro.ir.passes.TOGGLEABLE_PASSES`
+    disable_passes: tuple = ()
 
     @classmethod
     def from_dict(cls, options: dict) -> "CompileOptions":
@@ -63,7 +71,16 @@ class CompileOptions:
             raise SpecificationError(
                 f"unknown execute() options: {sorted(unknown)}"
             )
-        return cls(**options)
+        opts = cls(**options)
+        if isinstance(opts.disable_passes, str):
+            opts.disable_passes = (opts.disable_passes,)
+        bad = set(opts.disable_passes) - set(TOGGLEABLE_PASSES)
+        if bad:
+            raise SpecificationError(
+                f"unknown disable_passes: {sorted(bad)}; "
+                f"toggleable: {TOGGLEABLE_PASSES}"
+            )
+        return opts
 
 
 def _resolve_modifier(func) -> Callable | None:
@@ -115,6 +132,9 @@ class CompiledProgram:
     stats: TraversalStats | None = None
     output: Output | None = None
     extras: dict = field(default_factory=dict)
+    #: wall-clock seconds per compile stage ('rules', 'lowering',
+    #: 'passes', 'tree_build', 'codegen') plus 'run' after run()
+    timings: dict = field(default_factory=dict)
 
     # -- introspection ---------------------------------------------------------
     def ir_dump(self, stage: str = "final") -> str:
@@ -130,10 +150,18 @@ class CompiledProgram:
 
     # -- execution --------------------------------------------------------------
     def run(self) -> Output:
+        t0 = time.perf_counter()
+        with span("run", mode=self.mode):
+            out = self._run()
+        self.timings["run"] = time.perf_counter() - t0
+        return out
+
+    def _run(self) -> Output:
         if self.mode == "multilayer":
             from .multilayer import execute_multilayer
 
             self.stats = TraversalStats(base_cases=1)
+            self.stats.contribute()
             self.output = execute_multilayer(
                 self.layers, self.extras.get("exclude_self", False)
             )
@@ -153,6 +181,40 @@ class CompiledProgram:
             raise CompileError(f"cannot run mode {self.mode!r}")
         self.output = self.state.finalize(qperm, rperm)
         return self.output
+
+    def stats_summary(self) -> dict:
+        """Observability summary: traversal counters with prune/approx
+        rates, per-IR-pass timings and per-compile-stage timings (the
+        numbers behind ``repro.cli stats`` and ``PortalExpr.stats()``)."""
+        st = self.stats or TraversalStats()
+        summary = {
+            "mode": self.mode,
+            "backend": self.options.backend,
+            "tree": self.options.tree if self.mode == "tree" else None,
+            "traversal": dict(
+                st.as_dict(),
+                prune_rate=st.prune_rate,
+                approx_rate=st.approx_rate,
+            ),
+            "pass_timings_ms": {
+                name: dt * 1e3
+                for name, dt in self.pass_manager.timings.items()
+            },
+            "compile_timings_ms": {
+                name: dt * 1e3 for name, dt in self.timings.items()
+                if name != "run"
+            },
+            "run_ms": self.timings.get("run", 0.0) * 1e3,
+        }
+        nq = self.state.nq
+        nr = getattr(self.rtree, "n", None)
+        if nr is None:
+            nr = len(self.rdata) if self.rdata is not None else None
+        if nr:
+            summary["traversal"]["exact_pair_fraction"] = (
+                st.base_case_pairs / (nq * nr)
+            )
+        return summary
 
     def _run_interp(self) -> Output:
         """Execute the final BaseCase IR through the interpreter over the
@@ -178,10 +240,12 @@ class CompiledProgram:
             outer.storage.layout, inner.storage.layout, extra=extra,
         )
         fn = self.pass_manager.stage("final")["BaseCase"]
-        interpret_function(fn, env)
+        with span("interp.run", function="BaseCase"):
+            interpret_function(fn, env)
         self.stats = TraversalStats(base_cases=1,
                                     base_case_pairs=len(self.qdata)
                                     * len(self.rdata))
+        self.stats.contribute()
         return self._interp_output(env)
 
     def _interp_output(self, env: dict) -> Output:
@@ -217,6 +281,7 @@ class CompiledProgram:
             return parallel_dual_tree(
                 self.qtree, self.rtree, kk.prune_or_approx, kk.base_case,
                 pair_min_dist=kk.pair_min_dist, workers=self.options.workers,
+                min_tasks=self.options.min_tasks,
             )
         return dual_tree_traversal(
             self.qtree, self.rtree, kk.prune_or_approx, kk.base_case,
@@ -247,6 +312,7 @@ class CompiledProgram:
                 bc(qs, qe, rs, re)
                 stats.base_cases += 1
                 stats.base_case_pairs += (qe - qs) * (re - rs)
+        stats.contribute()
         return stats
 
     def validate_against_brute(self) -> float:
@@ -289,16 +355,29 @@ def compile_expr(pexpr, options: dict) -> CompiledProgram:
     outer, inner = layers
     kernel = inner.metric_kernel
     modifier = _resolve_modifier(outer.func)
+    timings: dict[str, float] = {}
+    contribute({"compile.count": 1})
 
     tau = opts.tau if opts.tau is not None else float(inner.params.get("tau", 0.0))
-    classification, rule = build_rules(
-        layers, kernel, tau=tau, criterion=opts.criterion, theta=opts.theta
-    )
+    t0 = time.perf_counter()
+    with span("compile.rules", program=pexpr.name):
+        classification, rule = build_rules(
+            layers, kernel, tau=tau, criterion=opts.criterion,
+            theta=opts.theta,
+        )
+    timings["rules"] = time.perf_counter() - t0
 
     # Lower + run the optimisation pipeline (kept for dumps & interp).
-    pm = PassManager(fastmath=opts.fastmath)
-    lowered = lower(layers, kernel, classification, rule, pexpr.name)
-    pm.run(lowered)
+    pm = PassManager(fastmath=opts.fastmath,
+                     disabled=frozenset(opts.disable_passes))
+    t0 = time.perf_counter()
+    with span("compile.lowering", program=pexpr.name):
+        lowered = lower(layers, kernel, classification, rule, pexpr.name)
+    timings["lowering"] = time.perf_counter() - t0
+    t0 = time.perf_counter()
+    with span("compile.passes", program=pexpr.name):
+        pm.run(lowered)
+    timings["passes"] = time.perf_counter() - t0
 
     mode = "tree"
     if (
@@ -345,7 +424,7 @@ def compile_expr(pexpr, options: dict) -> CompiledProgram:
         options=opts, layers=layers, kernel=kernel,
         classification=classification, rule=rule, pass_manager=pm,
         mode=mode, state=state,
-        extras={"same_data": same_data},
+        extras={"same_data": same_data}, timings=timings,
     )
 
     if kernel is None:
@@ -407,12 +486,15 @@ def compile_expr(pexpr, options: dict) -> CompiledProgram:
                 "ball trees support the Euclidean family only"
             )
         leaf = opts.leaf_size or 64
-        qtree = build_tree(kind, qpoints, leaf_size=leaf,
-                           weights=qstorage.weights, split=opts.split)
-        rtree = qtree if same_data else build_tree(
-            kind, rpoints, leaf_size=leaf, weights=rstorage.weights,
-            split=opts.split,
-        )
+        t0 = time.perf_counter()
+        with span("compile.tree_build", tree=kind, leaf_size=leaf):
+            qtree = build_tree(kind, qpoints, leaf_size=leaf,
+                               weights=qstorage.weights, split=opts.split)
+            rtree = qtree if same_data else build_tree(
+                kind, rpoints, leaf_size=leaf, weights=rstorage.weights,
+                split=opts.split,
+            )
+        timings["tree_build"] = time.perf_counter() - t0
         program.qtree, program.rtree = qtree, rtree
         rweight = (
             rtree.wsum if rtree.weights is not None
@@ -443,7 +525,9 @@ def compile_expr(pexpr, options: dict) -> CompiledProgram:
             rw=rstorage.weights,
         )
 
+    t0 = time.perf_counter()
     program.kernels = generate(spec, bindings)
+    timings["codegen"] = time.perf_counter() - t0
     return program
 
 
@@ -452,10 +536,13 @@ def _compile_multilayer(pexpr, opts: CompileOptions) -> CompiledProgram:
     (the general form of the paper's equation 2)."""
     layers = pexpr.layers
     kernel = layers[-1].metric_kernel
+    contribute({"compile.count": 1})
     classification, rule = build_rules(layers, kernel)
 
-    pm = PassManager(fastmath=opts.fastmath)
-    pm.run(lower(layers, kernel, classification, rule, pexpr.name))
+    pm = PassManager(fastmath=opts.fastmath,
+                     disabled=frozenset(opts.disable_passes))
+    with span("compile.passes", program=pexpr.name):
+        pm.run(lower(layers, kernel, classification, rule, pexpr.name))
 
     storages = {id(l.storage) for l in layers}
     exclude_self = (

@@ -15,12 +15,15 @@ against different datasets.
 from __future__ import annotations
 
 import argparse
+import json
 import sys
+from contextlib import nullcontext
 
 import numpy as np
 
 from .dsl import PortalError, parse_program
 from .dsl.storage import _read_csv
+from .observe import collect, tracing
 
 
 def _parse_options(pairs: list[str]) -> dict:
@@ -91,6 +94,56 @@ def _cmd_ir(args) -> int:
     return 0
 
 
+def _fmt_rate(x: float) -> str:
+    return f"{100.0 * x:.1f}%"
+
+
+def _fmt_timings(timings_ms: dict) -> str:
+    return " | ".join(f"{k} {v:.3f} ms" for k, v in timings_ms.items())
+
+
+def _cmd_stats(args) -> int:
+    """Execute the program and report observability statistics."""
+    options = _parse_options(args.option)
+    trace_cm = tracing(args.trace) if args.trace else nullcontext()
+    summaries: dict[str, dict] = {}
+    with trace_cm, collect() as counters:
+        prog = _load(args)  # inside the scope so the parse span is traced
+        for name, pexpr in prog.portal_exprs.items():
+            pexpr.execute(**options)
+            summaries[name] = pexpr.stats()
+    if args.json:
+        print(json.dumps(
+            {"programs": summaries, "counters": counters.as_dict()},
+            indent=2,
+        ))
+        return 0
+    for name, s in summaries.items():
+        t = s["traversal"]
+        print(f"== {name} ==")
+        tree = f" tree: {s['tree']}" if s.get("tree") else ""
+        print(f"  mode: {s['mode']}  backend: {s['backend']}{tree}")
+        print(
+            f"  traversal: visited={t['visited']} pruned={t['pruned']} "
+            f"approximated={t['approximated']} "
+            f"recursions={t['recursions']} base-cases={t['base_cases']}"
+        )
+        line = (
+            f"  prune-rate: {_fmt_rate(t['prune_rate'])}  "
+            f"approximation-rate: {_fmt_rate(t['approx_rate'])}  "
+            f"exact pairs: {t['base_case_pairs']}"
+        )
+        if "exact_pair_fraction" in t:
+            line += f" ({_fmt_rate(t['exact_pair_fraction'])} of all pairs)"
+        print(line)
+        print(f"  IR passes: {_fmt_timings(s['pass_timings_ms'])}")
+        print(f"  compile:   {_fmt_timings(s['compile_timings_ms'])}")
+        print(f"  run:       {s['run_ms']:.3f} ms")
+    if args.trace:
+        print(f"[trace written to {args.trace}]")
+    return 0
+
+
 def _cmd_explain(args) -> int:
     prog = _load(args)
     for name, pexpr in prog.portal_exprs.items():
@@ -140,6 +193,18 @@ def main(argv: list[str] | None = None) -> int:
                           help="show classification and generated rules")
     common(p_ex)
     p_ex.set_defaults(fn=_cmd_explain)
+
+    p_st = sub.add_parser(
+        "stats",
+        help="execute and report prune/approximation rates and "
+             "per-pass timings",
+    )
+    common(p_st)
+    p_st.add_argument("--json", action="store_true",
+                      help="machine-readable JSON output")
+    p_st.add_argument("--trace", metavar="FILE",
+                      help="also write JSONL span events to FILE")
+    p_st.set_defaults(fn=_cmd_stats)
 
     args = parser.parse_args(argv)
     try:

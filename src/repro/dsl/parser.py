@@ -22,6 +22,7 @@ from __future__ import annotations
 import re
 from dataclasses import dataclass, field
 
+from ..observe import span
 from .errors import ParseError
 from .expr import Expr, Var, absval, exp, indicator, log, pow, sqrt
 from .funcs import PortalFunc
@@ -371,4 +372,5 @@ def parse_program(source: str, bindings: dict | None = None) -> PortalProgram:
     ``Storage name(...)`` statements to in-memory arrays, so programs can
     run without touching the filesystem.
     """
-    return _Parser(_tokenize(source), bindings).parse()
+    with span("parse", source_bytes=len(source)):
+        return _Parser(_tokenize(source), bindings).parse()

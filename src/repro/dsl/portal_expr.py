@@ -121,6 +121,14 @@ class PortalExpr:
         ('lowered', 'flattened', 'numopt', 'strength', 'final')."""
         return self.program.ir_dump(stage)
 
+    def stats(self) -> dict:
+        """Observability summary of the last compile/run (see
+        ``docs/observability.md``): traversal counters with prune and
+        approximation rates, per-IR-pass timings, per-compile-stage
+        timings, and the run wall-clock.  Requires :meth:`compile` (the
+        traversal counters are zero until :meth:`execute`)."""
+        return self.program.stats_summary()
+
     def generated_source(self) -> str:
         """The vectorised Python source emitted by the backend."""
         return self.program.generated_source()

@@ -13,9 +13,11 @@ per-stage IR dumps for nearest neighbor and KDE) can be regenerated.
 from __future__ import annotations
 
 import math
+import time
 from dataclasses import dataclass, field
 
 from ..dsl.expr import BinOp, Const, Expr, Neg
+from ..observe import contribute, span
 from .flattening import flatten
 from .nodes import (
     Alloc, Assign, IRCall, IRFunction, IRProgram, Stmt, SymRef,
@@ -25,13 +27,17 @@ from .strength_reduction import strength_reduce
 
 __all__ = [
     "constant_fold", "dead_code_eliminate", "common_subexpression_eliminate",
-    "PassManager", "PIPELINE_STAGES",
+    "PassManager", "PIPELINE_STAGES", "TOGGLEABLE_PASSES",
 ]
 
 #: Ordered stage names of the compiler pipeline (Fig. 1).
 PIPELINE_STAGES = (
     "lowered", "flattened", "numopt", "strength", "final",
 )
+
+#: Optimisation passes that may be disabled individually (flattening is
+#: not optional: the backends address flattened 1-D strided storage).
+TOGGLEABLE_PASSES = ("numopt", "strength", "fold", "cse", "dce")
 
 _FOLDABLE = {
     "sqrt": math.sqrt,
@@ -193,21 +199,58 @@ def common_subexpression_eliminate(program: IRProgram) -> IRProgram:
 
 @dataclass
 class PassManager:
-    """Runs the optimisation pipeline, recording per-stage snapshots."""
+    """Runs the optimisation pipeline, recording per-stage snapshots.
+
+    ``timings`` accumulates per-pass wall-clock seconds (always on — a
+    handful of ``perf_counter`` calls per compile); each pass also emits
+    an ``ir.pass.<name>`` tracer span when tracing is enabled.  Passes
+    named in ``disabled`` (see :data:`TOGGLEABLE_PASSES`) are skipped —
+    the differential test harness uses this to check that every
+    optimisation is semantics-preserving.
+    """
 
     fastmath: bool = True
+    disabled: frozenset[str] = frozenset()
     snapshots: dict[str, IRProgram] = field(default_factory=dict)
+    timings: dict[str, float] = field(default_factory=dict)
+
+    def __post_init__(self):
+        self.disabled = frozenset(self.disabled)
+        unknown = self.disabled - set(TOGGLEABLE_PASSES)
+        if unknown:
+            raise ValueError(
+                f"unknown passes in disabled={sorted(unknown)}; "
+                f"toggleable: {TOGGLEABLE_PASSES}"
+            )
+
+    def _apply(self, name: str, fn, prog: IRProgram) -> IRProgram:
+        if name in self.disabled:
+            self.timings.setdefault(name, 0.0)
+            return prog
+        t0 = time.perf_counter()
+        with span(f"ir.pass.{name}"):
+            out = fn(prog)
+        dt = time.perf_counter() - t0
+        self.timings[name] = self.timings.get(name, 0.0) + dt
+        contribute({f"passes.{name}_s": dt})
+        return out
 
     def run(self, lowered: IRProgram) -> IRProgram:
         self.snapshots["lowered"] = lowered
-        prog = flatten(lowered)
+        prog = self._apply("flatten", flatten, lowered)
         self.snapshots["flattened"] = prog
-        prog = numerical_optimize(prog)
+        prog = self._apply("numopt", numerical_optimize, prog)
         self.snapshots["numopt"] = prog
-        prog = strength_reduce(prog, fastmath=self.fastmath)
+        prog = self._apply(
+            "strength",
+            lambda p: strength_reduce(p, fastmath=self.fastmath),
+            prog,
+        )
         self.snapshots["strength"] = prog
-        prog = common_subexpression_eliminate(constant_fold(prog))
-        prog = dead_code_eliminate(constant_fold(prog))
+        prog = self._apply("fold", constant_fold, prog)
+        prog = self._apply("cse", common_subexpression_eliminate, prog)
+        prog = self._apply("fold", constant_fold, prog)
+        prog = self._apply("dce", dead_code_eliminate, prog)
         self.snapshots["final"] = prog
         return prog
 

@@ -1,0 +1,114 @@
+"""The Counters registry: named counters fed by the runtime.
+
+The traversals (:mod:`repro.traversal`), the brute-force and interpreter
+backends, the rule generator and the compiler driver all *contribute* to
+the registry installed by :func:`collect`::
+
+    from repro.observe import collect
+
+    with collect() as counters:
+        knn(Q, R, k=5)
+    counters.get("traversal.pruned")        # prune hits
+    counters.rate("traversal.pruned", "traversal.visited")
+
+Contributions happen at coarse boundaries (one ``update`` per traversal
+or per compile, never per node), so the enabled path is cheap and the
+disabled path — no registry installed — is a single load-and-branch in
+:func:`contribute` / :func:`active_counters`.
+
+Standard keys
+-------------
+``traversal.visited / pruned / approximated / recursions / base_cases /
+base_case_pairs`` — merged :class:`~repro.traversal.TraversalStats`;
+``rules.classified.<category>``, ``rules.generated.<kind>`` — PASCAL rule
+machinery; ``compile.count``, ``passes.<name>_s`` and
+``compile.<stage>_s`` — pipeline invocations and wall-clock seconds.
+"""
+
+from __future__ import annotations
+
+import threading
+from contextlib import contextmanager
+
+__all__ = ["Counters", "collect", "active_counters", "contribute"]
+
+
+class Counters:
+    """A thread-safe registry of named numeric counters."""
+
+    __slots__ = ("_values", "_lock")
+
+    def __init__(self):
+        self._values: dict[str, float] = {}
+        self._lock = threading.Lock()
+
+    def inc(self, name: str, n: float = 1) -> None:
+        with self._lock:
+            self._values[name] = self._values.get(name, 0) + n
+
+    def update(self, mapping: dict[str, float]) -> None:
+        with self._lock:
+            for name, n in mapping.items():
+                self._values[name] = self._values.get(name, 0) + n
+
+    def merge(self, other: "Counters") -> None:
+        self.update(other.as_dict())
+
+    def get(self, name: str, default: float = 0) -> float:
+        with self._lock:
+            return self._values.get(name, default)
+
+    def rate(self, numerator: str, denominator: str) -> float:
+        """``numerator / denominator`` as a fraction (0.0 when empty)."""
+        with self._lock:
+            den = self._values.get(denominator, 0)
+            if not den:
+                return 0.0
+            return self._values.get(numerator, 0) / den
+
+    def as_dict(self) -> dict[str, float]:
+        with self._lock:
+            return dict(self._values)
+
+    def clear(self) -> None:
+        with self._lock:
+            self._values.clear()
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._values)
+
+    def __repr__(self) -> str:
+        return f"Counters({self.as_dict()!r})"
+
+
+#: The installed registry, or None (the common, zero-overhead case).
+_active: Counters | None = None
+
+
+def active_counters() -> Counters | None:
+    return _active
+
+
+def contribute(mapping: dict[str, float]) -> None:
+    """Add ``mapping`` into the active registry; no-op when none is set."""
+    c = _active
+    if c is not None:
+        c.update(mapping)
+
+
+@contextmanager
+def collect(counters: Counters | None = None):
+    """Install a registry for the duration of the block and yield it.
+
+    Nested ``collect`` blocks shadow the outer registry; the previous
+    one is restored on exit.
+    """
+    global _active
+    registry = counters if counters is not None else Counters()
+    previous = _active
+    _active = registry
+    try:
+        yield registry
+    finally:
+        _active = previous

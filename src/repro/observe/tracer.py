@@ -1,0 +1,180 @@
+"""Structured tracing for the compiler/runtime pipeline.
+
+A :class:`Tracer` emits one JSON object per line (JSONL) for every
+*span* — a named, timed section of the pipeline: parsing, lowering, each
+IR pass, code generation, tree construction, the traversal, and each
+parallel task.  The schema of a span record is::
+
+    {"event": "span", "name": "ir.pass.strength", "ts_ms": 12.4,
+     "dur_ms": 0.31, "thread": 140032, "attrs": {...}}
+
+``ts_ms`` is milliseconds since the tracer was created; ``attrs`` holds
+span-specific attributes (``stage``, ``mode``, ``q_root``, ...).  Point
+events use ``"event": "event"`` and omit ``dur_ms``.
+
+Tracing is **off by default** and the disabled fast path is a single
+module-level load-and-branch: :func:`span` returns a shared no-op
+context manager when no tracer is installed, so instrumented code costs
+nothing measurable when observability is not requested.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import threading
+import time
+from contextlib import contextmanager
+
+__all__ = [
+    "Tracer", "span", "event", "enable_tracing", "disable_tracing",
+    "get_tracer", "tracing",
+]
+
+
+class _NullSpan:
+    """Shared no-op span: the entire disabled-path cost of tracing."""
+
+    __slots__ = ()
+
+    def __enter__(self):
+        return self
+
+    def __exit__(self, exc_type, exc, tb):
+        return False
+
+    def note(self, **attrs) -> None:
+        pass
+
+
+_NULL_SPAN = _NullSpan()
+
+
+class _Span:
+    __slots__ = ("_tracer", "name", "attrs", "_t0")
+
+    def __init__(self, tracer: "Tracer", name: str, attrs: dict):
+        self._tracer = tracer
+        self.name = name
+        self.attrs = attrs
+        self._t0 = 0.0
+
+    def __enter__(self):
+        self._t0 = time.perf_counter()
+        return self
+
+    def note(self, **attrs) -> None:
+        """Attach attributes to the span while it is open."""
+        self.attrs.update(attrs)
+
+    def __exit__(self, exc_type, exc, tb):
+        dur = time.perf_counter() - self._t0
+        record = {
+            "event": "span",
+            "name": self.name,
+            "dur_ms": round(dur * 1e3, 6),
+            "thread": threading.get_ident(),
+        }
+        if exc is not None:
+            record["error"] = repr(exc)
+        if self.attrs:
+            record["attrs"] = self.attrs
+        self._tracer._emit(record)
+        return False
+
+
+class Tracer:
+    """Writes span/event records as JSON lines to a file or stream.
+
+    ``sink`` may be a path (opened in append mode and owned by the
+    tracer) or any object with a ``write`` method.  Emission is guarded
+    by a lock so parallel-task spans from worker threads interleave
+    record-atomically.
+    """
+
+    def __init__(self, sink):
+        if isinstance(sink, (str, os.PathLike)):
+            self._fh = open(sink, "a")
+            self._owns_fh = True
+        else:
+            self._fh = sink
+            self._owns_fh = False
+        self._lock = threading.Lock()
+        self._t_start = time.perf_counter()
+        self.records_emitted = 0
+
+    def span(self, name: str, **attrs) -> _Span:
+        return _Span(self, name, attrs)
+
+    def event(self, name: str, **attrs) -> None:
+        record = {"event": "event", "name": name,
+                  "thread": threading.get_ident()}
+        if attrs:
+            record["attrs"] = attrs
+        self._emit(record)
+
+    def _emit(self, record: dict) -> None:
+        record["ts_ms"] = round(
+            (time.perf_counter() - self._t_start) * 1e3, 6
+        )
+        line = json.dumps(record, default=str)
+        with self._lock:
+            self._fh.write(line + "\n")
+            self.records_emitted += 1
+
+    def flush(self) -> None:
+        self._fh.flush()
+
+    def close(self) -> None:
+        self.flush()
+        if self._owns_fh:
+            self._fh.close()
+
+
+#: The installed tracer, or None (the common, zero-overhead case).
+_tracer: Tracer | None = None
+
+
+def get_tracer() -> Tracer | None:
+    return _tracer
+
+
+def enable_tracing(sink) -> Tracer:
+    """Install a :class:`Tracer` writing to ``sink`` and return it."""
+    global _tracer
+    disable_tracing()
+    _tracer = Tracer(sink)
+    return _tracer
+
+
+def disable_tracing() -> None:
+    """Remove the installed tracer (closing a tracer-owned file)."""
+    global _tracer
+    if _tracer is not None:
+        _tracer.close()
+        _tracer = None
+
+
+def span(name: str, **attrs):
+    """A timed span context manager; no-op when tracing is disabled."""
+    t = _tracer
+    if t is None:
+        return _NULL_SPAN
+    return t.span(name, **attrs)
+
+
+def event(name: str, **attrs) -> None:
+    """Emit a point event; no-op when tracing is disabled."""
+    t = _tracer
+    if t is not None:
+        t.event(name, **attrs)
+
+
+@contextmanager
+def tracing(sink):
+    """Scoped tracing: install a tracer for the duration of the block."""
+    t = enable_tracing(sink)
+    try:
+        yield t
+    finally:
+        disable_tracing()

@@ -9,7 +9,7 @@ never race (see :mod:`repro.parallel.scheduler`).
 from __future__ import annotations
 
 import os
-from concurrent.futures import ThreadPoolExecutor
+from concurrent.futures import FIRST_EXCEPTION, ThreadPoolExecutor, wait
 from typing import Callable, Sequence
 
 __all__ = ["default_workers", "run_tasks"]
@@ -24,12 +24,20 @@ def default_workers() -> int:
 def run_tasks(tasks: Sequence[Callable[[], object]], workers: int | None = None):
     """Run ``tasks`` on a thread pool; returns their results in order.
 
-    Exceptions propagate to the caller (first one raised wins), matching
-    serial semantics.
+    Exceptions propagate to the caller, matching serial semantics: the
+    earliest-submitted failure wins, and queued tasks that have not
+    started yet are cancelled rather than run to completion (tasks
+    already executing finish — threads cannot be interrupted).
     """
     workers = workers or default_workers()
     if workers <= 1 or len(tasks) <= 1:
         return [t() for t in tasks]
     with ThreadPoolExecutor(max_workers=workers) as pool:
         futures = [pool.submit(t) for t in tasks]
+        wait(futures, return_when=FIRST_EXCEPTION)
+        for f in futures:
+            if f.done() and not f.cancelled() and f.exception() is not None:
+                for pending in futures:
+                    pending.cancel()
+                raise f.exception()
         return [f.result() for f in futures]

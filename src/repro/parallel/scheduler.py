@@ -18,6 +18,7 @@ from __future__ import annotations
 
 from typing import Callable
 
+from ..observe import span
 from ..traversal import TraversalStats, dual_tree_traversal
 from ..trees.node import ArrayTree
 from .executor import default_workers, run_tasks
@@ -56,21 +57,30 @@ def parallel_dual_tree(
     base_case: Callable[[int, int, int, int], None],
     pair_min_dist: Callable[[int, int], float] | None = None,
     workers: int | None = None,
+    min_tasks: int | None = None,
 ) -> TraversalStats:
     """Parallel counterpart of
-    :func:`repro.traversal.dualtree.dual_tree_traversal`."""
+    :func:`repro.traversal.dualtree.dual_tree_traversal`.
+
+    ``min_tasks`` pins the query-frontier size independently of the
+    worker count, giving an identical task decomposition across worker
+    counts (the determinism tests rely on this).
+    """
     workers = workers or default_workers()
-    frontier = expand_frontier(qtree, workers * TASKS_PER_WORKER)
+    frontier = expand_frontier(qtree, min_tasks or workers * TASKS_PER_WORKER)
 
     def make_task(q_root: int):
         def task() -> TraversalStats:
-            return dual_tree_traversal(
-                qtree, rtree, prune_or_approx, base_case,
-                pair_min_dist=pair_min_dist, q_root=q_root,
-            )
+            with span("parallel.task", q_root=q_root):
+                return dual_tree_traversal(
+                    qtree, rtree, prune_or_approx, base_case,
+                    pair_min_dist=pair_min_dist, q_root=q_root,
+                )
         return task
 
-    results = run_tasks([make_task(q) for q in frontier], workers=workers)
+    with span("parallel.run_tasks", tasks=len(frontier), workers=workers):
+        results = run_tasks([make_task(q) for q in frontier],
+                            workers=workers)
     total = TraversalStats()
     for st in results:
         total.merge(st)

@@ -8,6 +8,7 @@ from __future__ import annotations
 
 from ..dsl.funcs import MetricKernel
 from ..dsl.layer import Layer
+from ..observe import active_counters
 from .approx_gen import generate_approx
 from .classify import Classification, classify
 from .prune_gen import generate_prune
@@ -30,9 +31,17 @@ def build_rules(
     """Classify the problem and generate its prune/approximate rule."""
     cls = classify(layers, kernel)
     if cls.algorithm == "brute" or kernel is None:
-        return cls, RuleSpec(kind="none", description="brute-force: no rule")
-    if cls.is_pruning:
-        return cls, generate_prune(layers, kernel)
-    return cls, generate_approx(
-        layers, kernel, tau=tau, criterion=criterion, theta=theta
-    )
+        rule = RuleSpec(kind="none", description="brute-force: no rule")
+    elif cls.is_pruning:
+        rule = generate_prune(layers, kernel)
+    else:
+        rule = generate_approx(
+            layers, kernel, tau=tau, criterion=criterion, theta=theta
+        )
+    counters = active_counters()
+    if counters is not None:
+        counters.update({
+            f"rules.classified.{cls.category}": 1,
+            f"rules.generated.{rule.kind}": 1,
+        })
+    return cls, rule

@@ -34,6 +34,7 @@ def dual_tree_traversal(
     ``base_case(qs, qe, rs, re)`` gets the leaf slices; ``pair_min_dist``
     (when given) orders sibling pairs nearest-first.
     """
+    owns_stats = stats is None
     stats = stats or TraversalStats()
     q_leaf_arr = qtree.is_leaf_arr
     r_leaf_arr = rtree.is_leaf_arr
@@ -64,6 +65,7 @@ def dual_tree_traversal(
             base_case(int(qstart[qi]), int(qend[qi]),
                       int(rstart[ri]), int(rend[ri]))
             continue
+        stats.recursions += 1
         qs = (qi,) if ql else tuple(int(c) for c in qtree.children(qi))
         rs = (ri,) if rl else tuple(int(c) for c in rtree.children(ri))
         pairs = [(a, b) for a in qs for b in rs]
@@ -72,4 +74,6 @@ def dual_tree_traversal(
             pairs.sort(key=lambda p: pair_min_dist(p[0], p[1]), reverse=True)
         for p in pairs:
             push(p)
+    if owns_stats:
+        stats.contribute()
     return stats

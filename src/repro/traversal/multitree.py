@@ -24,6 +24,7 @@ from dataclasses import dataclass, field
 from itertools import product
 from typing import Callable, Sequence
 
+from ..observe import active_counters, contribute
 from ..trees.node import ArrayTree
 
 __all__ = ["TraversalStats", "multi_tree_traversal"]
@@ -31,11 +32,18 @@ __all__ = ["TraversalStats", "multi_tree_traversal"]
 
 @dataclass
 class TraversalStats:
-    """Counters for analysing prune/approximate effectiveness."""
+    """Counters for analysing prune/approximate effectiveness.
+
+    Every visited node tuple takes exactly one of the four exits, so the
+    identity ``visited == pruned + approximated + recursions + base_cases``
+    holds for any complete traversal (tested in
+    ``tests/traversal/test_counters.py``).
+    """
 
     visited: int = 0
     pruned: int = 0
     approximated: int = 0
+    recursions: int = 0       # node tuples expanded into children
     base_cases: int = 0
     base_case_pairs: int = 0  # point pairs evaluated exactly
 
@@ -43,8 +51,33 @@ class TraversalStats:
         self.visited += other.visited
         self.pruned += other.pruned
         self.approximated += other.approximated
+        self.recursions += other.recursions
         self.base_cases += other.base_cases
         self.base_case_pairs += other.base_case_pairs
+
+    @property
+    def prune_rate(self) -> float:
+        return self.pruned / self.visited if self.visited else 0.0
+
+    @property
+    def approx_rate(self) -> float:
+        return self.approximated / self.visited if self.visited else 0.0
+
+    def as_dict(self) -> dict[str, int]:
+        return {
+            "visited": self.visited,
+            "pruned": self.pruned,
+            "approximated": self.approximated,
+            "recursions": self.recursions,
+            "base_cases": self.base_cases,
+            "base_case_pairs": self.base_case_pairs,
+        }
+
+    def contribute(self) -> None:
+        """Feed these counts into the active ``repro.observe`` registry."""
+        if active_counters() is None:
+            return
+        contribute({f"traversal.{k}": v for k, v in self.as_dict().items()})
 
 
 def multi_tree_traversal(
@@ -62,6 +95,7 @@ def multi_tree_traversal(
     O(log n) but the pair stack can be large).
     """
     m = len(trees)
+    owns_stats = stats is None
     stats = stats or TraversalStats()
     stack = [tuple(roots) if roots is not None else (0,) * m]
     while stack:
@@ -85,6 +119,7 @@ def multi_tree_traversal(
             continue
         # Split every non-leaf node (N_i^split), keep leaves whole, and
         # recurse over the power-set tuples.
+        stats.recursions += 1
         splits = [
             [nodes[i]] if trees[i].is_leaf(nodes[i])
             else list(trees[i].children(nodes[i]))
@@ -92,4 +127,6 @@ def multi_tree_traversal(
         ]
         for tup in product(*splits):
             stack.append(tuple(int(x) for x in tup))
+    if owns_stats:
+        stats.contribute()
     return stats

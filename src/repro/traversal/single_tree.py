@@ -38,6 +38,7 @@ def single_tree_traversal(
     receives leaf slices, ``point_min_dist(node)`` orders children
     nearest-first.
     """
+    owns_stats = stats is None
     stats = stats or TraversalStats()
     stack = [0]
     while stack:
@@ -53,10 +54,13 @@ def single_tree_traversal(
             stats.base_case_pairs += e - s
             base_case(s, e)
             continue
+        stats.recursions += 1
         order = list(int(c) for c in kids)
         if point_min_dist is not None and len(order) > 1:
             order.sort(key=point_min_dist, reverse=True)  # nearest popped first
         stack.extend(order)
+    if owns_stats:
+        stats.contribute()
     return stats
 
 

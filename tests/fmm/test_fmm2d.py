@@ -5,6 +5,8 @@ import pytest
 
 from repro.fmm import FMMReport, UniformGrid, direct_potential, fmm_potential
 
+pytestmark = pytest.mark.slow
+
 
 @pytest.fixture
 def rng():

@@ -10,6 +10,8 @@ from pathlib import Path
 
 import pytest
 
+pytestmark = pytest.mark.slow
+
 EXAMPLES = Path(__file__).resolve().parents[2] / "examples"
 
 

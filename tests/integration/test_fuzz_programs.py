@@ -13,6 +13,8 @@ from hypothesis import given, settings, strategies as st
 
 from repro.dsl import PortalExpr, PortalFunc, PortalOp, Storage
 
+pytestmark = pytest.mark.slow
+
 REDUCTIONS = [
     PortalOp.ARGMIN, PortalOp.ARGMAX, PortalOp.MIN, PortalOp.MAX,
     PortalOp.SUM,

@@ -1,0 +1,91 @@
+"""Parallel determinism: worker count must never change an answer.
+
+The scheduler partitions work by query subtree, every task owns a
+disjoint query range, and ``min_tasks`` pins the task decomposition
+independently of the worker count — so running the same problem with 1
+worker or N workers must produce *bit-identical* outputs (not merely
+allclose: identical task-local summation order) and identical aggregate
+traversal counters.
+"""
+
+import numpy as np
+import pytest
+
+from repro.observe import collect
+from repro.problems import kde, two_point_correlation
+
+pytestmark = pytest.mark.slow
+
+MIN_TASKS = 16
+WORKER_COUNTS = [2, 4]
+
+
+@pytest.fixture(scope="module")
+def data():
+    rng = np.random.default_rng(4242)
+    X = rng.uniform(0, 8, size=(700, 3))
+    return np.ascontiguousarray(X[:300]), np.ascontiguousarray(X[300:])
+
+
+def _counts_only(counters):
+    """Integer event counts; per-run timings are legitimately noisy."""
+    return {k: v for k, v in counters.as_dict().items()
+            if not k.endswith("_s") and not k.endswith("_ms")}
+
+
+class TestKDEDeterminism:
+    @pytest.mark.parametrize("workers", WORKER_COUNTS)
+    def test_bit_identical_across_workers(self, data, workers):
+        Q, R = data
+        base = kde(Q, R, bandwidth=0.7, parallel=True, workers=1,
+                   min_tasks=MIN_TASKS)
+        par = kde(Q, R, bandwidth=0.7, parallel=True, workers=workers,
+                  min_tasks=MIN_TASKS)
+        assert np.array_equal(base, par)  # bitwise, not allclose
+
+    def test_aggregate_counters_identical(self, data):
+        Q, R = data
+        runs = []
+        for workers in (1, 4):
+            with collect() as counters:
+                kde(Q, R, bandwidth=0.7, parallel=True, workers=workers,
+                    min_tasks=MIN_TASKS)
+            runs.append(_counts_only(counters))
+        assert runs[0] == runs[1]
+        assert runs[0]["traversal.visited"] > 0
+
+
+class TestTwoPointDeterminism:
+    @pytest.mark.parametrize("workers", WORKER_COUNTS)
+    def test_exact_count_across_workers(self, data, workers):
+        Q, _ = data
+        base = two_point_correlation(Q, 1.0, parallel=True, workers=1,
+                                     min_tasks=MIN_TASKS)
+        par = two_point_correlation(Q, 1.0, parallel=True, workers=workers,
+                                    min_tasks=MIN_TASKS)
+        assert base == par
+
+    def test_aggregate_counters_identical(self, data):
+        Q, _ = data
+        runs = []
+        for workers in (1, 4):
+            with collect() as counters:
+                two_point_correlation(Q, 1.0, parallel=True, workers=workers,
+                                      min_tasks=MIN_TASKS)
+            runs.append(_counts_only(counters))
+        assert runs[0] == runs[1]
+
+
+class TestSerialParallelAgreement:
+    def test_kde_parallel_matches_serial(self, data):
+        """Parallel and serial traverse in different orders, so demand
+        allclose here (the bitwise guarantee is across worker counts)."""
+        Q, R = data
+        serial = kde(Q, R, bandwidth=0.7)
+        par = kde(Q, R, bandwidth=0.7, parallel=True, workers=4)
+        np.testing.assert_allclose(serial, par, rtol=1e-10)
+
+    def test_two_point_parallel_matches_serial(self, data):
+        Q, _ = data
+        assert two_point_correlation(Q, 1.0) == two_point_correlation(
+            Q, 1.0, parallel=True, workers=4)

@@ -33,6 +33,40 @@ class TestExecutor:
     def test_default_workers_positive(self):
         assert default_workers() >= 1
 
+    def test_failure_cancels_queued_tasks(self):
+        """Regression: a failing task must cancel queued tasks instead of
+        letting the pool drain them all before the exception surfaces."""
+        import time
+
+        started = []
+
+        def boom():
+            time.sleep(0.05)
+            raise ValueError("boom")
+
+        def make(i):
+            def task():
+                started.append(i)
+                time.sleep(0.05)
+                return i
+            return task
+
+        with pytest.raises(ValueError, match="boom"):
+            run_tasks([boom] + [make(i) for i in range(32)], workers=2)
+        assert len(started) < 32
+
+    def test_earliest_failure_wins(self):
+        import time
+
+        def fail(msg, delay=0.0):
+            def task():
+                time.sleep(delay)
+                raise ValueError(msg)
+            return task
+
+        with pytest.raises(ValueError, match="first"):
+            run_tasks([fail("first"), fail("second", delay=0.3)], workers=2)
+
 
 class TestFrontier:
     def test_enough_nodes(self, rng):

@@ -5,6 +5,8 @@ import pytest
 
 from repro.problems import mean_shift
 
+pytestmark = pytest.mark.slow
+
 
 @pytest.fixture
 def rng():

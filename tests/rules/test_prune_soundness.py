@@ -14,6 +14,8 @@ from hypothesis.extra import numpy as hnp
 from repro.dsl import PortalExpr, PortalFunc, PortalOp, Storage
 from repro.trees import build_kdtree
 
+pytestmark = pytest.mark.slow
+
 
 def clouds(max_n=40, d=3):
     return hnp.arrays(

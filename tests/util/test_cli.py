@@ -79,6 +79,49 @@ class TestCli:
             main(["run", prog, "--bind", "nopath"])
 
 
+class TestCliStats:
+    def test_stats(self, setup, capsys):
+        prog, binds = setup
+        assert main(["stats", prog, *binds]) == 0
+        out = capsys.readouterr().out
+        assert "== nn ==" in out
+        assert "prune-rate:" in out
+        assert "approximation-rate:" in out
+        assert "IR passes:" in out
+
+    def test_stats_json(self, setup, capsys):
+        import json
+
+        prog, binds = setup
+        assert main(["stats", prog, *binds, "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        stats = payload["programs"]["nn"]
+        tr = stats["traversal"]
+        assert tr["visited"] == (tr["pruned"] + tr["approximated"]
+                                 + tr["recursions"] + tr["base_cases"])
+        assert "flatten" in stats["pass_timings_ms"]
+        assert payload["counters"]["compile.count"] == 1
+        assert payload["counters"]["traversal.visited"] == tr["visited"]
+
+    def test_stats_trace(self, setup, tmp_path, capsys):
+        import json
+
+        prog, binds = setup
+        trace = tmp_path / "trace.jsonl"
+        assert main(["stats", prog, *binds, "--trace", str(trace)]) == 0
+        names = {json.loads(l)["name"]
+                 for l in trace.read_text().splitlines()}
+        assert "codegen" in names
+        assert any(n.startswith("ir.pass.") for n in names)
+
+    def test_stats_respects_options(self, setup, capsys):
+        prog, binds = setup
+        assert main(["stats", prog, *binds, "--option",
+                     "backend=brute"]) == 0
+        out = capsys.readouterr().out
+        assert "backend: brute" in out
+
+
 class TestTuner:
     def test_tune_returns_best(self):
         from repro.util import tune_leaf_size
