@@ -1,6 +1,6 @@
 PYTHON ?= python
 
-.PHONY: install test test-fast bench examples results clean
+.PHONY: install test test-fast bench bench-micro examples results clean
 
 install:
 	$(PYTHON) -m pip install -e . || $(PYTHON) setup.py develop
@@ -16,6 +16,9 @@ test-verbose:
 
 bench:
 	$(PYTHON) -m pytest benchmarks/ --benchmark-only
+
+bench-micro:
+	$(PYTHON) benchmarks/bench_micro_traversal.py --smoke
 
 examples:
 	for f in examples/*.py; do echo "== $$f =="; $(PYTHON) $$f; done

@@ -1,0 +1,267 @@
+"""Micro-benchmark: scalar stack engine vs batched frontier engine.
+
+Runs the nine evaluated problems at small/medium N under both traversal
+engines (``traversal='stack'`` and ``traversal='batched'``) and writes a
+machine-readable ``benchmarks/results/BENCH_traversal.json`` so the perf
+trajectory stays comparable across PRs.  The compile and tree caches are
+warmed once per configuration before timing, so the measured wall clock
+isolates *traversal* cost — exactly the plane the batched engine
+vectorizes (see docs/performance.md).
+
+Problems whose bound rules tighten mid-traversal (k-NN, Hausdorff,
+naive Bayes' MIN reduction) automatically fall back to the stack engine;
+their rows are retained as a no-regression check (ratio ≈ 1).
+
+The ``table4`` section re-times the KDE and range-search Table IV
+configurations (same datasets, bandwidths and radii as
+``bench_table4_portal_vs_expert.py``) and records the stack/batched
+speedup — the acceptance gate is a ratio > 1 on every row.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/bench_micro_traversal.py [--smoke]
+"""
+
+from __future__ import annotations
+
+import argparse
+import functools
+import json
+import os
+import sys
+import time
+
+import numpy as np
+
+sys.path.insert(0, os.path.dirname(os.path.abspath(__file__)))
+
+from harness import dataset, format_table, split_qr  # noqa: E402
+from repro.observe import collect  # noqa: E402
+from repro.problems import (  # noqa: E402
+    barnes_hut_potential, dbscan, directed_hausdorff, kde, knn,
+    naive_bayes_fit, range_count, range_search, two_point_correlation,
+)
+
+RESULTS_DIR = os.path.join(os.path.dirname(os.path.abspath(__file__)),
+                           "results")
+DEFAULT_OUT = os.path.join(RESULTS_DIR, "BENCH_traversal.json")
+
+ENGINES = ("stack", "batched")
+#: Table IV datasets re-timed for the acceptance gate.
+TABLE4_DATASETS = ["Census", "Yahoo!", "IHEPC", "HIGGS", "KDD"]
+LEAF = 16
+
+
+@functools.lru_cache(maxsize=None)
+def _cloud(n: int, d: int = 3, seed: int = 0) -> np.ndarray:
+    """Uniform point cloud; cached so repeated runs share fingerprints
+    (and therefore tree/compile cache entries)."""
+    rng = np.random.default_rng(1000 + seed)
+    X = np.ascontiguousarray(rng.uniform(0.0, 4.0, size=(n, d)))
+    X.setflags(write=False)
+    return X
+
+
+def _qr(n: int) -> tuple[np.ndarray, np.ndarray]:
+    X = _cloud(2 * n)
+    return np.ascontiguousarray(X[:n]), np.ascontiguousarray(X[n:])
+
+
+@functools.lru_cache(maxsize=None)
+def _nb_model(n: int):
+    rng = np.random.default_rng(7)
+    centers = np.array([[1.0, 1.0, 1.0], [3.0, 3.0, 3.0]])
+    y = rng.integers(0, 2, size=n)
+    X = centers[y] + rng.normal(scale=0.6, size=(n, 3))
+    return naive_bayes_fit(np.ascontiguousarray(X), y)
+
+
+def _run_kde(n, eng):
+    Q, R = _qr(n)
+    kde(Q, R, bandwidth=0.35, tau=1e-3, leaf_size=LEAF, traversal=eng)
+
+
+def _run_range_search(n, eng):
+    Q, R = _qr(n)
+    range_search(Q, R, h=0.45, leaf_size=LEAF, traversal=eng)
+
+
+def _run_range_count(n, eng):
+    Q, R = _qr(n)
+    range_count(Q, R, h=0.45, leaf_size=LEAF, traversal=eng)
+
+
+def _run_knn(n, eng):
+    Q, R = _qr(n)
+    knn(Q, R, k=5, leaf_size=LEAF, traversal=eng)
+
+
+def _run_hausdorff(n, eng):
+    A, B = _qr(n)
+    directed_hausdorff(A, B, leaf_size=LEAF, traversal=eng)
+
+
+def _run_two_point(n, eng):
+    two_point_correlation(_cloud(n), 0.45, leaf_size=LEAF, traversal=eng)
+
+
+def _run_barnes_hut(n, eng):
+    X = _cloud(n, seed=3)
+    barnes_hut_potential(X, np.ones(n), theta=0.6, leaf_size=LEAF,
+                         traversal=eng)
+
+
+def _run_dbscan(n, eng):
+    dbscan(_cloud(n, seed=5), eps=0.3, min_samples=5, leaf_size=LEAF,
+           traversal=eng)
+
+
+def _run_naive_bayes(n, eng):
+    model = _nb_model(n)
+    Q, _ = _qr(n)
+    model.predict(Q, traversal=eng)
+
+
+#: name -> (runner, [small N, medium N])
+PROBLEMS = {
+    "kde": (_run_kde, [800, 2400]),
+    "range_search": (_run_range_search, [800, 2400]),
+    "range_count": (_run_range_count, [800, 2400]),
+    "two_point": (_run_two_point, [800, 2400]),
+    "barnes_hut": (_run_barnes_hut, [800, 2400]),
+    "dbscan": (_run_dbscan, [600, 1500]),
+    "knn": (_run_knn, [800, 2400]),
+    "hausdorff": (_run_hausdorff, [800, 2400]),
+    "naive_bayes": (_run_naive_bayes, [800, 2400]),
+}
+
+
+def measure(run, n: int, engine: str, repeats: int) -> dict:
+    """Best-of wall clock after a cache-warming call, plus the traversal
+    counters from the fastest repeat."""
+    run(n, engine)  # warm: populates compile + tree caches
+    best, counts = float("inf"), {}
+    for _ in range(repeats):
+        with collect() as counters:
+            t0 = time.perf_counter()
+            run(n, engine)
+            dt = time.perf_counter() - t0
+        if dt < best:
+            best, counts = dt, counters.as_dict()
+    visited = int(counts.get("traversal.visited", 0))
+    return {
+        "engine": engine,
+        "wall_s": best,
+        "visited": visited,
+        "visited_per_s": visited / best if best > 0 else 0.0,
+        "prune_rate": (counts.get("traversal.pruned", 0) / visited
+                       if visited else 0.0),
+        "approx_rate": (counts.get("traversal.approximated", 0) / visited
+                        if visited else 0.0),
+    }
+
+
+def run_micro(sizes_scale: float, repeats: int) -> tuple[list, dict]:
+    rows, speedups = [], {}
+    for name, (run, sizes) in PROBLEMS.items():
+        for n in sizes:
+            n = max(200, int(n * sizes_scale))
+            per_engine = {}
+            for engine in ENGINES:
+                r = measure(run, n, engine, repeats)
+                r.update(problem=name, n=n)
+                rows.append(r)
+                per_engine[engine] = r["wall_s"]
+            ratio = per_engine["stack"] / per_engine["batched"]
+            speedups[f"{name}@{n}"] = round(ratio, 3)
+            print(f"  {name:>12} n={n:<5} stack={per_engine['stack']:.4f}s "
+                  f"batched={per_engine['batched']:.4f}s  x{ratio:.2f}",
+                  file=sys.stderr)
+    return rows, speedups
+
+
+def run_table4(smoke: bool, repeats: int) -> list:
+    """KDE and range-search at the Table IV harness configurations."""
+    names = TABLE4_DATASETS[:1] if smoke else TABLE4_DATASETS
+    rows = []
+    for dset in names:
+        X = dataset(dset, 600) if smoke else dataset(dset)
+        scale = float(np.median(X.std(axis=0))) + 1e-9
+        Q, R = split_qr(X)
+        configs = [
+            ("kde", lambda _n, eng, Q=Q, R=R, bw=scale:
+                kde(Q, R, bandwidth=bw, tau=1e-3, traversal=eng)),
+            ("range_count", lambda _n, eng, Q=Q, R=R, h=1.5 * scale:
+                range_count(Q, R, h=h, traversal=eng)),
+        ]
+        for prob, run in configs:
+            stack = measure(run, len(Q), "stack", repeats)
+            batched = measure(run, len(Q), "batched", repeats)
+            ratio = stack["wall_s"] / batched["wall_s"]
+            rows.append({
+                "problem": prob, "dataset": dset, "n": len(X),
+                "stack_wall_s": stack["wall_s"],
+                "batched_wall_s": batched["wall_s"],
+                "speedup": round(ratio, 3),
+            })
+            print(f"  table4 {prob:>12} {dset:<10} "
+                  f"stack={stack['wall_s']:.4f}s "
+                  f"batched={batched['wall_s']:.4f}s  x{ratio:.2f}",
+                  file=sys.stderr)
+    return rows
+
+
+def main(argv=None) -> int:
+    ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    ap.add_argument("--smoke", action="store_true",
+                    help="tiny sizes / single repeat (CI smoke run)")
+    ap.add_argument("--repeats", type=int, default=None,
+                    help="timed repeats per configuration (best-of)")
+    ap.add_argument("--out", default=DEFAULT_OUT,
+                    help="output JSON path")
+    args = ap.parse_args(argv)
+
+    repeats = args.repeats or (1 if args.smoke else 3)
+    scale = 0.4 if args.smoke else 1.0
+
+    print("[micro] stack vs batched across the nine problems",
+          file=sys.stderr)
+    rows, speedups = run_micro(scale, repeats)
+    print("[table4] KDE / range-search acceptance configurations",
+          file=sys.stderr)
+    table4 = run_table4(args.smoke, repeats)
+
+    payload = {
+        "meta": {"smoke": args.smoke, "repeats": repeats,
+                 "engines": list(ENGINES)},
+        "rows": rows,
+        "speedups": speedups,
+        "table4": table4,
+    }
+    os.makedirs(os.path.dirname(os.path.abspath(args.out)), exist_ok=True)
+    with open(args.out, "w") as fh:
+        json.dump(payload, fh, indent=2)
+    print(f"[written to {args.out}]", file=sys.stderr)
+
+    table = format_table(
+        "Traversal micro-benchmark — stack / batched speedup",
+        ["config", "speedup"],
+        [[k, v] for k, v in speedups.items()]
+        + [[f"table4 {r['problem']} {r['dataset']}", r["speedup"]]
+           for r in table4],
+    )
+    print(table, file=sys.stderr)
+
+    # Acceptance gate (ISSUE 2): batched must beat stack on the KDE and
+    # range-search Table IV configurations.
+    failing = [r for r in table4 if r["speedup"] <= 1.0]
+    if failing:
+        print(f"[FAIL] batched slower on: "
+              f"{[(r['problem'], r['dataset']) for r in failing]}",
+              file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

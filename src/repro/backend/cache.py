@@ -1,0 +1,144 @@
+"""Execution caches: compiled-artifact and tree reuse across ``execute()``.
+
+The "serve heavy repeated traffic" half of the roadmap: a service
+answering many queries against the same dataset should pay for rule
+generation, IR optimisation, code generation and tree construction
+*once*.  Two bounded LRU caches, both content-addressed:
+
+* the **program cache** (:mod:`repro.backend.jit`) memoises compiled
+  artifacts keyed on a canonical description of the layer chain (operator
+  names, unparsed kernel expressions, parameter values, dataset
+  fingerprints) plus the compile-relevant ``CompileOptions`` fields —
+  runtime-only knobs (``parallel``, ``workers``, ``min_tasks``,
+  ``traversal``) are deliberately excluded so toggling them still hits;
+* the **tree cache** memoises :class:`~repro.trees.node.ArrayTree`
+  builds keyed on (data fingerprint, tree kind, leaf size, split,
+  weights fingerprint), so *different problems* over the same dataset
+  share one tree build.
+
+Dataset identity is a BLAKE2 content fingerprint, so rebuilding a
+`Storage` around the same values still hits, and mutating values in
+place (k-means, EM iterations) correctly misses.  Hits and misses are
+observable through the ``repro.observe`` counters ``cache.compile.hit``
+/ ``cache.compile.miss`` / ``cache.tree.hit`` / ``cache.tree.miss``
+(see docs/performance.md), and ``CompileOptions(cache=False)`` bypasses
+both caches entirely.
+
+Cached objects are safe to share: traversals never mutate tree arrays,
+and every per-run accumulator is allocated fresh per
+:class:`CompiledProgram` instantiation.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import threading
+from collections import OrderedDict
+
+import numpy as np
+
+from ..observe import contribute
+from ..trees import build_tree
+
+__all__ = [
+    "LRUCache", "array_fingerprint", "freeze", "cached_build_tree",
+    "program_cache", "tree_cache", "clear_caches", "cache_stats",
+]
+
+
+def array_fingerprint(arr) -> tuple | None:
+    """Content fingerprint of an ndarray: (BLAKE2 digest, shape, dtype)."""
+    if arr is None:
+        return None
+    a = np.ascontiguousarray(arr)
+    digest = hashlib.blake2b(a.data, digest_size=16).hexdigest()
+    return (digest, a.shape, str(a.dtype))
+
+
+def freeze(value):
+    """Recursively convert a parameter value to a hashable cache-key part."""
+    if isinstance(value, np.ndarray):
+        return ("ndarray", array_fingerprint(value))
+    if isinstance(value, dict):
+        return tuple(sorted((k, freeze(v)) for k, v in value.items()))
+    if isinstance(value, (list, tuple)):
+        return tuple(freeze(v) for v in value)
+    if isinstance(value, (bool, int, float, str, bytes, type(None))):
+        return value
+    return repr(value)
+
+
+class LRUCache:
+    """A small thread-safe LRU map (no TTL: entries are content-addressed,
+    so staleness is impossible — only capacity eviction)."""
+
+    def __init__(self, maxsize: int):
+        self.maxsize = maxsize
+        self._data: OrderedDict = OrderedDict()
+        self._lock = threading.Lock()
+
+    def get(self, key):
+        with self._lock:
+            try:
+                value = self._data[key]
+            except KeyError:
+                return None
+            self._data.move_to_end(key)
+            return value
+
+    def put(self, key, value) -> None:
+        with self._lock:
+            self._data[key] = value
+            self._data.move_to_end(key)
+            while len(self._data) > self.maxsize:
+                self._data.popitem(last=False)
+
+    def clear(self) -> None:
+        with self._lock:
+            self._data.clear()
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._data)
+
+
+#: Compiled-artifact cache (see :mod:`repro.backend.jit`).
+program_cache = LRUCache(maxsize=32)
+#: Tree-build cache, shared across problems on the same dataset.
+tree_cache = LRUCache(maxsize=16)
+
+
+def cached_build_tree(
+    kind: str,
+    points: np.ndarray,
+    leaf_size: int,
+    weights: np.ndarray | None,
+    split: str,
+    enabled: bool = True,
+):
+    """:func:`repro.trees.build_tree` behind the content-addressed cache."""
+    if not enabled:
+        return build_tree(kind, points, leaf_size=leaf_size,
+                          weights=weights, split=split)
+    key = ("tree", kind, int(leaf_size), split,
+           array_fingerprint(points), array_fingerprint(weights))
+    tree = tree_cache.get(key)
+    if tree is not None:
+        contribute({"cache.tree.hit": 1})
+        return tree
+    contribute({"cache.tree.miss": 1})
+    tree = build_tree(kind, points, leaf_size=leaf_size, weights=weights,
+                      split=split)
+    tree_cache.put(key, tree)
+    return tree
+
+
+def clear_caches() -> None:
+    """Drop every cached artifact and tree (test isolation hook)."""
+    program_cache.clear()
+    tree_cache.clear()
+
+
+def cache_stats() -> dict:
+    """Current cache occupancy, for diagnostics."""
+    return {"programs": len(program_cache), "trees": len(tree_cache)}

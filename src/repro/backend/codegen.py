@@ -40,7 +40,10 @@ from ..rules.spec import RuleSpec
 from .fastmath import fast_inverse_sqrt
 from .layout import Layout
 
-__all__ = ["CodegenSpec", "GeneratedKernels", "generate", "emit_expr"]
+__all__ = [
+    "CodegenSpec", "GeneratedKernels", "generate", "emit", "bind_kernels",
+    "emit_expr",
+]
 
 
 _CALL_MAP = {
@@ -104,13 +107,28 @@ class CodegenSpec:
 
 @dataclass
 class GeneratedKernels:
-    """Compiled closures plus the emitted source for inspection."""
+    """Compiled closures plus the emitted source for inspection.
+
+    The scalar closures (``prune_or_approx``, ``pair_min_dist``) drive
+    the nearest-first stack traversal; the ``*_batch`` closures operate
+    on whole frontier arrays of node-id pairs and drive the batched
+    frontier engine (:mod:`repro.traversal.batched`).  ``classify_batch``
+    is only emitted for *stateless* rules (indicator / approximation);
+    bound rules read the mutable best-value arrays mid-traversal and
+    keep the scalar path.
+    """
 
     source: str
     namespace: dict
     base_case: Callable
     prune_or_approx: Callable | None
     pair_min_dist: Callable | None
+    classify_batch: Callable | None = None
+    apply_action: Callable | None = None
+    pair_min_dist_batch: Callable | None = None
+    #: compiled code object, re-executable against fresh bindings (the
+    #: artifact the execution cache stores)
+    code: object | None = None
 
 
 # ---------------------------------------------------------------------------
@@ -270,8 +288,11 @@ def _base_case_source(spec: CodegenSpec) -> str:
 # ---------------------------------------------------------------------------
 
 def _combine(base: str, vec: str) -> str:
+    # sqeuclidean spelled as (v*v).sum() rather than v @ v: same reduce
+    # ordering as the batched axis-1 form, so the scalar and batched
+    # node-pair distances are bitwise identical (traversal order parity).
     if base == "sqeuclidean":
-        return f"float({vec} @ {vec})"
+        return f"float(({vec} * {vec}).sum())"
     if base == "manhattan":
         return f"float({vec}.sum())"
     return f"float({vec}.max())"
@@ -287,6 +308,29 @@ def _pair_dist_source(spec: CodegenSpec) -> str:
         def pair_max_base_dist(qi, ri):
             spans = np.maximum(0.0, np.maximum(rhi[ri] - qlo[qi], qhi[qi] - rlo[ri]))
             return {_combine(spec.base, 'spans')}"""
+    )
+
+
+def _combine_batch(base: str, mat: str) -> str:
+    if base == "sqeuclidean":
+        return f"({mat} * {mat}).sum(axis=1)"
+    if base == "manhattan":
+        return f"{mat}.sum(axis=1)"
+    return f"{mat}.max(axis=1)"
+
+
+def _pair_dist_batch_source(spec: CodegenSpec) -> str:
+    """Vectorised node-pair distance bounds over arrays of node ids —
+    the decision plane of the batched frontier engine."""
+    return textwrap.dedent(
+        f"""\
+        def pair_min_base_dist_batch(qis, ris):
+            gaps = np.maximum(0.0, np.maximum(rlo[ris] - qhi[qis], qlo[qis] - rhi[ris]))
+            return {_combine_batch(spec.base, 'gaps')}
+
+        def pair_max_base_dist_batch(qis, ris):
+            spans = np.maximum(0.0, np.maximum(rhi[ris] - qlo[qis], qhi[qis] - rlo[ris]))
+            return {_combine_batch(spec.base, 'spans')}"""
     )
 
 
@@ -308,6 +352,53 @@ def _approx_action_lines(spec: CodegenSpec, centroid_arr: str) -> list[str]:
         f"    acc[s:e] += rweight[ri] * {_g_scalar(spec, 'tc')}",
     ]
     return lines
+
+
+def _inside_action_lines(spec: CodegenSpec, rule: RuleSpec) -> list[str]:
+    """Body lines of the indicator inside-region action (one node pair)."""
+    lines: list[str] = []
+    b = lines.append
+    if rule.inside_action in ("count_per_query", "count_product"):
+        b("    s = qstart[qi]; e = qend[qi]")
+        b("    acc[s:e] += rweight[ri]")
+        if spec.same_tree and spec.exclude_self:
+            b("    lo = max(s, rstart[ri]); hi = min(e, rend[ri])")
+            b("    if lo < hi:")
+            if spec.weighted:
+                b("        acc[lo:hi] -= rw[lo:hi]")
+            else:
+                b("        acc[lo:hi] -= 1.0")
+    elif rule.inside_action == "append_all":
+        b("    s = qstart[qi]; e = qend[qi]")
+        b("    idxs = np.arange(rstart[ri], rend[ri])")
+        b("    for i in range(s, e):")
+        if spec.same_tree and spec.exclude_self:
+            b("        if rstart[ri] <= i < rend[ri]:")
+            b("            out_lists[i].append(idxs[idxs != i])")
+            b("        else:")
+            b("            out_lists[i].append(idxs)")
+        else:
+            b("        out_lists[i].append(idxs)")
+    else:  # pragma: no cover
+        raise CompileError(f"unknown inside action {rule.inside_action!r}")
+    return lines
+
+
+def _action_source(spec: CodegenSpec) -> str | None:
+    """Emit ``apply_action(qi, ri)``: the ComputeApprox / inside-region
+    side effect for one node pair, shared by the scalar prune function
+    and the batched engine's replay phase (so both engines apply
+    bit-identical updates)."""
+    rule = spec.rule
+    if rule is None:
+        return None
+    if rule.kind == "indicator" and rule.inside_action is not None:
+        body = _inside_action_lines(spec, rule)
+    elif rule.kind == "approx":
+        body = _approx_action_lines(spec, "rcentroid")
+    else:
+        return None
+    return "\n".join(["def apply_action(qi, ri):", *body])
 
 
 def _prune_source(spec: CodegenSpec) -> str | None:
@@ -347,27 +438,7 @@ def _prune_source(spec: CodegenSpec) -> str | None:
         if rule.inside_action is not None:
             b(f"    t2 = {second}(qi, ri)")
             b(f"    if t2 {opn} H:")
-            if rule.inside_action in ("count_per_query", "count_product"):
-                b("        s = qstart[qi]; e = qend[qi]")
-                b("        acc[s:e] += rweight[ri]")
-                if spec.same_tree and spec.exclude_self:
-                    b("        lo = max(s, rstart[ri]); hi = min(e, rend[ri])")
-                    b("        if lo < hi:")
-                    if spec.weighted:
-                        b("            acc[lo:hi] -= rw[lo:hi]")
-                    else:
-                        b("            acc[lo:hi] -= 1.0")
-            elif rule.inside_action == "append_all":
-                b("        s = qstart[qi]; e = qend[qi]")
-                b("        idxs = np.arange(rstart[ri], rend[ri])")
-                b("        for i in range(s, e):")
-                if spec.same_tree and spec.exclude_self:
-                    b("            if rstart[ri] <= i < rend[ri]:")
-                    b("                out_lists[i].append(idxs[idxs != i])")
-                    b("            else:")
-                    b("                out_lists[i].append(idxs)")
-                else:
-                    b("            out_lists[i].append(idxs)")
+            b("        apply_action(qi, ri)")
             b("        return 2")
         b("    return 0")
 
@@ -377,19 +448,56 @@ def _prune_source(spec: CodegenSpec) -> str | None:
             b("    tmax = pair_max_base_dist(qi, ri)")
             glo, ghi = _band_exprs(spec)
             b(f"    if ({ghi}) - ({glo}) <= TAU:")
-            for line in _approx_action_lines(spec, "rcentroid"):
-                b("    " + line)
-            b("        return 2")
-            b("    return 0")
         else:  # mac
             b("    tmin = pair_min_base_dist(qi, ri)")
             b("    if tmin > 0.0 and rdiam2[ri] <= THETA2 * tmin:")
-            for line in _approx_action_lines(spec, "rcentroid"):
-                b("    " + line)
-            b("        return 2")
-            b("    return 0")
+        b("        apply_action(qi, ri)")
+        b("        return 2")
+        b("    return 0")
     else:  # pragma: no cover
         raise CompileError(f"unknown rule kind {rule.kind!r}")
+    return "\n".join(lines)
+
+
+def _classify_batch_source(spec: CodegenSpec) -> str | None:
+    """Emit ``classify_batch(qis, ris) -> int8 codes`` (0: recurse,
+    1: prune, 2: approximate / inside action), classifying a whole
+    frontier of node pairs in a handful of array operations.
+
+    Only *stateless* rules vectorise: the bound rules (k-NN, Hausdorff)
+    read the mutable best-value arrays, so their decisions depend on
+    traversal order and stay on the scalar path (the engine falls back
+    to the stack traversal for them).
+    """
+    rule = spec.rule
+    if rule is None or rule.kind in ("none", "bound-min", "bound-max"):
+        return None
+    lines = [
+        "def classify_batch(qis, ris):",
+        "    codes = np.zeros(qis.shape[0], dtype=np.int8)",
+    ]
+    b = lines.append
+
+    if rule.kind == "indicator":
+        opn = rule.indicator_op
+        neg = {"<": ">=", "<=": ">", ">": "<=", ">=": "<"}[opn]
+        near = opn in ("<", "<=")
+        first = "pair_min_base_dist_batch" if near else "pair_max_base_dist_batch"
+        second = "pair_max_base_dist_batch" if near else "pair_min_base_dist_batch"
+        b(f"    t1 = {first}(qis, ris)")
+        b(f"    codes[t1 {neg} H] = 1")
+        if rule.inside_action is not None:
+            b(f"    t2 = {second}(qis, ris)")
+            b(f"    codes[(codes == 0) & (t2 {opn} H)] = 2")
+    elif rule.criterion == "band":
+        b("    tmin = pair_min_base_dist_batch(qis, ris)")
+        b("    tmax = pair_max_base_dist_batch(qis, ris)")
+        glo, ghi = _band_exprs(spec)
+        b(f"    codes[(({ghi}) - ({glo})) <= TAU] = 2")
+    else:  # mac
+        b("    tmin = pair_min_base_dist_batch(qis, ris)")
+        b("    codes[(tmin > 0.0) & (rdiam2[ris] <= THETA2 * tmin)] = 2")
+    b("    return codes")
     return "\n".join(lines)
 
 
@@ -397,15 +505,12 @@ def _prune_source(spec: CodegenSpec) -> str | None:
 # entry point
 # ---------------------------------------------------------------------------
 
-def generate(spec: CodegenSpec, bindings: dict) -> GeneratedKernels:
-    """Emit, compile and bind the problem's kernels.
+def emit(spec: CodegenSpec) -> tuple[str, object]:
+    """Emit the problem's kernel source and compile it to a code object.
 
-    ``bindings`` must provide the closure environment: the physical data
-    arrays (``QCOL``/``QROW``/``RCOL``/``RROW``), tree metadata arrays
-    (``qlo``/``qhi``/``rlo``/``rhi``/``qstart``/``qend``/``rstart``/
-    ``rend``/``rcentroid``/``rweight``/``rdiam2``), state arrays
-    (``best``/``best_idx``/``acc``/``out_lists``/``dense``), weights
-    ``rw``, and scalars ``K``/``H``/``TAU``/``THETA2``.
+    Pure function of the spec — no data bindings involved — so the
+    result is cacheable and re-bindable against fresh state arrays via
+    :func:`bind_kernels`.
     """
     with span("codegen", layout=str(spec.layout), dim=spec.dim,
               inner_op=spec.inner_op.name) as sp:
@@ -417,22 +522,46 @@ def generate(spec: CodegenSpec, bindings: dict) -> GeneratedKernels:
             _pairwise_source(spec),
             _base_case_source(spec),
             _pair_dist_source(spec),
+            _pair_dist_batch_source(spec),
         ]
-        prune_src = _prune_source(spec)
-        if prune_src is not None:
-            chunks.append(prune_src)
+        for maker in (_action_source, _prune_source, _classify_batch_source):
+            src = maker(spec)
+            if src is not None:
+                chunks.append(src)
         source = "\n\n".join(chunks) + "\n"
         sp.note(source_loc=source.count("\n"))
-
-        namespace = {"np": np, "finvsqrt": fast_inverse_sqrt}
-        namespace.update(bindings)
         code = compile(source, f"<portal-generated-{id(spec)}>", "exec")
-        exec(code, namespace)
+    return source, code
 
+
+def bind_kernels(source: str, code, bindings: dict) -> GeneratedKernels:
+    """Execute emitted kernel code against a closure environment.
+
+    ``bindings`` must provide the physical data arrays
+    (``QCOL``/``QROW``/``RCOL``/``RROW``), tree metadata arrays
+    (``qlo``/``qhi``/``rlo``/``rhi``/``qstart``/``qend``/``rstart``/
+    ``rend``/``rcentroid``/``rweight``/``rdiam2``), state arrays
+    (``best``/``best_idx``/``acc``/``out_lists``/``dense``), weights
+    ``rw``, and scalars ``K``/``H``/``TAU``/``THETA2``.
+    """
+    namespace = {"np": np, "finvsqrt": fast_inverse_sqrt}
+    namespace.update(bindings)
+    exec(code, namespace)
     return GeneratedKernels(
         source=source,
         namespace=namespace,
         base_case=namespace["base_case"],
         prune_or_approx=namespace.get("prune_or_approx"),
         pair_min_dist=namespace.get("pair_min_base_dist"),
+        classify_batch=namespace.get("classify_batch"),
+        apply_action=namespace.get("apply_action"),
+        pair_min_dist_batch=namespace.get("pair_min_base_dist_batch"),
+        code=code,
     )
+
+
+def generate(spec: CodegenSpec, bindings: dict) -> GeneratedKernels:
+    """Emit, compile and bind the problem's kernels (one-shot form of
+    :func:`emit` + :func:`bind_kernels`)."""
+    source, code = emit(spec)
+    return bind_kernels(source, code, bindings)

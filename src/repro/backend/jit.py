@@ -29,9 +29,13 @@ from ..observe import contribute, span
 from ..ir.strength_reduction import reduce_expr
 from ..parallel import parallel_dual_tree
 from ..rules import build_rules
-from ..traversal import TraversalStats, dual_tree_traversal
-from ..trees import build_tree
-from .codegen import CodegenSpec, GeneratedKernels, generate
+from ..traversal import (
+    TraversalStats, batched_dual_tree_traversal, dual_tree_traversal,
+)
+from .cache import (  # noqa: F401 (program_cache re-exported for tests)
+    array_fingerprint, cached_build_tree, freeze, program_cache,
+)
+from .codegen import CodegenSpec, GeneratedKernels, bind_kernels, emit
 from .layout import Layout
 from .state import Output, State, allocate_state
 
@@ -63,6 +67,15 @@ class CompileOptions:
     #: IR optimisation passes to skip (differential-testing knob); any
     #: subset of :data:`repro.ir.passes.TOGGLEABLE_PASSES`
     disable_passes: tuple = ()
+    #: traversal engine: 'batched' classifies whole frontier arrays of
+    #: node pairs per kernel call (:mod:`repro.traversal.batched`);
+    #: 'stack' is the scalar nearest-first reference engine.  Batched
+    #: falls back to the stack automatically for stateful (bound-rule)
+    #: problems such as k-NN and Hausdorff.
+    traversal: str = "batched"
+    #: reuse compiled artifacts and built trees across ``execute()``
+    #: calls (content-addressed; see :mod:`repro.backend.cache`)
+    cache: bool = True
 
     @classmethod
     def from_dict(cls, options: dict) -> "CompileOptions":
@@ -79,6 +92,11 @@ class CompileOptions:
             raise SpecificationError(
                 f"unknown disable_passes: {sorted(bad)}; "
                 f"toggleable: {TOGGLEABLE_PASSES}"
+            )
+        if opts.traversal not in ("batched", "stack"):
+            raise SpecificationError(
+                f"unknown traversal engine {opts.traversal!r}; "
+                "expected 'batched' or 'stack'"
             )
         return opts
 
@@ -191,6 +209,8 @@ class CompiledProgram:
             "mode": self.mode,
             "backend": self.options.backend,
             "tree": self.options.tree if self.mode == "tree" else None,
+            "traversal_engine": self.extras.get("engine"),
+            "cache": self.extras.get("cache"),
             "traversal": dict(
                 st.as_dict(),
                 prune_rate=st.prune_rate,
@@ -277,11 +297,20 @@ class CompiledProgram:
 
     def _run_tree(self) -> TraversalStats:
         kk = self.kernels
+        engine = self.extras.get("engine", "stack")
         if self.options.parallel:
             return parallel_dual_tree(
                 self.qtree, self.rtree, kk.prune_or_approx, kk.base_case,
                 pair_min_dist=kk.pair_min_dist, workers=self.options.workers,
                 min_tasks=self.options.min_tasks,
+                engine=engine, classify_batch=kk.classify_batch,
+                apply_action=kk.apply_action,
+                pair_min_dist_batch=kk.pair_min_dist_batch,
+            )
+        if engine == "batched":
+            return batched_dual_tree_traversal(
+                self.qtree, self.rtree, kk.classify_batch, kk.apply_action,
+                kk.base_case, pair_min_dist_batch=kk.pair_min_dist_batch,
             )
         return dual_tree_traversal(
             self.qtree, self.rtree, kk.prune_or_approx, kk.base_case,
@@ -346,15 +375,128 @@ def _max_output_delta(a: Output, b: Output) -> float:
     return float(np.max(np.abs(av - bv)))
 
 
+@dataclass
+class _Artifact:
+    """Immutable products of one compile — everything reusable across
+    executions of the same logical program.
+
+    Mutable per-run state (accumulator arrays, output lists, the resolved
+    modifier closure) is deliberately *not* here; :func:`_instantiate`
+    allocates it fresh and re-binds the compiled code object against it,
+    so cached programs never alias each other's results.
+    """
+
+    mode: str
+    kernel: MetricKernel
+    classification: object
+    rule: object
+    pass_manager: PassManager
+    spec: CodegenSpec
+    source: str
+    code: object
+    static_bindings: dict
+    qtree: object | None
+    rtree: object | None
+    qdata: np.ndarray | None
+    rdata: np.ndarray | None
+    nq: int
+    nr: int
+    same_data: bool
+    exclude_self: bool
+    #: apply the monotone kernel map at finalisation (section IV-F)
+    defer_monotone: bool
+
+
+def _func_key(func) -> object:
+    """Stable cache-key description of a layer function.
+
+    :class:`Expr` reprs are structural (no object identity), so they are
+    content keys; opaque Python callables make the program uncacheable
+    (checked by the caller) and never reach this point with one.
+    """
+    return None if func is None else repr(func)
+
+
+def _program_key(layers: list[Layer], opts: CompileOptions) -> tuple:
+    """Content-addressed key of a 2-layer program's compiled artifact.
+
+    Covers every compile-time input: per-layer operator/k/function/params
+    and dataset fingerprints, the normalised kernel, and the
+    CompileOptions fields that change the artifact.  Runtime-only knobs
+    (``parallel``/``workers``/``min_tasks``/``traversal``/``cache``) are
+    excluded so toggling them still hits.
+    """
+    outer, inner = layers
+    same_data = outer.storage is inner.storage
+    exclude_self = (
+        opts.exclude_self if opts.exclude_self is not None else same_data
+    )
+    kern = inner.metric_kernel
+    layer_parts = tuple(
+        (
+            layer.op.name,
+            layer.k,
+            _func_key(layer.func),
+            freeze(layer.params) if layer.params else None,
+            array_fingerprint(layer.storage.data),
+            array_fingerprint(layer.storage.weights),
+            str(layer.storage.layout),
+        )
+        for layer in layers
+    )
+    return (
+        layer_parts,
+        (kern.base, repr(kern.g), kern.whiten, freeze(kern.covariance)),
+        opts.backend, opts.tree, opts.leaf_size, opts.tau, opts.criterion,
+        opts.theta, opts.fastmath, opts.layout, opts.split,
+        tuple(sorted(opts.disable_passes)), same_data, exclude_self,
+    )
+
+
 def compile_expr(pexpr, options: dict) -> CompiledProgram:
-    """Compile a validated :class:`~repro.dsl.portal_expr.PortalExpr`."""
+    """Compile a validated :class:`~repro.dsl.portal_expr.PortalExpr`.
+
+    Two-layer programs with a lowered kernel are served from the
+    execution cache when possible: a hit skips rule generation, IR
+    passes, tree construction and code generation, and only re-binds
+    fresh state arrays (observable as ``cache.compile.hit``).
+    """
     opts = CompileOptions.from_dict(options)
     layers = pexpr.layers
     if len(layers) > 2:
         return _compile_multilayer(pexpr, opts)
+    if layers[1].metric_kernel is None:
+        return _compile_external_expr(pexpr, opts)
+
+    cacheable = (
+        opts.cache
+        and opts.backend in ("vectorized", "brute")
+        # Opaque Python callables have no content identity to key on.
+        and not any(
+            callable(l.func) and not isinstance(l.func, Expr) for l in layers
+        )
+    )
+    if cacheable:
+        key = _program_key(layers, opts)
+        art = program_cache.get(key)
+        if art is not None:
+            contribute({"cache.compile.hit": 1})
+            return _instantiate(art, layers, opts, {}, "hit")
+        contribute({"cache.compile.miss": 1})
+        art, timings = _compile_pipeline(pexpr, opts)
+        program_cache.put(key, art)
+        return _instantiate(art, layers, opts, timings, "miss")
+    art, timings = _compile_pipeline(pexpr, opts)
+    return _instantiate(art, layers, opts, timings,
+                        None if opts.cache else "off")
+
+
+def _compile_pipeline(pexpr, opts: CompileOptions) -> tuple[_Artifact, dict]:
+    """The full compile pipeline (paper Fig. 1) for a 2-layer program
+    with a lowered kernel; returns the cacheable artifact + timings."""
+    layers = pexpr.layers
     outer, inner = layers
     kernel = inner.metric_kernel
-    modifier = _resolve_modifier(outer.func)
     timings: dict[str, float] = {}
     contribute({"compile.count": 1})
 
@@ -385,15 +527,9 @@ def compile_expr(pexpr, options: dict) -> CompiledProgram:
         or opts.tree == "none"
         or classification.algorithm == "brute"
         or inner.op is PortalOp.FORALL
-        or kernel is None
     ):
         mode = "brute"
     if opts.backend == "interp":
-        if kernel is None:
-            raise CompileError(
-                "the interpreter backend requires a lowered kernel "
-                "(external kernels are not in the IR)"
-            )
         mode = "interp"
 
     qstorage, rstorage = outer.storage, inner.storage
@@ -404,7 +540,7 @@ def compile_expr(pexpr, options: dict) -> CompiledProgram:
 
     qpoints = qstorage.data
     rpoints = rstorage.data
-    if kernel is not None and kernel.whiten:
+    if kernel.whiten:
         cov = kernel.covariance
         if cov is None:
             cov = np.cov(rpoints.T)
@@ -417,19 +553,6 @@ def compile_expr(pexpr, options: dict) -> CompiledProgram:
     if layout not in (Layout.ROW, Layout.COLUMN):
         raise CompileError(f"unknown layout override {layout!r}")
     nq, nr = qstorage.n, rstorage.n
-
-    state = allocate_state(outer.op, inner.op, inner.k, nq, nr, modifier)
-
-    program = CompiledProgram(
-        options=opts, layers=layers, kernel=kernel,
-        classification=classification, rule=rule, pass_manager=pm,
-        mode=mode, state=state,
-        extras={"same_data": same_data}, timings=timings,
-    )
-
-    if kernel is None:
-        _setup_external(program, qpoints, rpoints, exclude_self)
-        return program
 
     # Strength-reduced kernel body for the code generator.
     g_ir = reduce_expr(kernel_to_ir(kernel.g), fastmath=opts.fastmath)
@@ -447,14 +570,13 @@ def compile_expr(pexpr, options: dict) -> CompiledProgram:
     # *increasing* g(t) reduce raw base distances in the hot path and
     # apply g once at finalisation (what expert code does by hand, and
     # what a real backend hoists out of the leaf loop).
-    if (
+    defer_monotone = (
         inner.op in (MIN_LIKE | MAX_LIKE)
         and not kernel.is_indicator
         and kernel.monotone() == "increasing"
         and not isinstance(g_ir, SymRef)  # g is not already the identity
-    ):
-        captured_g = kernel.g
-        state.value_transform = lambda v: captured_g.evaluate({"t": v})
+    )
+    if defer_monotone:
         g_ir = SymRef("t")
 
     spec = CodegenSpec(
@@ -466,17 +588,16 @@ def compile_expr(pexpr, options: dict) -> CompiledProgram:
         is_indicator=kernel.is_indicator,
     )
 
-    bindings: dict = {
+    static_bindings: dict = {
         "K": inner.k or 1,
         "H": rule.indicator_h if rule.indicator_h is not None else 0.0,
         "TAU": rule.tau,
         "THETA2": rule.theta * rule.theta,
         "rw": None,
     }
-    bindings.update(state.arrays)
-    if state.lists is not None:
-        bindings["out_lists"] = state.lists
 
+    qtree = rtree = None
+    qdata = rdata = None
     if mode == "tree":
         kind = opts.tree
         if kind == "octree" and dim > 3:
@@ -488,14 +609,14 @@ def compile_expr(pexpr, options: dict) -> CompiledProgram:
         leaf = opts.leaf_size or 64
         t0 = time.perf_counter()
         with span("compile.tree_build", tree=kind, leaf_size=leaf):
-            qtree = build_tree(kind, qpoints, leaf_size=leaf,
-                               weights=qstorage.weights, split=opts.split)
-            rtree = qtree if same_data else build_tree(
-                kind, rpoints, leaf_size=leaf, weights=rstorage.weights,
-                split=opts.split,
+            qtree = cached_build_tree(kind, qpoints, leaf,
+                                      qstorage.weights, opts.split,
+                                      enabled=opts.cache)
+            rtree = qtree if same_data else cached_build_tree(
+                kind, rpoints, leaf, rstorage.weights, opts.split,
+                enabled=opts.cache,
             )
         timings["tree_build"] = time.perf_counter() - t0
-        program.qtree, program.rtree = qtree, rtree
         rweight = (
             rtree.wsum if rtree.weights is not None
             else (rtree.end - rtree.start).astype(np.float64)
@@ -503,11 +624,10 @@ def compile_expr(pexpr, options: dict) -> CompiledProgram:
         rcentroid = (
             rtree.wcentroid if rtree.weights is not None else rtree.centroid
         )
-        bindings.update(
+        static_bindings.update(
             QCOL=qtree.points_col, QROW=qtree.points,
             RCOL=rtree.points_col, RROW=rtree.points,
-            QN2=np.einsum("ij,ij->i", qtree.points, qtree.points),
-            RN2=np.einsum("ij,ij->i", rtree.points, rtree.points),
+            QN2=qtree.sqnorms(), RN2=rtree.sqnorms(),
             qlo=qtree.lo, qhi=qtree.hi, rlo=rtree.lo, rhi=rtree.hi,
             qstart=qtree.start, qend=qtree.end,
             rstart=rtree.start, rend=rtree.end,
@@ -516,8 +636,8 @@ def compile_expr(pexpr, options: dict) -> CompiledProgram:
             rw=rtree.weights,
         )
     else:
-        program.qdata, program.rdata = qpoints, rpoints
-        bindings.update(
+        qdata, rdata = qpoints, rpoints
+        static_bindings.update(
             QCOL=np.ascontiguousarray(qpoints.T), QROW=qpoints,
             RCOL=np.ascontiguousarray(rpoints.T), RROW=rpoints,
             QN2=np.einsum("ij,ij->i", qpoints, qpoints),
@@ -526,8 +646,115 @@ def compile_expr(pexpr, options: dict) -> CompiledProgram:
         )
 
     t0 = time.perf_counter()
-    program.kernels = generate(spec, bindings)
+    source, code = emit(spec)
     timings["codegen"] = time.perf_counter() - t0
+
+    art = _Artifact(
+        mode=mode, kernel=kernel, classification=classification, rule=rule,
+        pass_manager=pm, spec=spec, source=source, code=code,
+        static_bindings=static_bindings, qtree=qtree, rtree=rtree,
+        qdata=qdata, rdata=rdata, nq=nq, nr=nr, same_data=same_data,
+        exclude_self=exclude_self, defer_monotone=defer_monotone,
+    )
+    return art, timings
+
+
+def _instantiate(art: _Artifact, layers: list[Layer], opts: CompileOptions,
+                 timings: dict, cache_state: str | None) -> CompiledProgram:
+    """Build a runnable :class:`CompiledProgram` from a compile artifact:
+    fresh state arrays, fresh modifier closure, and the emitted code
+    object re-executed against them."""
+    outer, inner = layers
+    modifier = _resolve_modifier(outer.func)
+    state = allocate_state(outer.op, inner.op, inner.k, art.nq, art.nr,
+                           modifier)
+    if art.defer_monotone:
+        captured_g = art.kernel.g
+        state.value_transform = lambda v: captured_g.evaluate({"t": v})
+
+    program = CompiledProgram(
+        options=opts, layers=layers, kernel=art.kernel,
+        classification=art.classification, rule=art.rule,
+        pass_manager=art.pass_manager, mode=art.mode, state=state,
+        qtree=art.qtree, rtree=art.rtree, qdata=art.qdata, rdata=art.rdata,
+        extras={"same_data": art.same_data}, timings=dict(timings),
+    )
+    bindings = dict(art.static_bindings)
+    bindings.update(state.arrays)
+    if state.lists is not None:
+        bindings["out_lists"] = state.lists
+    program.kernels = bind_kernels(art.source, art.code, bindings)
+
+    if art.mode == "tree":
+        kk = program.kernels
+        # Batched needs vectorisable decisions: either there is no rule
+        # at all, or the rule is stateless and classify_batch exists.
+        # Bound rules (k-NN, Hausdorff) keep the scalar stack engine.
+        program.extras["engine"] = (
+            "batched"
+            if opts.traversal == "batched"
+            and (kk.prune_or_approx is None or kk.classify_batch is not None)
+            else "stack"
+        )
+    if cache_state is not None:
+        program.extras["cache"] = cache_state
+    return program
+
+
+def _compile_external_expr(pexpr, opts: CompileOptions) -> CompiledProgram:
+    """Compile a 2-layer program whose inner function is an opaque
+    external kernel: always brute force, never cached (no content
+    identity), as in the original external-function path."""
+    layers = pexpr.layers
+    outer, inner = layers
+    modifier = _resolve_modifier(outer.func)
+    timings: dict[str, float] = {}
+    contribute({"compile.count": 1})
+
+    tau = opts.tau if opts.tau is not None else float(inner.params.get("tau", 0.0))
+    t0 = time.perf_counter()
+    with span("compile.rules", program=pexpr.name):
+        classification, rule = build_rules(
+            layers, None, tau=tau, criterion=opts.criterion,
+            theta=opts.theta,
+        )
+    timings["rules"] = time.perf_counter() - t0
+
+    pm = PassManager(fastmath=opts.fastmath,
+                     disabled=frozenset(opts.disable_passes))
+    t0 = time.perf_counter()
+    with span("compile.lowering", program=pexpr.name):
+        lowered = lower(layers, None, classification, rule, pexpr.name)
+    timings["lowering"] = time.perf_counter() - t0
+    t0 = time.perf_counter()
+    with span("compile.passes", program=pexpr.name):
+        pm.run(lowered)
+    timings["passes"] = time.perf_counter() - t0
+
+    if opts.backend == "interp":
+        raise CompileError(
+            "the interpreter backend requires a lowered kernel "
+            "(external kernels are not in the IR)"
+        )
+
+    qstorage, rstorage = outer.storage, inner.storage
+    same_data = qstorage is rstorage
+    exclude_self = (
+        opts.exclude_self if opts.exclude_self is not None else same_data
+    )
+    layout = opts.layout or qstorage.layout
+    if layout not in (Layout.ROW, Layout.COLUMN):
+        raise CompileError(f"unknown layout override {layout!r}")
+
+    state = allocate_state(outer.op, inner.op, inner.k,
+                           qstorage.n, rstorage.n, modifier)
+    program = CompiledProgram(
+        options=opts, layers=layers, kernel=None,
+        classification=classification, rule=rule, pass_manager=pm,
+        mode="brute", state=state,
+        extras={"same_data": same_data}, timings=timings,
+    )
+    _setup_external(program, qstorage.data, rstorage.data, exclude_self)
     return program
 
 

@@ -122,7 +122,9 @@ def _cmd_stats(args) -> int:
         t = s["traversal"]
         print(f"== {name} ==")
         tree = f" tree: {s['tree']}" if s.get("tree") else ""
-        print(f"  mode: {s['mode']}  backend: {s['backend']}{tree}")
+        engine = f" engine: {s['traversal_engine']}" if s.get("traversal_engine") else ""
+        cache = f" cache: {s['cache']}" if s.get("cache") else ""
+        print(f"  mode: {s['mode']}  backend: {s['backend']}{tree}{engine}{cache}")
         print(
             f"  traversal: visited={t['visited']} pruned={t['pruned']} "
             f"approximated={t['approximated']} "

@@ -35,9 +35,19 @@ def run_tasks(tasks: Sequence[Callable[[], object]], workers: int | None = None)
     with ThreadPoolExecutor(max_workers=workers) as pool:
         futures = [pool.submit(t) for t in tasks]
         wait(futures, return_when=FIRST_EXCEPTION)
-        for f in futures:
-            if f.done() and not f.cancelled() and f.exception() is not None:
-                for pending in futures:
-                    pending.cancel()
-                raise f.exception()
+        if any(f.done() and not f.cancelled() and f.exception() is not None
+               for f in futures):
+            # Something failed: stop queued tasks, then let the tasks
+            # already executing settle so the scan below sees every
+            # failure — the *earliest-submitted* one must win, which is
+            # not necessarily the one that finished first.
+            for pending in futures:
+                pending.cancel()
+            wait(futures)
+            for f in futures:
+                if f.cancelled():
+                    continue
+                exc = f.exception()
+                if exc is not None:
+                    raise exc from None
         return [f.result() for f in futures]

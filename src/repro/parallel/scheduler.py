@@ -19,7 +19,9 @@ from __future__ import annotations
 from typing import Callable
 
 from ..observe import span
-from ..traversal import TraversalStats, dual_tree_traversal
+from ..traversal import (
+    TraversalStats, batched_dual_tree_traversal, dual_tree_traversal,
+)
 from ..trees.node import ArrayTree
 from .executor import default_workers, run_tasks
 
@@ -58,20 +60,33 @@ def parallel_dual_tree(
     pair_min_dist: Callable[[int, int], float] | None = None,
     workers: int | None = None,
     min_tasks: int | None = None,
+    engine: str = "stack",
+    classify_batch: Callable | None = None,
+    apply_action: Callable | None = None,
+    pair_min_dist_batch: Callable | None = None,
 ) -> TraversalStats:
     """Parallel counterpart of
     :func:`repro.traversal.dualtree.dual_tree_traversal`.
 
     ``min_tasks`` pins the query-frontier size independently of the
     worker count, giving an identical task decomposition across worker
-    counts (the determinism tests rely on this).
+    counts (the determinism tests rely on this).  With
+    ``engine='batched'`` each query-subtree task runs the batched
+    frontier traversal instead of the scalar stack engine (same
+    decomposition, so the determinism guarantee carries over).
     """
     workers = workers or default_workers()
     frontier = expand_frontier(qtree, min_tasks or workers * TASKS_PER_WORKER)
 
     def make_task(q_root: int):
         def task() -> TraversalStats:
-            with span("parallel.task", q_root=q_root):
+            with span("parallel.task", q_root=q_root, engine=engine):
+                if engine == "batched":
+                    return batched_dual_tree_traversal(
+                        qtree, rtree, classify_batch, apply_action,
+                        base_case, pair_min_dist_batch=pair_min_dist_batch,
+                        q_root=q_root,
+                    )
                 return dual_tree_traversal(
                     qtree, rtree, prune_or_approx, base_case,
                     pair_min_dist=pair_min_dist, q_root=q_root,

@@ -114,6 +114,43 @@ class ArrayTree:
         """Iterate leaf node ids."""
         return np.nonzero(self.is_leaf_arr)[0]
 
+    def expansion_children(self) -> tuple[np.ndarray, np.ndarray]:
+        """CSR (offsets, flat ids) of each node's *expansion set*: its
+        children, or the node itself when it is a leaf.
+
+        This is the splitting rule of Algorithm 1 (leaves are kept whole
+        while the partner node splits) in a form the batched frontier
+        traversal can index with whole arrays.  Built lazily, cached on
+        the tree.
+        """
+        cached = getattr(self, "_expansion_csr", None)
+        if cached is not None:
+            return cached
+        counts = self.child_offset[1:] - self.child_offset[:-1]
+        eff = np.where(counts == 0, 1, counts)
+        offsets = np.concatenate([[0], np.cumsum(eff)])
+        flat = np.empty(int(offsets[-1]), dtype=np.int64)
+        leaf = counts == 0
+        flat[offsets[:-1][leaf]] = np.flatnonzero(leaf)
+        nz = counts[~leaf]
+        if nz.size:
+            starts = np.repeat(offsets[:-1][~leaf], nz)
+            within = np.arange(int(nz.sum())) - np.repeat(
+                np.cumsum(nz) - nz, nz
+            )
+            flat[starts + within] = self.child_list
+        self._expansion_csr = (offsets, flat)
+        return self._expansion_csr
+
+    def sqnorms(self) -> np.ndarray:
+        """Per-point squared norms ``‖x‖²`` of the permuted points
+        (the GEMM norm-expansion operands); computed once, cached."""
+        cached = getattr(self, "_sqnorms", None)
+        if cached is None:
+            cached = np.einsum("ij,ij->i", self.points, self.points)
+            self._sqnorms = cached
+        return cached
+
     # -- distance bounds ----------------------------------------------------------
     def min_dist(self, base: str, i: int, other: "ArrayTree", j: int) -> float:
         """Lower bound on base-distance between points of node *i* and node

@@ -1,0 +1,173 @@
+"""Execution cache behaviour: compiled-artifact and tree reuse.
+
+A second ``execute()`` of the same logical program must skip compilation
+and tree construction (counter-observable), return bitwise-identical
+results, and miss when any compile-relevant input changes.
+"""
+
+import numpy as np
+import pytest
+
+from repro.backend.cache import (
+    LRUCache, array_fingerprint, cache_stats, clear_caches, freeze,
+)
+from repro.dsl import PortalExpr, PortalFunc, PortalOp, Storage
+from repro.observe import collect
+from repro.problems import kde, range_count
+
+
+@pytest.fixture(scope="module")
+def data():
+    rng = np.random.default_rng(99)
+    Q = np.ascontiguousarray(rng.normal(size=(300, 3)))
+    R = np.ascontiguousarray(rng.normal(size=(350, 3)))
+    return Q, R
+
+
+def _kde_expr(Q, R):
+    expr = PortalExpr("kde-cache")
+    expr.addLayer(PortalOp.FORALL, Storage(Q, name="query"))
+    expr.addLayer(PortalOp.SUM, Storage(R, name="reference"),
+                  PortalFunc.GAUSSIAN, bandwidth=0.8)
+    return expr
+
+
+def _cache_counts(counters):
+    return {k: v for k, v in counters.as_dict().items()
+            if k.startswith("cache.")}
+
+
+class TestCompileCache:
+    def test_second_execute_hits(self, data):
+        Q, R = data
+        with collect() as counters:
+            first = _kde_expr(Q, R).execute(tau=1e-3)
+            second = _kde_expr(Q, R).execute(tau=1e-3)
+        c = _cache_counts(counters)
+        assert c["cache.compile.miss"] == 1
+        assert c["cache.compile.hit"] == 1
+        assert c["cache.tree.miss"] == 2  # query + reference trees
+        # the artifact hit carries its trees — no second tree probe
+        assert "cache.tree.hit" not in c
+        # compile.count only fires on the full pipeline
+        assert counters.as_dict()["compile.count"] == 1
+        assert np.array_equal(np.asarray(first.values),
+                              np.asarray(second.values))
+
+    def test_hit_skips_compile_stages(self, data):
+        Q, R = data
+        _kde_expr(Q, R).execute(tau=1e-3)
+        expr = _kde_expr(Q, R)
+        expr.execute(tau=1e-3)
+        stats = expr.stats()
+        assert stats["cache"] == "hit"
+        # A served program never paid for tree building or codegen.
+        assert "tree_build" not in stats["compile_timings_ms"]
+        assert "codegen" not in stats["compile_timings_ms"]
+
+    def test_option_change_misses(self, data):
+        Q, R = data
+        _kde_expr(Q, R).execute(tau=1e-3)
+        with collect() as counters:
+            _kde_expr(Q, R).execute(tau=1e-2)           # different tau
+            _kde_expr(Q, R).execute(tau=1e-3, leaf_size=16)
+        c = _cache_counts(counters)
+        assert c["cache.compile.miss"] == 2
+        assert "cache.compile.hit" not in c
+
+    def test_data_change_misses(self, data):
+        Q, R = data
+        _kde_expr(Q, R).execute(tau=1e-3)
+        Q2 = Q.copy()
+        Q2[0, 0] += 1.0
+        with collect() as counters:
+            _kde_expr(Q2, R).execute(tau=1e-3)
+        assert _cache_counts(counters)["cache.compile.miss"] == 1
+
+    def test_runtime_knobs_still_hit(self, data):
+        """parallel / workers / traversal are runtime-only: same artifact."""
+        Q, R = data
+        _kde_expr(Q, R).execute(tau=1e-3, traversal="batched")
+        with collect() as counters:
+            _kde_expr(Q, R).execute(tau=1e-3, traversal="stack")
+            _kde_expr(Q, R).execute(tau=1e-3, parallel=True, workers=2,
+                                    min_tasks=4)
+        c = _cache_counts(counters)
+        assert c["cache.compile.hit"] == 2
+        assert "cache.compile.miss" not in c
+
+    def test_cache_false_bypasses(self, data):
+        Q, R = data
+        with collect() as counters:
+            _kde_expr(Q, R).execute(tau=1e-3, cache=False)
+            _kde_expr(Q, R).execute(tau=1e-3, cache=False)
+        assert not _cache_counts(counters)
+        assert counters.as_dict()["compile.count"] == 2
+
+    def test_hit_outputs_bitwise_identical(self, data):
+        Q, R = data
+        miss = kde(Q, R, bandwidth=0.8, tau=1e-3)
+        hit = kde(Q, R, bandwidth=0.8, tau=1e-3)
+        assert np.array_equal(miss, hit)
+
+    def test_hit_state_is_fresh(self, data):
+        """Accumulators must not leak between cached executions: running
+        the same program twice yields the same values, not doubled."""
+        Q, R = data
+        first = range_count(Q, R, h=1.0, leaf_size=8)
+        second = range_count(Q, R, h=1.0, leaf_size=8)
+        assert np.array_equal(first, second)
+
+
+class TestTreeCache:
+    def test_cross_problem_tree_reuse(self, data):
+        """Different problems over the same dataset share tree builds."""
+        Q, R = data
+        kde(Q, R, bandwidth=0.8, tau=1e-3)
+        with collect() as counters:
+            range_count(Q, R, h=1.0)
+        c = _cache_counts(counters)
+        assert c["cache.tree.hit"] == 2       # both trees reused
+        assert "cache.tree.miss" not in c
+        assert c["cache.compile.miss"] == 1   # but a different program
+
+    def test_leaf_size_changes_tree_key(self, data):
+        Q, R = data
+        kde(Q, R, bandwidth=0.8, leaf_size=32)
+        with collect() as counters:
+            kde(Q, R, bandwidth=0.8, leaf_size=16)
+        assert _cache_counts(counters)["cache.tree.miss"] == 2
+
+
+class TestPrimitives:
+    def test_array_fingerprint_content_based(self):
+        a = np.arange(12.0).reshape(3, 4)
+        assert array_fingerprint(a) == array_fingerprint(a.copy())
+        b = a.copy()
+        b[1, 2] += 1e-9
+        assert array_fingerprint(a) != array_fingerprint(b)
+        assert array_fingerprint(a) != array_fingerprint(a.reshape(4, 3))
+        assert array_fingerprint(None) is None
+
+    def test_freeze_hashable(self):
+        key = freeze({"b": [1, 2], "a": np.ones(3), "c": {"x": None}})
+        assert hash(key) == hash(key)
+        assert freeze({"a": 1, "b": 2}) == freeze({"b": 2, "a": 1})
+
+    def test_lru_evicts_oldest(self):
+        c = LRUCache(maxsize=2)
+        c.put("a", 1)
+        c.put("b", 2)
+        assert c.get("a") == 1    # refresh 'a'
+        c.put("c", 3)             # evicts 'b'
+        assert c.get("b") is None
+        assert c.get("a") == 1 and c.get("c") == 3
+        assert len(c) == 2
+
+    def test_clear_caches(self, data):
+        Q, R = data
+        kde(Q, R, bandwidth=0.8)
+        assert cache_stats()["programs"] >= 1
+        assert cache_stats()["trees"] >= 1
+        clear_caches()
+        assert cache_stats() == {"programs": 0, "trees": 0}

@@ -3,6 +3,17 @@
 import numpy as np
 import pytest
 
+from repro.backend.cache import clear_caches
+
+
+@pytest.fixture(autouse=True)
+def _isolated_caches():
+    """Tests must be order-independent: the execution caches are
+    process-global, so drop them around every test."""
+    clear_caches()
+    yield
+    clear_caches()
+
 
 @pytest.fixture
 def rng():

@@ -11,6 +11,7 @@ traversal counters.
 import numpy as np
 import pytest
 
+from repro.backend.cache import clear_caches
 from repro.observe import collect
 from repro.problems import kde, two_point_correlation
 
@@ -47,6 +48,7 @@ class TestKDEDeterminism:
         Q, R = data
         runs = []
         for workers in (1, 4):
+            clear_caches()  # both runs must be full compiles to compare
             with collect() as counters:
                 kde(Q, R, bandwidth=0.7, parallel=True, workers=workers,
                     min_tasks=MIN_TASKS)
@@ -69,6 +71,7 @@ class TestTwoPointDeterminism:
         Q, _ = data
         runs = []
         for workers in (1, 4):
+            clear_caches()  # both runs must be full compiles to compare
             with collect() as counters:
                 two_point_correlation(Q, 1.0, parallel=True, workers=workers,
                                       min_tasks=MIN_TASKS)

@@ -67,6 +67,54 @@ class TestExecutor:
         with pytest.raises(ValueError, match="first"):
             run_tasks([fail("first"), fail("second", delay=0.3)], workers=2)
 
+    def test_earliest_submitted_failure_wins_over_first_done(self):
+        """Regression: when a later-submitted task fails *first* in
+        wall-clock, the raised exception must still be the earliest
+        submitted one — matching what serial execution would raise."""
+        import threading
+        import time
+
+        second_failed = threading.Event()
+
+        def slow_first():
+            second_failed.wait(timeout=5.0)
+            time.sleep(0.05)  # make sure task 1's failure is observed first
+            raise ValueError("submitted-first")
+
+        def fast_second():
+            second_failed.set()
+            raise RuntimeError("finished-first")
+
+        with pytest.raises(ValueError, match="submitted-first"):
+            run_tasks([slow_first, fast_second], workers=2)
+
+    def test_midqueue_failure_cancels_unstarted_tail(self):
+        """Regression: a failure in the middle of the queue cancels the
+        later tasks that have not started, and the earliest-submitted
+        failure is the one raised."""
+        import time
+
+        started = []
+
+        def ok(i):
+            def task():
+                started.append(i)
+                time.sleep(0.02)
+                return i
+            return task
+
+        def boom(msg):
+            def task():
+                time.sleep(0.05)
+                raise ValueError(msg)
+            return task
+
+        tasks = ([ok(0), boom("early"), boom("late")]
+                 + [ok(i) for i in range(3, 40)])
+        with pytest.raises(ValueError, match="early"):
+            run_tasks(tasks, workers=2)
+        assert len(started) < 37  # the tail never ran
+
 
 class TestFrontier:
     def test_enough_nodes(self, rng):

@@ -1,0 +1,208 @@
+"""Differential tests: batched frontier engine vs the scalar stack engine.
+
+The batched engine's contract (see ``src/repro/traversal/batched.py``) is
+*bit-identical* outputs AND identical ``TraversalStats`` counters versus
+the stack engine — classification is stateless and the replay phase
+applies side effects in exactly the stack engine's order.  These tests
+pin that contract across tree kinds for both prune-heavy (range search /
+count) and approximation-heavy (KDE band, KDE multipole-acceptance)
+configurations, plus the automatic fallback for stateful bound rules.
+"""
+
+import numpy as np
+import pytest
+
+from repro.dsl import (
+    PortalExpr, PortalFunc, PortalOp, Storage, indicator, pow, sqrt, Var,
+)
+from repro.dsl.errors import SpecificationError
+from repro.observe import collect
+from repro.problems import knn, range_search
+
+TREES = ["kd", "ball", "octree"]
+
+
+@pytest.fixture(scope="module")
+def data():
+    rng = np.random.default_rng(20260806)
+    Q = np.ascontiguousarray(rng.uniform(0.0, 6.0, size=(400, 3)))
+    R = np.ascontiguousarray(rng.uniform(0.0, 6.0, size=(500, 3)))
+    return Q, R
+
+
+def _kde_expr(Q, R, bandwidth=0.8):
+    expr = PortalExpr("kde-differential")
+    expr.addLayer(PortalOp.FORALL, Storage(Q, name="query"))
+    expr.addLayer(PortalOp.SUM, Storage(R, name="reference"),
+                  PortalFunc.GAUSSIAN, bandwidth=bandwidth)
+    return expr
+
+
+def _range_count_expr(Q, R, h=1.0):
+    q, r = Var("q"), Var("r")
+    expr = PortalExpr("range-count-differential")
+    expr.addLayer(PortalOp.FORALL, q, Storage(Q, name="query"))
+    expr.addLayer(PortalOp.SUM, r, Storage(R, name="reference"),
+                  indicator(sqrt(pow(q - r, 2)) < h))
+    return expr
+
+
+def _run(expr_maker, **options):
+    """Execute a freshly built expr; returns (values, traversal counters,
+    engine)."""
+    expr = expr_maker()
+    with collect() as counters:
+        out = expr.execute(**options)
+    trav = {k: v for k, v in counters.as_dict().items()
+            if k.startswith("traversal.")}
+    return out, trav, expr.stats().get("traversal_engine")
+
+
+class TestPruneHeavyDifferential:
+    """Range count: indicator rule with a count action (pruning problem)."""
+
+    @pytest.mark.parametrize("tree", TREES)
+    def test_bitwise_outputs_and_counters(self, data, tree):
+        Q, R = data
+        maker = lambda: _range_count_expr(Q, R, h=1.2)
+        stack, c_stack, e_stack = _run(maker, tree=tree, leaf_size=8, traversal="stack")
+        batch, c_batch, e_batch = _run(maker, tree=tree, leaf_size=8, traversal="batched")
+        assert e_stack == "stack" and e_batch == "batched"
+        assert np.array_equal(np.asarray(stack.values),
+                              np.asarray(batch.values))
+        assert c_stack == c_batch
+        assert c_stack["traversal.pruned"] > 0
+
+    @pytest.mark.parametrize("tree", TREES)
+    def test_range_search_lists_identical(self, data, tree):
+        Q, R = data
+        stack = range_search(Q, R, h=0.9, tree=tree, leaf_size=8, traversal="stack")
+        batch = range_search(Q, R, h=0.9, tree=tree, leaf_size=8, traversal="batched")
+        assert len(stack) == len(batch)
+        for a, b in zip(stack, batch):
+            assert np.array_equal(a, b)
+
+    def test_self_search_excludes_self_identically(self, data):
+        Q, _ = data
+        stack = range_search(Q, h=0.9, leaf_size=8, traversal="stack")
+        batch = range_search(Q, h=0.9, leaf_size=8, traversal="batched")
+        for i, (a, b) in enumerate(zip(stack, batch)):
+            assert np.array_equal(a, b)
+            assert i not in a
+
+
+class TestApproxHeavyDifferential:
+    """KDE: approximation rule (band and multipole-acceptance criteria)."""
+
+    @pytest.mark.parametrize("tree", TREES)
+    def test_band_bitwise(self, data, tree):
+        Q, R = data
+        maker = lambda: _kde_expr(Q, R)
+        stack, c_stack, _ = _run(maker, tree=tree, tau=1e-3,
+                                 leaf_size=8, traversal="stack")
+        batch, c_batch, e_batch = _run(maker, tree=tree, tau=1e-3,
+                                       leaf_size=8, traversal="batched")
+        assert e_batch == "batched"
+        assert np.array_equal(np.asarray(stack.values),
+                              np.asarray(batch.values))
+        assert c_stack == c_batch
+        assert c_stack["traversal.approximated"] > 0
+
+    def test_mac_bitwise(self, data):
+        Q, R = data
+        maker = lambda: _kde_expr(Q, R)
+        stack, c_stack, _ = _run(maker, criterion="mac", theta=0.6,
+                                 leaf_size=8, traversal="stack")
+        batch, c_batch, _ = _run(maker, criterion="mac", theta=0.6,
+                                 leaf_size=8, traversal="batched")
+        assert np.array_equal(np.asarray(stack.values),
+                              np.asarray(batch.values))
+        assert c_stack == c_batch
+        assert c_stack["traversal.approximated"] > 0
+
+    def test_weighted_band_bitwise(self, data):
+        Q, R = data
+        rng = np.random.default_rng(7)
+        w = rng.uniform(0.5, 2.0, size=len(R))
+
+        def maker():
+            expr = PortalExpr("weighted-kde-differential")
+            expr.addLayer(PortalOp.FORALL, Storage(Q, name="query"))
+            expr.addLayer(PortalOp.SUM,
+                          Storage(R, weights=w, name="reference"),
+                          PortalFunc.GAUSSIAN, bandwidth=0.8)
+            return expr
+
+        stack, c_stack, _ = _run(maker, tau=1e-3, leaf_size=8, traversal="stack")
+        batch, c_batch, _ = _run(maker, tau=1e-3, leaf_size=8, traversal="batched")
+        assert np.array_equal(np.asarray(stack.values),
+                              np.asarray(batch.values))
+        assert c_stack == c_batch
+
+
+class TestEngineSelection:
+    def test_bound_rule_falls_back_to_stack(self, data):
+        """k-NN's bound rule reads mutable best values mid-traversal —
+        the batched engine must decline it (and still be correct)."""
+        Q, R = data
+        qs = Storage(Q, name="query")
+        rs = Storage(R, name="reference")
+        expr = PortalExpr("knn-fallback")
+        expr.addLayer(PortalOp.FORALL, qs)
+        expr.addLayer((PortalOp.KARGMIN, 3), rs, PortalFunc.EUCLIDEAN)
+        expr.execute(traversal="batched")
+        assert expr.stats()["traversal_engine"] == "stack"
+        d_tree, i_tree = knn(Q, R, k=3, traversal="batched")
+        d_brute, i_brute = knn(Q, R, k=3, backend="brute")
+        assert np.array_equal(i_tree, i_brute)
+
+    def test_no_rule_runs_batched(self, data):
+        """Without any rule the frontier engine still handles the plain
+        recursion + base cases (classify_batch is None)."""
+        Q, R = data
+        maker = lambda: _kde_expr(Q, R)
+        # tau=0 keeps the approximation rule from ever firing but the
+        # rule still exists; compare against an exact brute reference.
+        stack, c_stack, _ = _run(maker, tau=0.0, leaf_size=8, traversal="stack")
+        batch, c_batch, _ = _run(maker, tau=0.0, leaf_size=8, traversal="batched")
+        assert np.array_equal(np.asarray(stack.values),
+                              np.asarray(batch.values))
+        assert c_stack == c_batch
+
+    def test_invalid_engine_rejected(self, data):
+        Q, R = data
+        with pytest.raises(SpecificationError, match="traversal"):
+            _kde_expr(Q, R).execute(traversal="warp")
+
+    def test_stats_report_engine(self, data):
+        Q, R = data
+        expr = _kde_expr(Q, R)
+        expr.execute(traversal="batched")
+        assert expr.stats()["traversal_engine"] == "batched"
+        expr.execute(traversal="stack")
+        assert expr.stats()["traversal_engine"] == "stack"
+
+
+class TestParallelBatched:
+    def test_parallel_batched_matches_parallel_stack(self, data):
+        """Same pinned task decomposition, same per-task replay order →
+        bitwise identical outputs between the engines under parallel."""
+        Q, R = data
+        maker = lambda: _kde_expr(Q, R)
+        stack, c_stack, _ = _run(maker, tau=1e-3, leaf_size=8, parallel=True, workers=2,
+                                 min_tasks=8, traversal="stack")
+        batch, c_batch, _ = _run(maker, tau=1e-3, leaf_size=8, parallel=True, workers=2,
+                                 min_tasks=8, traversal="batched")
+        assert np.array_equal(np.asarray(stack.values),
+                              np.asarray(batch.values))
+        assert c_stack == c_batch
+
+    def test_parallel_batched_matches_serial_batched(self, data):
+        Q, R = data
+        maker = lambda: _range_count_expr(Q, R, h=1.2)
+        serial, _, _ = _run(maker, leaf_size=8, traversal="batched")
+        par, _, _ = _run(maker, leaf_size=8, parallel=True, workers=2,
+                         min_tasks=8, traversal="batched")
+        # Counts are order-independent integers: exact equality.
+        assert np.array_equal(np.asarray(serial.values),
+                              np.asarray(par.values))
