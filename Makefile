@@ -1,6 +1,6 @@
 PYTHON ?= python
 
-.PHONY: install test test-fast bench bench-micro examples results clean
+.PHONY: install test test-fast bench bench-micro bench-parallel examples results clean
 
 install:
 	$(PYTHON) -m pip install -e . || $(PYTHON) setup.py develop
@@ -19,6 +19,9 @@ bench:
 
 bench-micro:
 	$(PYTHON) benchmarks/bench_micro_traversal.py --smoke
+
+bench-parallel:
+	$(PYTHON) benchmarks/bench_parallel_scaling.py --smoke
 
 examples:
 	for f in examples/*.py; do echo "== $$f =="; $(PYTHON) $$f; done

@@ -186,7 +186,7 @@ def test_ablation_bh_multipole_order(benchmark):
 def test_ablation_parallel(benchmark):
     """Task→data parallel scheduler overhead/scaling.  On a single-core
     host the speedup is ~1×; the table documents the overhead honestly."""
-    import os
+    from repro.parallel import default_workers
 
     X = np.ascontiguousarray(dataset("Yahoo!"))
     Q, R = split_qr(X)
@@ -195,7 +195,9 @@ def test_ablation_parallel(benchmark):
     for w in (2, 4):
         t = wall(lambda w=w: knn(Q, R, k=5, parallel=True, workers=w), 2)
         rows.append([f"{w} workers", round(t, 4)])
-    rows.append([f"(host cores: {os.cpu_count()})", ""])
+    # default_workers() respects CPU affinity (cgroup/taskset limits),
+    # unlike os.cpu_count() — report what the scheduler actually uses.
+    rows.append([f"(host cores: {default_workers()})", ""])
     _SECTIONS.append(format_table(
         "Ablation — parallel traversal (k-NN, Yahoo!)",
         ["Mode", "time (s)"], rows,

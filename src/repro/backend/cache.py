@@ -17,8 +17,11 @@ generation, IR optimisation, code generation and tree construction
   share one tree build.
 
 Dataset identity is a BLAKE2 content fingerprint, so rebuilding a
-`Storage` around the same values still hits, and mutating values in
-place (k-means, EM iterations) correctly misses.  Hits and misses are
+`Storage` around the same values still hits, and mutating values
+(iterative problems like k-means and EM build a fresh Storage per step;
+in-place writers call ``Storage.mark_mutated()``) correctly misses.
+Fingerprints are memoized per Storage, so the *hit* path never re-hashes
+the dataset.  Hits and misses are
 observable through the ``repro.observe`` counters ``cache.compile.hit``
 / ``cache.compile.miss`` / ``cache.tree.hit`` / ``cache.tree.miss``
 (see docs/performance.md), and ``CompileOptions(cache=False)`` bypasses
@@ -31,6 +34,7 @@ and every per-run accumulator is allocated fresh per
 
 from __future__ import annotations
 
+import enum
 import hashlib
 import threading
 from collections import OrderedDict
@@ -41,13 +45,37 @@ from ..observe import contribute
 from ..trees import build_tree
 
 __all__ = [
-    "LRUCache", "array_fingerprint", "freeze", "cached_build_tree",
-    "program_cache", "tree_cache", "clear_caches", "cache_stats",
+    "LRUCache", "MISSING", "UncacheableParamError", "array_fingerprint",
+    "freeze", "cached_build_tree", "program_cache", "tree_cache",
+    "clear_caches", "cache_stats",
 ]
+
+#: Sentinel distinguishing "key absent" from "cached value is None" in
+#: :meth:`LRUCache.get` — a legitimately-``None`` artifact must not look
+#: like a miss (which would force a recompile on every call).
+MISSING = object()
+
+
+class UncacheableParamError(TypeError):
+    """A parameter value has no stable content identity to key on.
+
+    Raised by :func:`freeze` instead of falling back to ``repr(value)``:
+    default object reprs embed memory addresses, so they cause spurious
+    misses at best and — after the allocator reuses an address for a
+    *different* stateful object — false cache **hits** at worst.
+    Callers treat the program as uncacheable (counted under
+    ``cache.compile.uncacheable``).
+    """
 
 
 def array_fingerprint(arr) -> tuple | None:
-    """Content fingerprint of an ndarray: (BLAKE2 digest, shape, dtype)."""
+    """Content fingerprint of an ndarray: (BLAKE2 digest, shape, dtype).
+
+    O(n) in the array size; :meth:`repro.dsl.storage.Storage.fingerprint`
+    memoizes this per Storage so repeated cache-key computations (the
+    hit path) do not re-hash — and non-C-contiguous inputs are not
+    re-copied — on every ``execute()``.
+    """
     if arr is None:
         return None
     a = np.ascontiguousarray(arr)
@@ -56,16 +84,33 @@ def array_fingerprint(arr) -> tuple | None:
 
 
 def freeze(value):
-    """Recursively convert a parameter value to a hashable cache-key part."""
+    """Recursively convert a parameter value to a hashable cache-key part.
+
+    Every returned part is derived from the value's *contents* (type +
+    structural data), never from object identity.  Values with no stable
+    content key raise :class:`UncacheableParamError` — the caller must
+    skip the cache rather than risk an address-based collision.
+    """
     if isinstance(value, np.ndarray):
         return ("ndarray", array_fingerprint(value))
+    if isinstance(value, np.generic):
+        return ("npscalar", value.dtype.str, value.item())
     if isinstance(value, dict):
-        return tuple(sorted((k, freeze(v)) for k, v in value.items()))
+        return tuple(sorted(((k, freeze(v)) for k, v in value.items()),
+                            key=repr))
     if isinstance(value, (list, tuple)):
         return tuple(freeze(v) for v in value)
+    if isinstance(value, (set, frozenset)):
+        return ("set", tuple(sorted((freeze(v) for v in value), key=repr)))
     if isinstance(value, (bool, int, float, str, bytes, type(None))):
         return value
-    return repr(value)
+    if isinstance(value, enum.Enum):
+        return ("enum", type(value).__qualname__, value.name)
+    raise UncacheableParamError(
+        f"cannot build a content-addressed cache key for "
+        f"{type(value).__qualname__!r} values; the program will run "
+        f"uncached"
+    )
 
 
 class LRUCache:
@@ -77,12 +122,18 @@ class LRUCache:
         self._data: OrderedDict = OrderedDict()
         self._lock = threading.Lock()
 
-    def get(self, key):
+    def get(self, key, default=None):
+        """Return the cached value, or ``default`` when absent.
+
+        Pass :data:`MISSING` as the default to distinguish "key absent"
+        from "cached value is None" — internal callers do, so a
+        legitimately-``None`` artifact still counts as a hit.
+        """
         with self._lock:
             try:
                 value = self._data[key]
             except KeyError:
-                return None
+                return default
             self._data.move_to_end(key)
             return value
 
@@ -122,8 +173,8 @@ def cached_build_tree(
                           weights=weights, split=split)
     key = ("tree", kind, int(leaf_size), split,
            array_fingerprint(points), array_fingerprint(weights))
-    tree = tree_cache.get(key)
-    if tree is not None:
+    tree = tree_cache.get(key, MISSING)
+    if tree is not MISSING:
         contribute({"cache.tree.hit": 1})
         return tree
     contribute({"cache.tree.miss": 1})
@@ -134,9 +185,13 @@ def cached_build_tree(
 
 
 def clear_caches() -> None:
-    """Drop every cached artifact and tree (test isolation hook)."""
+    """Drop every cached artifact, tree and published shared-memory
+    block (test isolation hook)."""
     program_cache.clear()
     tree_cache.clear()
+    from ..parallel import shm
+
+    shm.release_shared_blocks()
 
 
 def cache_stats() -> dict:

@@ -8,6 +8,8 @@ lowering + optimisation passes, backend code generation — and returns a
 
 from __future__ import annotations
 
+import hashlib
+import os
 import time
 from dataclasses import dataclass, field
 from typing import Callable
@@ -27,13 +29,14 @@ from ..ir.passes import TOGGLEABLE_PASSES, PassManager
 from ..ir.printer import render_program, render_stages
 from ..observe import contribute, span
 from ..ir.strength_reduction import reduce_expr
-from ..parallel import parallel_dual_tree
+from ..parallel import default_workers, parallel_dual_tree
 from ..rules import build_rules
 from ..traversal import (
     TraversalStats, batched_dual_tree_traversal, dual_tree_traversal,
 )
 from .cache import (  # noqa: F401 (program_cache re-exported for tests)
-    array_fingerprint, cached_build_tree, freeze, program_cache,
+    MISSING, UncacheableParamError, array_fingerprint, cached_build_tree,
+    freeze, program_cache,
 )
 from .codegen import CodegenSpec, GeneratedKernels, bind_kernels, emit
 from .layout import Layout
@@ -76,6 +79,13 @@ class CompileOptions:
     #: reuse compiled artifacts and built trees across ``execute()``
     #: calls (content-addressed; see :mod:`repro.backend.cache`)
     cache: bool = True
+    #: parallel pool backend: 'thread' | 'process' | 'auto'.  'auto'
+    #: picks 'process' for the GIL-bound scalar stack engine and
+    #: 'thread' for the vectorised batched engine; when the option is
+    #: not passed explicitly, the ``REPRO_EXECUTOR`` environment
+    #: variable (CI matrix knob) overrides the default.  Only consulted
+    #: when ``parallel=True``.
+    executor: str = "auto"
 
     @classmethod
     def from_dict(cls, options: dict) -> "CompileOptions":
@@ -98,7 +108,26 @@ class CompileOptions:
                 f"unknown traversal engine {opts.traversal!r}; "
                 "expected 'batched' or 'stack'"
             )
+        if "executor" not in options:
+            env = os.environ.get("REPRO_EXECUTOR", "").strip()
+            if env:
+                opts.executor = env
+        if opts.executor not in ("auto", "thread", "process"):
+            raise SpecificationError(
+                f"unknown executor {opts.executor!r}; "
+                "expected 'auto', 'thread' or 'process'"
+            )
         return opts
+
+
+def _resolve_executor(executor: str, engine: str) -> str:
+    """Resolve ``executor='auto'``: the scalar stack engine is GIL-bound
+    (one Python bytecode stream per task), so processes win; the batched
+    engine spends its time in NumPy kernels that release the GIL, so
+    threads win (no pickling, no merge copies)."""
+    if executor != "auto":
+        return executor
+    return "process" if engine == "stack" else "thread"
 
 
 def _resolve_modifier(func) -> Callable | None:
@@ -210,6 +239,7 @@ class CompiledProgram:
             "backend": self.options.backend,
             "tree": self.options.tree if self.mode == "tree" else None,
             "traversal_engine": self.extras.get("engine"),
+            "executor": self.extras.get("executor"),
             "cache": self.extras.get("cache"),
             "traversal": dict(
                 st.as_dict(),
@@ -299,6 +329,22 @@ class CompiledProgram:
         kk = self.kernels
         engine = self.extras.get("engine", "stack")
         if self.options.parallel:
+            workers = self.options.workers or default_workers()
+            executor = _resolve_executor(self.options.executor, engine)
+            self.extras["executor"] = executor
+            if executor == "process" and workers > 1:
+                from ..parallel.process_backend import (
+                    parallel_dual_tree_process,
+                )
+
+                return parallel_dual_tree_process(
+                    self.qtree, self.rtree, kk.source,
+                    self.extras["static_bindings"], self.state,
+                    nr=self.rtree.n,
+                    token=self.extras.get("program_token"),
+                    engine=engine, workers=workers,
+                    min_tasks=self.options.min_tasks,
+                )
             return parallel_dual_tree(
                 self.qtree, self.rtree, kk.prune_or_approx, kk.base_case,
                 pair_min_dist=kk.pair_min_dist, workers=self.options.workers,
@@ -438,8 +484,8 @@ def _program_key(layers: list[Layer], opts: CompileOptions) -> tuple:
             layer.k,
             _func_key(layer.func),
             freeze(layer.params) if layer.params else None,
-            array_fingerprint(layer.storage.data),
-            array_fingerprint(layer.storage.weights),
+            layer.storage.fingerprint("data"),
+            layer.storage.fingerprint("weights"),
             str(layer.storage.layout),
         )
         for layer in layers
@@ -476,16 +522,24 @@ def compile_expr(pexpr, options: dict) -> CompiledProgram:
             callable(l.func) and not isinstance(l.func, Expr) for l in layers
         )
     )
+    key = None
     if cacheable:
-        key = _program_key(layers, opts)
-        art = program_cache.get(key)
-        if art is not None:
+        try:
+            key = _program_key(layers, opts)
+        except UncacheableParamError:
+            # A parameter with no content identity: running uncached is
+            # correct; keying on its repr() (a memory address) is not.
+            contribute({"cache.compile.uncacheable": 1})
+            cacheable = False
+    if cacheable:
+        art = program_cache.get(key, MISSING)
+        if art is not MISSING:
             contribute({"cache.compile.hit": 1})
-            return _instantiate(art, layers, opts, {}, "hit")
+            return _instantiate(art, layers, opts, {}, "hit", key=key)
         contribute({"cache.compile.miss": 1})
         art, timings = _compile_pipeline(pexpr, opts)
         program_cache.put(key, art)
-        return _instantiate(art, layers, opts, timings, "miss")
+        return _instantiate(art, layers, opts, timings, "miss", key=key)
     art, timings = _compile_pipeline(pexpr, opts)
     return _instantiate(art, layers, opts, timings,
                         None if opts.cache else "off")
@@ -660,7 +714,8 @@ def _compile_pipeline(pexpr, opts: CompileOptions) -> tuple[_Artifact, dict]:
 
 
 def _instantiate(art: _Artifact, layers: list[Layer], opts: CompileOptions,
-                 timings: dict, cache_state: str | None) -> CompiledProgram:
+                 timings: dict, cache_state: str | None,
+                 key: tuple | None = None) -> CompiledProgram:
     """Build a runnable :class:`CompiledProgram` from a compile artifact:
     fresh state arrays, fresh modifier closure, and the emitted code
     object re-executed against them."""
@@ -695,6 +750,15 @@ def _instantiate(art: _Artifact, layers: list[Layer], opts: CompileOptions,
             if opts.traversal == "batched"
             and (kk.prune_or_approx is None or kk.classify_batch is not None)
             else "stack"
+        )
+        # The process executor ships these to workers: the static (non-
+        # state) bindings go to shared memory, the token keys the
+        # publication so repeated runs republish nothing.
+        program.extras["static_bindings"] = art.static_bindings
+        program.extras["program_token"] = (
+            None if key is None
+            else hashlib.blake2b(repr(key).encode(),
+                                 digest_size=16).hexdigest()
         )
     if cache_state is not None:
         program.extras["cache"] = cache_state

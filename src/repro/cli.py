@@ -123,8 +123,10 @@ def _cmd_stats(args) -> int:
         print(f"== {name} ==")
         tree = f" tree: {s['tree']}" if s.get("tree") else ""
         engine = f" engine: {s['traversal_engine']}" if s.get("traversal_engine") else ""
+        executor = f" executor: {s['executor']}" if s.get("executor") else ""
         cache = f" cache: {s['cache']}" if s.get("cache") else ""
-        print(f"  mode: {s['mode']}  backend: {s['backend']}{tree}{engine}{cache}")
+        print(f"  mode: {s['mode']}  backend: {s['backend']}"
+              f"{tree}{engine}{executor}{cache}")
         print(
             f"  traversal: visited={t['visited']} pruned={t['pruned']} "
             f"approximated={t['approximated']} "

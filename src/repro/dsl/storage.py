@@ -10,6 +10,14 @@ Storages may carry per-point *weights* (the density ``s(x_r)`` of the
 classical N-body form — particle masses in Barnes-Hut, mixture
 responsibilities in EM) and a *labels* vector (class ids for the naive
 Bayes classifier).
+
+Storages also memoize their content *fingerprints* (the BLAKE2 digests
+the execution cache keys on, see :mod:`repro.backend.cache`), so cache
+hits do not re-hash the dataset on every ``execute()``.  The memo is
+invalidated through the mutation path: code that writes into a live
+Storage's arrays in place must call :meth:`Storage.mark_mutated`
+(iterative problems in this codebase — k-means, EM — instead build a
+fresh Storage per step, which always re-fingerprints).
 """
 
 from __future__ import annotations
@@ -68,6 +76,8 @@ class Storage:
         self._data = np.ascontiguousarray(data, dtype=np.float64)
         self._colmajor: np.ndarray | None = None
         self._cleared = False
+        self._version = 0
+        self._fp_cache: dict[str, tuple] = {}
         self.name = name or "storage"
         self.weights = None if weights is None else _check_vec(
             weights, self.n, "weights", float
@@ -110,6 +120,49 @@ class Storage:
     def physical(self) -> np.ndarray:
         """The array in Portal's selected layout (what codegen reads)."""
         return self.colmajor if self.layout == Layout.COLUMN else self.data
+
+    # -- content identity -------------------------------------------------------
+    @property
+    def version(self) -> int:
+        """Mutation counter: bumped by :meth:`mark_mutated`."""
+        return self._version
+
+    def mark_mutated(self) -> None:
+        """Declare that this Storage's arrays were written in place.
+
+        Invalidates the memoized content fingerprints (and the lazily
+        materialised column-major view), so the next ``execute()``
+        re-fingerprints and correctly misses the execution caches.
+        """
+        self._version += 1
+        self._colmajor = None
+        self._fp_cache.clear()
+
+    def fingerprint(self, which: str = "data") -> tuple | None:
+        """Memoized content fingerprint of ``data`` or ``weights``.
+
+        Same value as :func:`repro.backend.cache.array_fingerprint` on
+        the raw array, but the O(n) BLAKE2 hash is paid once per
+        (Storage, version) instead of on every cache-key computation —
+        repeated ``execute()`` calls over the same Storage build their
+        program-cache key without re-hashing the dataset.
+        """
+        self._check_alive()
+        arr = self._data if which == "data" else getattr(self, which, None)
+        if arr is None:
+            return None
+        # The buffer address + shape guard catches attribute rebinds
+        # (e.g. replacing .weights); in-place writes must go through
+        # mark_mutated(), which bumps the version.
+        key = (self._version, arr.__array_interface__["data"][0], arr.shape)
+        cached = self._fp_cache.get(which)
+        if cached is not None and cached[0] == key:
+            return cached[1]
+        from ..backend.cache import array_fingerprint
+
+        fp = array_fingerprint(arr)
+        self._fp_cache[which] = (key, fp)
+        return fp
 
     # -- lifecycle --------------------------------------------------------------
     def clear(self) -> None:

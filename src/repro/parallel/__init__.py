@@ -1,8 +1,11 @@
 """Task + data parallelism for the tree traversal (paper section IV-F)."""
 
-from .executor import default_workers, run_tasks
+from .executor import (
+    default_workers, run_process_tasks, run_tasks, shutdown_pools,
+)
 from .scheduler import expand_frontier, parallel_dual_tree
 
 __all__ = [
-    "default_workers", "run_tasks", "expand_frontier", "parallel_dual_tree",
+    "default_workers", "run_tasks", "run_process_tasks", "shutdown_pools",
+    "expand_frontier", "parallel_dual_tree",
 ]

@@ -1,0 +1,137 @@
+"""Parent-side orchestration of the process executor.
+
+:func:`parallel_dual_tree_process` is the process counterpart of
+:func:`repro.parallel.scheduler.parallel_dual_tree`: the *same* query
+frontier decomposition, but each (query-subtree × reference-root) task
+is shipped to a worker process as a picklable payload (program token +
+shared-memory manifest + generated source + ``q_root``) instead of a
+closure.  Workers return partial accumulator slices, which the parent
+merges **in frontier order** into the program's state arrays — byte-for-
+byte the values the thread executor's shared-array updates would have
+produced, because every task writes a disjoint query range.
+
+Per-task ``TraversalStats`` are merged exactly as the thread path merges
+them, and each worker's counter registry is shipped back and
+``contribute``-d into the parent's active registry, so observability
+totals are identical across executors.
+"""
+
+from __future__ import annotations
+
+import itertools
+import os
+
+import numpy as np
+
+from ..observe import contribute, span
+from ..traversal import TraversalStats
+from .executor import default_workers, run_process_tasks
+from .scheduler import TASKS_PER_WORKER, expand_frontier
+from .worker import STATE_ARRAY_NAMES, run_task
+from . import shm
+
+__all__ = ["parallel_dual_tree_process"]
+
+_ephemeral_seq = itertools.count()
+
+
+def _split_bindings(static_bindings: dict) -> tuple[dict, dict, list[str]]:
+    """Partition the artifact's static bindings into shared-memory
+    arrays, picklable scalars, and names bound to ``None``."""
+    arrays: dict[str, np.ndarray] = {}
+    scalars: dict = {}
+    none_names: list[str] = []
+    for name, value in static_bindings.items():
+        if name in STATE_ARRAY_NAMES or name == "out_lists":
+            continue  # workers allocate their own accumulators
+        if value is None:
+            none_names.append(name)
+        elif isinstance(value, np.ndarray):
+            arrays[name] = value
+        else:
+            scalars[name] = value
+    return arrays, scalars, none_names
+
+
+def _tree_structure(tree, prefix: str) -> dict[str, np.ndarray]:
+    """The traversal-facing tree arrays a worker's ``TreeView`` needs
+    (``start``/``end`` ship with the kernel bindings already)."""
+    exp_off, exp_flat = tree.expansion_children()
+    return {
+        f"{prefix}_is_leaf": tree.is_leaf_arr,
+        f"{prefix}_child_offset": tree.child_offset,
+        f"{prefix}_child_list": tree.child_list,
+        f"{prefix}_exp_offsets": exp_off,
+        f"{prefix}_exp_flat": exp_flat,
+    }
+
+
+def parallel_dual_tree_process(
+    qtree,
+    rtree,
+    source: str,
+    static_bindings: dict,
+    state,
+    nr: int,
+    token: str | None,
+    engine: str = "stack",
+    workers: int | None = None,
+    min_tasks: int | None = None,
+) -> TraversalStats:
+    """Run the parallel dual-tree traversal on the process pool,
+    merging worker partials into ``state``; returns the merged stats.
+
+    ``token`` keys the shared-memory publication (the program-cache
+    token); ``None`` — an uncacheable program — publishes under an
+    ephemeral token that is released when the run finishes.
+    """
+    workers = workers or default_workers()
+    frontier = expand_frontier(qtree, min_tasks or workers * TASKS_PER_WORKER)
+
+    arrays, scalars, none_names = _split_bindings(static_bindings)
+    arrays.update(_tree_structure(qtree, "q"))
+    same_tree = rtree is qtree
+    if not same_tree:
+        # For same_tree programs the worker's r-side TreeView aliases the
+        # q-side one (the r-named *kernel* bindings still ship — shm
+        # dedupes the underlying buffers).
+        arrays.update(_tree_structure(rtree, "r"))
+
+    ephemeral = token is None
+    if ephemeral:
+        token = f"ephemeral-{os.getpid()}-{next(_ephemeral_seq)}"
+    try:
+        with span("parallel.shm_publish", token=token, arrays=len(arrays)):
+            shm_name, manifest = shm.publish_arrays(token, arrays)
+
+        common = {
+            "token": token,
+            "shm_name": shm_name,
+            "manifest": manifest,
+            "source": source,
+            "scalars": scalars,
+            "none_names": none_names,
+            "state_spec": (state.outer_op, state.inner_op, state.k,
+                           state.nq, nr),
+            "same_tree": same_tree,
+            "engine": engine,
+        }
+        payloads = [dict(common, q_root=int(q)) for q in frontier]
+
+        with span("parallel.run_process_tasks", tasks=len(payloads),
+                  workers=workers):
+            results = run_process_tasks(run_task, payloads, workers=workers)
+    finally:
+        if ephemeral:
+            shm.release_block(token)
+
+    total = TraversalStats()
+    for res in results:
+        s, e = res["s"], res["e"]
+        for name, chunk in res["arrays"].items():
+            state.arrays[name][s:e] = chunk
+        if res["lists"] is not None:
+            state.lists[s:e] = res["lists"]
+        total.merge(res["stats"])
+        contribute(res["counters"])
+    return total

@@ -1,0 +1,182 @@
+"""Process-pool worker side of the process executor.
+
+:func:`run_task` is the (picklable, module-level) function the parent
+submits to the process pool.  A task payload carries no arrays and no
+closures — only the shared-memory manifest, the generated kernel
+*source*, the state allocation spec and the query-subtree root id.  The
+worker:
+
+1. attaches the published block (:func:`repro.parallel.shm.attach_arrays`)
+   and builds read-only views — zero copies of the dataset or trees;
+2. recompiles the generated source and binds it against **worker-local
+   accumulator arrays** (full-size, identity-filled) — the per-task
+   partial state;
+3. runs the same stack/batched traversal the thread executor would run,
+   rooted at ``q_root``, under a local counters registry;
+4. returns only its query slice ``[qstart[q_root], qend[q_root])`` of
+   each accumulator plus the task's ``TraversalStats`` and counters.
+
+Because every accumulator is indexed by query position and a task rooted
+at ``q_root`` touches exactly its own slice (the disjoint-query-range
+invariant of :mod:`repro.parallel.scheduler`), the parent can merge the
+returned slices in frontier order and obtain state bit-identical to the
+thread executor's shared-array updates.
+
+Attachments, compiled namespaces and state arrays are cached per program
+token, so a warm worker re-runs tasks for a known program without
+re-attaching or re-``exec``-ing anything — it only resets its slice.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..backend.codegen import GeneratedKernels, bind_kernels
+from ..backend.state import State, allocate_state
+from ..dsl.ops import op_info
+from ..observe import collect
+from ..traversal import batched_dual_tree_traversal, dual_tree_traversal
+from . import shm
+
+__all__ = ["run_task", "TreeView", "reset_state_range"]
+
+#: Accumulator names bound by the parent that workers allocate fresh.
+STATE_ARRAY_NAMES = frozenset({"best", "best_idx", "acc", "dense"})
+
+
+class TreeView:
+    """The minimal tree facade the traversal engines touch, backed by
+    shared-memory views (``start``/``end``/``is_leaf_arr``/``children``/
+    ``expansion_children`` — everything else about
+    :class:`~repro.trees.node.ArrayTree` stays parent-side)."""
+
+    __slots__ = ("start", "end", "is_leaf_arr", "child_offset",
+                 "child_list", "_exp")
+
+    def __init__(self, views: dict[str, np.ndarray], prefix: str):
+        self.start = views[f"{prefix}start"]
+        self.end = views[f"{prefix}end"]
+        self.is_leaf_arr = views[f"{prefix}_is_leaf"]
+        self.child_offset = views[f"{prefix}_child_offset"]
+        self.child_list = views[f"{prefix}_child_list"]
+        self._exp = (views[f"{prefix}_exp_offsets"],
+                     views[f"{prefix}_exp_flat"])
+
+    def children(self, i: int) -> np.ndarray:
+        return self.child_list[self.child_offset[i]:self.child_offset[i + 1]]
+
+    def expansion_children(self) -> tuple[np.ndarray, np.ndarray]:
+        return self._exp
+
+
+def reset_state_range(state: State, s: int, e: int) -> None:
+    """Reset accumulators over query positions ``[s, e)`` to their
+    allocation-time identities, so a cached worker program can run a new
+    task over that range as if the state were fresh."""
+    info = op_info(state.inner_op)
+    if state.lists is not None:
+        for i in range(s, e):
+            state.lists[i] = []
+    for name, arr in state.arrays.items():
+        if name == "best_idx":
+            arr[s:e] = -1
+        elif name == "dense":
+            arr[s:e] = 0.0
+        else:
+            arr[s:e] = info.identity
+
+
+@dataclass
+class _WorkerProgram:
+    handle: object
+    views: dict[str, np.ndarray]
+    state: State
+    kernels: GeneratedKernels
+    qview: TreeView
+    rview: TreeView
+
+    def close(self) -> None:
+        # Drop the views before the mapping: ndarrays over shm.buf keep
+        # the segment mapped and make close() raise BufferError.
+        self.views = {}
+        self.qview = self.rview = None  # type: ignore[assignment]
+        self.kernels = None  # type: ignore[assignment]
+        try:
+            self.handle.close()
+        except BufferError:
+            pass
+
+
+_PROGRAMS: OrderedDict[str, _WorkerProgram] = OrderedDict()
+_MAX_PROGRAMS = 8
+
+
+def _program(payload: dict) -> _WorkerProgram:
+    token = payload["token"]
+    prog = _PROGRAMS.get(token)
+    if prog is not None:
+        _PROGRAMS.move_to_end(token)
+        return prog
+
+    handle, views = shm.attach_arrays(payload["shm_name"],
+                                      payload["manifest"])
+    outer_op, inner_op, k, nq, nr = payload["state_spec"]
+    state = allocate_state(outer_op, inner_op, k, nq, nr)
+    bindings: dict = dict(views)
+    for name in payload["none_names"]:
+        bindings[name] = None
+    bindings.update(payload["scalars"])
+    bindings.update(state.arrays)
+    if state.lists is not None:
+        bindings["out_lists"] = state.lists
+    source = payload["source"]
+    code = compile(source, "<portal-worker>", "exec")
+    kernels = bind_kernels(source, code, bindings)
+    qview = TreeView(views, "q")
+    rview = qview if payload["same_tree"] else TreeView(views, "r")
+
+    prog = _WorkerProgram(handle=handle, views=views, state=state,
+                          kernels=kernels, qview=qview, rview=rview)
+    _PROGRAMS[token] = prog
+    while len(_PROGRAMS) > _MAX_PROGRAMS:
+        _, old = _PROGRAMS.popitem(last=False)
+        old.close()
+    return prog
+
+
+def run_task(payload: dict) -> dict:
+    """Run one (query-subtree × reference-root) traversal task; returns
+    the partial accumulator slices, stats and counters for its range."""
+    prog = _program(payload)
+    kk = prog.kernels
+    state = prog.state
+    q_root = int(payload["q_root"])
+    s = int(prog.qview.start[q_root])
+    e = int(prog.qview.end[q_root])
+    reset_state_range(state, s, e)
+
+    with collect() as counters:
+        if payload["engine"] == "batched":
+            stats = batched_dual_tree_traversal(
+                prog.qview, prog.rview, kk.classify_batch, kk.apply_action,
+                kk.base_case, pair_min_dist_batch=kk.pair_min_dist_batch,
+                q_root=q_root,
+            )
+        else:
+            stats = dual_tree_traversal(
+                prog.qview, prog.rview, kk.prune_or_approx, kk.base_case,
+                pair_min_dist=kk.pair_min_dist, q_root=q_root,
+            )
+
+    return {
+        "s": s,
+        "e": e,
+        "stats": stats,
+        "counters": counters.as_dict(),
+        "arrays": {name: np.ascontiguousarray(arr[s:e])
+                   for name, arr in state.arrays.items()},
+        "lists": None if state.lists is None else state.lists[s:e],
+    }

@@ -5,11 +5,14 @@ and tree construction (counter-observable), return bitwise-identical
 results, and miss when any compile-relevant input changes.
 """
 
+import enum
+
 import numpy as np
 import pytest
 
 from repro.backend.cache import (
-    LRUCache, array_fingerprint, cache_stats, clear_caches, freeze,
+    MISSING, LRUCache, UncacheableParamError, array_fingerprint,
+    cache_stats, clear_caches, freeze,
 )
 from repro.dsl import PortalExpr, PortalFunc, PortalOp, Storage
 from repro.observe import collect
@@ -171,3 +174,99 @@ class TestPrimitives:
         assert cache_stats()["trees"] >= 1
         clear_caches()
         assert cache_stats() == {"programs": 0, "trees": 0}
+
+
+class TestFreezeContentKeys:
+    """Regression: freeze() must never fall back to repr(value) — default
+    object reprs embed memory addresses, which alias after GC reuse."""
+
+    def test_numpy_scalars(self):
+        assert freeze(np.float64(1.5)) == freeze(np.float64(1.5))
+        assert freeze(np.float64(1.5)) != freeze(np.float32(1.5))
+        assert freeze(np.int64(3)) != freeze(np.float64(3))
+
+    def test_sets_are_order_independent(self):
+        assert freeze({3, 1, 2}) == freeze({2, 3, 1})
+        assert freeze(frozenset({1})) == freeze({1})
+
+    def test_enum_by_qualname_and_name(self):
+        class Mode(enum.Enum):
+            FAST = 1
+            SLOW = 2
+
+        assert freeze(Mode.FAST) == freeze(Mode.FAST)
+        assert freeze(Mode.FAST) != freeze(Mode.SLOW)
+
+    def test_opaque_object_raises(self):
+        with pytest.raises(UncacheableParamError):
+            freeze(object())
+        with pytest.raises(UncacheableParamError):
+            freeze({"param": object()})  # nested too
+
+    def test_uncacheable_param_counts_and_runs_uncached(self, data):
+        """A layer param with no content identity must skip the cache
+        (counted), not poison it with an address-based key."""
+        Q, R = data
+        clear_caches()
+        with collect() as counters:
+            for _ in range(2):
+                expr = _kde_expr(Q, R)
+                expr.layers[1].params["opaque"] = object()
+                expr.execute(tau=1e-3)
+        c = counters.as_dict()
+        assert c["cache.compile.uncacheable"] == 2
+        assert "cache.compile.hit" not in c
+        assert "cache.compile.miss" not in c
+        assert c["compile.count"] == 2  # full pipeline both times
+        assert cache_stats()["programs"] == 0
+
+    def test_lru_none_value_is_a_hit(self):
+        """Regression: a legitimately-None cached value must be
+        distinguishable from a miss via the MISSING sentinel."""
+        c = LRUCache(maxsize=4)
+        c.put("k", None)
+        assert c.get("k", MISSING) is None       # hit, value is None
+        assert c.get("absent", MISSING) is MISSING
+        assert c.get("absent") is None           # default default
+
+
+class TestFingerprintMemo:
+    """Regression: array_fingerprint is O(n); Storage memoizes it so
+    cache *hits* stop re-hashing the dataset every execute()."""
+
+    def test_memoized_within_version(self, monkeypatch):
+        import repro.backend.cache as cache_mod
+
+        calls = []
+        real = cache_mod.array_fingerprint
+        monkeypatch.setattr(cache_mod, "array_fingerprint",
+                            lambda arr: calls.append(1) or real(arr))
+        s = Storage(np.arange(30.0).reshape(10, 3))
+        fp1 = s.fingerprint("data")
+        fp2 = s.fingerprint("data")
+        assert fp1 == fp2
+        assert len(calls) == 1  # hashed once, served from the memo after
+
+    def test_matches_raw_fingerprint(self):
+        X = np.arange(30.0).reshape(10, 3)
+        s = Storage(X, weights=np.ones(10))
+        assert s.fingerprint("data") == array_fingerprint(s.data)
+        assert s.fingerprint("weights") == array_fingerprint(s.weights)
+        assert Storage(X).fingerprint("weights") is None
+
+    def test_mark_mutated_invalidates(self):
+        s = Storage(np.arange(30.0).reshape(10, 3))
+        before = s.fingerprint("data")
+        v0 = s.version
+        s.data[0, 0] += 1.0
+        s.mark_mutated()
+        assert s.version == v0 + 1
+        assert s.fingerprint("data") != before
+
+    def test_weights_rebind_detected_without_mark(self):
+        """Replacing the .weights array (new buffer) re-fingerprints even
+        without mark_mutated(); only in-place writes need the call."""
+        s = Storage(np.arange(30.0).reshape(10, 3), weights=np.ones(10))
+        before = s.fingerprint("weights")
+        s.weights = np.full(10, 2.0)
+        assert s.fingerprint("weights") != before

@@ -29,9 +29,13 @@ def data():
 
 
 def _counts_only(counters):
-    """Integer event counts; per-run timings are legitimately noisy."""
+    """Integer event counts; per-run timings are legitimately noisy and
+    ``shm.publish.*`` is executor plumbing (a workers=1 run never
+    publishes shared memory, so it varies with worker count by design —
+    the determinism claim is about the traversal)."""
     return {k: v for k, v in counters.as_dict().items()
-            if not k.endswith("_s") and not k.endswith("_ms")}
+            if not k.endswith("_s") and not k.endswith("_ms")
+            and not k.startswith("shm.")}
 
 
 class TestKDEDeterminism:
