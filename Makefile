@@ -1,6 +1,6 @@
 PYTHON ?= python
 
-.PHONY: install test test-fast bench bench-micro bench-parallel examples results clean
+.PHONY: install test test-fast test-ir bench bench-ir bench-micro bench-parallel examples results clean
 
 install:
 	$(PYTHON) -m pip install -e . || $(PYTHON) setup.py develop
@@ -14,8 +14,22 @@ test-fast:
 test-verbose:
 	$(PYTHON) -m pytest tests/ -v
 
+# IR optimiser suites (passes, verifier, goldens, round-trip, fuzzer)
+# with the structural verifier forced on after every pass.
+test-ir:
+	REPRO_VERIFY_IR=1 $(PYTHON) -m pytest tests/ir tests/dsl/test_roundtrip.py -m "not slow"
+
+# Same plus the slow 2048-case fuzz sweep.
+test-ir-slow:
+	REPRO_VERIFY_IR=1 $(PYTHON) -m pytest tests/ir tests/dsl/test_roundtrip.py
+
 bench:
 	$(PYTHON) -m pytest benchmarks/ --benchmark-only
+
+# Fig 2/3 IR ablation: seed vs extended pass pipeline through the
+# interpreter backend; refreshes benchmarks/results/BENCH_ir.json.
+bench-ir:
+	$(PYTHON) -m pytest benchmarks/bench_fig2_nn_ir.py benchmarks/bench_fig3_kde_ir.py --benchmark-disable
 
 bench-micro:
 	$(PYTHON) benchmarks/bench_micro_traversal.py --smoke

@@ -51,7 +51,9 @@ def test_fig1_stage_order(benchmark):
         "flattened": "Flattening (IV-C)",
         "numopt": "Numerical Optimization (IV-D)",
         "strength": "Strength Reduction (IV-E)",
-        "final": "Standard passes + Code Generation (IV-F)",
+        "simplify": "Algebraic Simplification (IV-F)",
+        "cse": "Common-Subexpression Elimination (IV-F)",
+        "final": "Folding + DCE + Code Generation (IV-F)",
     }
     # Per-stage timing.
     lowered = lower(layers, kernel, cls, rule, "nn")
@@ -60,14 +62,19 @@ def test_fig1_stage_order(benchmark):
     lower(layers, kernel, cls, rule, "nn")
     timings["lowered"] = time.perf_counter() - t0
     prog = lowered
+    from repro.ir.passes import (
+        common_subexpression_eliminate, constant_fold, dead_code_eliminate,
+        simplify,
+    )
+
     for name, fn in (("flattened", flatten),
                      ("numopt", numerical_optimize),
-                     ("strength", strength_reduce)):
+                     ("strength", strength_reduce),
+                     ("simplify", simplify),
+                     ("cse", common_subexpression_eliminate)):
         t0 = time.perf_counter()
         prog = fn(prog)
         timings[name] = time.perf_counter() - t0
-    from repro.ir.passes import constant_fold, dead_code_eliminate
-
     t0 = time.perf_counter()
     dead_code_eliminate(constant_fold(prog))
     timings["final"] = time.perf_counter() - t0

@@ -15,9 +15,17 @@ from the live pass manager, asserting the figure's annotations:
 import numpy as np
 import pytest
 
-from harness import emit
+from harness import emit, time_interp_base_case, update_bench_json
 from repro.dsl import PortalExpr, PortalFunc, PortalOp, Storage
+from repro.ir.lowering import lower
+from repro.ir.passes import PassManager
 from repro.ir.printer import render_function, render_stages
+from repro.rules import build_rules
+
+#: The pipeline as it stood before the optimizer expansion: everything
+#: except the three new passes.  Disabling them reproduces the old
+#: pipeline exactly, so baseline-vs-extended is a true ablation.
+SEED_PIPELINE_DISABLE = ("simplify", "cse", "dce")
 
 
 def compile_nn():
@@ -54,6 +62,47 @@ def test_fig2_ir_dump(benchmark):
     assert pm.stage("numopt").meta["numerical_optimized"] is False
     assert "fast_inverse_sqrt" in final and "pow(" not in final
     assert "return 0" in render_function(pm.stage("final")["ComputeApprox"])
+
+
+def test_fig2_ir_ablation_interp(benchmark):
+    """Extended-vs-seed pipeline for the NN kernel, timed through the
+    interpreter backend on BaseCase.  The Euclidean kernel has no
+    repeated subexpressions after strength reduction, so the extended
+    pipeline must leave its IR untouched — the ablation row records a
+    ~1.0x ratio, and the assertion pins the no-regression half of the
+    contract (the speedup half lives in the Fig 3 ablation)."""
+    rng = np.random.default_rng(0)
+    e = PortalExpr("nn-ablation")
+    e.addLayer(PortalOp.FORALL, Storage(rng.normal(size=(40, 3)),
+                                        name="query"))
+    e.addLayer(PortalOp.SUM, Storage(rng.normal(size=(45, 3)),
+                                     name="reference"),
+               PortalFunc.EUCLIDEAN, tau=0.0)
+    e.validate()
+    kernel = e.layers[1].metric_kernel
+    cls, rule = build_rules(e.layers, kernel)
+    lowered = lower(e.layers, kernel, cls, rule, "nn")
+
+    base_fn = PassManager(
+        fastmath=True, disabled=frozenset(SEED_PIPELINE_DISABLE)
+    ).run(lowered)["BaseCase"]
+    ext_fn = benchmark(
+        lambda: PassManager(fastmath=True).run(lowered)["BaseCase"])
+
+    # Identical IR in, identical IR out: the new passes are no-ops here.
+    assert render_function(ext_fn) == render_function(base_fn)
+
+    base_s = time_interp_base_case(base_fn, e.layers)
+    ext_s = time_interp_base_case(ext_fn, e.layers)
+    update_bench_json("BENCH_ir.json", "fig2", [{
+        "kernel": "nn_euclidean",
+        "baseline_pass_set_disables": list(SEED_PIPELINE_DISABLE),
+        "baseline_wall_s": base_s,
+        "extended_wall_s": ext_s,
+        "speedup": base_s / ext_s,
+        "ir_identical": True,
+        "nq": 40, "nr": 45, "d": 3,
+    }], meta={"backend": "interp", "function": "BaseCase", "repeats": 5})
 
 
 def test_fig2_generated_backend_source(benchmark):

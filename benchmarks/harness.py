@@ -12,6 +12,7 @@ the reproduction target, not absolute seconds.
 from __future__ import annotations
 
 import functools
+import json
 import os
 import sys
 import time
@@ -117,6 +118,48 @@ def emit(name: str, text: str) -> None:
     with open(path, "w") as fh:
         fh.write(text + "\n")
     print(f"\n{text}\n[written to {path}]", file=sys.stderr)
+
+
+def update_bench_json(filename: str, figure: str, rows: list[dict],
+                      meta: dict | None = None) -> str:
+    """Merge ``rows`` into a machine-readable results file, replacing any
+    previous rows for the same ``figure`` (so the fig2 and fig3 ablations
+    can share ``BENCH_ir.json`` without clobbering each other)."""
+    os.makedirs(RESULTS_DIR, exist_ok=True)
+    path = os.path.join(RESULTS_DIR, filename)
+    payload = {"meta": {}, "rows": []}
+    if os.path.exists(path):
+        with open(path) as fh:
+            payload = json.load(fh)
+    payload["rows"] = [r for r in payload.get("rows", [])
+                       if r.get("figure") != figure]
+    payload["rows"].extend(dict(r, figure=figure) for r in rows)
+    if meta:
+        payload.setdefault("meta", {}).update(meta)
+    with open(path, "w") as fh:
+        json.dump(payload, fh, indent=2)
+        fh.write("\n")
+    return path
+
+
+def time_interp_base_case(fn, layers, repeats: int = 5) -> float:
+    """Best-of wall-clock seconds for one full interpreter sweep of a
+    compiled ``BaseCase`` IR function over a two-layer problem's data —
+    the measurement the Fig 2/3 IR-ablation rows are built from."""
+    from repro.backend.interp import base_case_env, interpret_function
+
+    outer, inner = layers
+
+    def once():
+        env = base_case_env(
+            outer.storage.name, inner.storage.name,
+            outer.storage.data, inner.storage.data,
+            outer.storage.layout, inner.storage.layout,
+        )
+        interpret_function(fn, env)
+
+    once()  # warm-up: dict layouts, code paths
+    return wall(once, repeats)
 
 
 def paper_scale_note(names: list[str]) -> str:

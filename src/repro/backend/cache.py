@@ -153,6 +153,12 @@ class LRUCache:
             return len(self._data)
 
 
+#: Version prefix of the compiled-artifact key schema.  Bumped whenever
+#: the pass pipeline or artifact layout changes shape (new passes, new
+#: key fields), so a process that hot-reloads compiler modules can never
+#: serve an artifact built by an older pipeline.
+ARTIFACT_SCHEMA = 2
+
 #: Compiled-artifact cache (see :mod:`repro.backend.jit`).
 program_cache = LRUCache(maxsize=32)
 #: Tree-build cache, shared across problems on the same dataset.

@@ -42,7 +42,7 @@ from .layout import Layout
 
 __all__ = [
     "CodegenSpec", "GeneratedKernels", "generate", "emit", "bind_kernels",
-    "emit_expr",
+    "emit_expr", "emit_expr_vn",
 ]
 
 
@@ -58,8 +58,17 @@ _CALL_MAP = {
 }
 
 
-def emit_expr(e: Expr, var_map: dict[str, str]) -> str:
-    """Emit NumPy source for an IR expression."""
+def emit_expr(e: Expr, var_map: dict[str, str],
+              _names: dict[int, str] | None = None) -> str:
+    """Emit NumPy source for an IR expression.
+
+    ``_names`` maps ``id(node)`` to an already-materialised temporary —
+    the value-numbering hook of :func:`emit_expr_vn`.
+    """
+    if _names is not None:
+        hit = _names.get(id(e))
+        if hit is not None:
+            return hit
     if isinstance(e, SymRef):
         try:
             return var_map[e.name]
@@ -68,22 +77,64 @@ def emit_expr(e: Expr, var_map: dict[str, str]) -> str:
     if isinstance(e, Const):
         return repr(e.value)
     if isinstance(e, BinOp):
-        return f"({emit_expr(e.lhs, var_map)} {e.op} {emit_expr(e.rhs, var_map)})"
+        return (f"({emit_expr(e.lhs, var_map, _names)} {e.op} "
+                f"{emit_expr(e.rhs, var_map, _names)})")
     if isinstance(e, Neg):
-        return f"(-({emit_expr(e.operand, var_map)}))"
+        return f"(-({emit_expr(e.operand, var_map, _names)}))"
     if isinstance(e, (IRCall, Call)):
         args = e.args if isinstance(e, IRCall) else (e.operand,)
         fn = _CALL_MAP.get(e.func)
         if fn is None:
             raise CompileError(f"cannot emit IR function {e.func!r}")
-        return f"{fn}({', '.join(emit_expr(a, var_map) for a in args)})"
+        return f"{fn}({', '.join(emit_expr(a, var_map, _names) for a in args)})"
     if isinstance(e, Indicator):
-        lhs, rhs = emit_expr(e.lhs, var_map), emit_expr(e.rhs, var_map)
+        lhs = emit_expr(e.lhs, var_map, _names)
+        rhs = emit_expr(e.rhs, var_map, _names)
         return f"np.multiply(({lhs}) {e.op} ({rhs}), 1.0)"
     if isinstance(e, LoadExpr):
-        idx = ", ".join(emit_expr(i, var_map) for i in e.indices)
+        idx = ", ".join(emit_expr(i, var_map, _names) for i in e.indices)
         return f"{e.array}[{idx}]"
     raise CompileError(f"cannot emit expression node {type(e).__name__}")
+
+
+def _shared_subtrees(e: Expr) -> list[Expr]:
+    """Non-leaf sub-tree objects referenced more than once in *e*, in
+    post-order (inner shared trees before the trees that contain them)."""
+    counts: dict[int, int] = {}
+    order: list[Expr] = []
+
+    def visit(n: Expr):
+        if not n.children():
+            return
+        seen = counts.get(id(n), 0)
+        counts[id(n)] = seen + 1
+        if seen:
+            return
+        for c in n.children():
+            visit(c)
+        order.append(n)
+
+    visit(e)
+    return [n for n in order if counts[id(n)] > 1]
+
+
+def emit_expr_vn(e: Expr, var_map: dict[str, str],
+                 prefix: str = "_vn") -> tuple[list[str], str]:
+    """Value-numbering-aware emission: sub-trees referenced more than
+    once by object identity (strength reduction's shared pow-chain
+    squares) are materialised once into ``<prefix><N>`` temporaries.
+
+    Returns ``(assignments, source)`` where ``assignments`` are
+    unindented ``name = expr`` lines to emit before using ``source``.
+    For trees without sharing this is exactly :func:`emit_expr`.
+    """
+    names: dict[int, str] = {}
+    assigns: list[str] = []
+    for i, node in enumerate(_shared_subtrees(e), 1):
+        name = f"{prefix}{i}"
+        assigns.append(f"{name} = {emit_expr(node, var_map, names)}")
+        names[id(node)] = name
+    return assigns, emit_expr(e, var_map, names)
 
 
 @dataclass
@@ -176,7 +227,9 @@ def _pairwise_source(spec: CodegenSpec) -> str:
         else:
             b("    diff = QROW[qs:qe, None, :] - RROW[None, rs:re, :]")
             b("    t = np.abs(diff).max(axis=-1)")
-    g_src = emit_expr(spec.g_ir, {"t": "t"})
+    pre, g_src = emit_expr_vn(spec.g_ir, {"t": "t"})
+    for assign in pre:
+        b(f"    {assign}")
     b(f"    v = {g_src}")
     b("    return v")
     return "\n".join(lines)
@@ -334,22 +387,28 @@ def _pair_dist_batch_source(spec: CodegenSpec) -> str:
     )
 
 
-def _g_scalar(spec: CodegenSpec, tvar: str) -> str:
-    return emit_expr(spec.g_ir, {"t": tvar})
+def _g_scalar_vn(spec: CodegenSpec, tvar: str,
+                 prefix: str) -> tuple[list[str], str]:
+    return emit_expr_vn(spec.g_ir, {"t": tvar}, prefix=prefix)
 
 
-def _band_exprs(spec: CodegenSpec) -> tuple[str, str]:
-    """Source expressions for (g_lo, g_hi) over the [tmin, tmax] interval."""
+def _band_exprs(spec: CodegenSpec) -> tuple[list[str], str, str]:
+    """(pre-assignments, g_lo, g_hi) over the [tmin, tmax] interval."""
+    pre_min, g_min = _g_scalar_vn(spec, "tmin", "_vn_lo")
+    pre_max, g_max = _g_scalar_vn(spec, "tmax", "_vn_hi")
+    pre = pre_min + pre_max
     if spec.monotone == "decreasing":
-        return _g_scalar(spec, "tmax"), _g_scalar(spec, "tmin")
-    return _g_scalar(spec, "tmin"), _g_scalar(spec, "tmax")
+        return pre, g_max, g_min
+    return pre, g_min, g_max
 
 
 def _approx_action_lines(spec: CodegenSpec, centroid_arr: str) -> list[str]:
+    pre, g_src = _g_scalar_vn(spec, "tc", "_vn")
     lines = [
         "    s = qstart[qi]; e = qend[qi]",
         *_point_to_centroid(spec, centroid_arr),
-        f"    acc[s:e] += rweight[ri] * {_g_scalar(spec, 'tc')}",
+        *(f"    {assign}" for assign in pre),
+        f"    acc[s:e] += rweight[ri] * {g_src}",
     ]
     return lines
 
@@ -412,10 +471,12 @@ def _prune_source(spec: CodegenSpec) -> str | None:
         need_max = (rule.kind == "bound-min") == (spec.monotone == "decreasing")
         if need_max:
             b("    tmax = pair_max_base_dist(qi, ri)")
-            gband = _g_scalar(spec, "tmax")
+            pre, gband = _g_scalar_vn(spec, "tmax", "_vn")
         else:
             b("    tmin = pair_min_base_dist(qi, ri)")
-            gband = _g_scalar(spec, "tmin")
+            pre, gband = _g_scalar_vn(spec, "tmin", "_vn")
+        for assign in pre:
+            b(f"    {assign}")
         col = ", K - 1" if (spec.k or 1) > 1 else ""
         if rule.kind == "bound-min":
             b(f"    B = best[qstart[qi]:qend[qi]{col}].max()")
@@ -446,7 +507,9 @@ def _prune_source(spec: CodegenSpec) -> str | None:
         if rule.criterion == "band":
             b("    tmin = pair_min_base_dist(qi, ri)")
             b("    tmax = pair_max_base_dist(qi, ri)")
-            glo, ghi = _band_exprs(spec)
+            pre, glo, ghi = _band_exprs(spec)
+            for assign in pre:
+                b(f"    {assign}")
             b(f"    if ({ghi}) - ({glo}) <= TAU:")
         else:  # mac
             b("    tmin = pair_min_base_dist(qi, ri)")
@@ -492,7 +555,9 @@ def _classify_batch_source(spec: CodegenSpec) -> str | None:
     elif rule.criterion == "band":
         b("    tmin = pair_min_base_dist_batch(qis, ris)")
         b("    tmax = pair_max_base_dist_batch(qis, ris)")
-        glo, ghi = _band_exprs(spec)
+        pre, glo, ghi = _band_exprs(spec)
+        for assign in pre:
+            b(f"    {assign}")
         b(f"    codes[(({ghi}) - ({glo})) <= TAU] = 2")
     else:  # mac
         b("    tmin = pair_min_base_dist_batch(qis, ris)")

@@ -23,12 +23,31 @@ from ..ir.nodes import (
 )
 from ..observe import span
 
-__all__ = ["interpret_function", "base_case_env"]
+__all__ = ["interpret_function", "base_case_env", "LocatedExecutionError"]
 
 
 class _Return(Exception):
     def __init__(self, value):
         self.value = value
+
+
+class LocatedExecutionError(ExecutionError):
+    """Execution failure annotated with the IR statement that raised it.
+
+    Interpreting an IR program that references an unbound symbol or an
+    unknown function fails here with the offending statement rendered in
+    the message — the runtime counterpart of the structural verifier's
+    located :class:`~repro.ir.verify.IRVerificationError`.
+    """
+
+    def __init__(self, detail: str, stmt_src: str, function: str | None = None):
+        self.detail = detail
+        self.stmt_src = stmt_src
+        self.function = function
+        where = f" in function {function!r}" if function else ""
+        super().__init__(
+            f"interpreter: {detail}{where} at `{stmt_src}`"
+        )
 
 
 def _sorted_insert(vals: np.ndarray, args: np.ndarray | None,
@@ -142,7 +161,19 @@ def _exec_stmt(stmt: Stmt, env: dict) -> None:
 
 def _exec_block(block: Block, env: dict) -> None:
     for s in block.stmts:
-        _exec_stmt(s, env)
+        try:
+            _exec_stmt(s, env)
+        except (_Return, LocatedExecutionError):
+            raise
+        except (KeyError, ExecutionError) as err:
+            # Locate the failure at the innermost statement; outer blocks
+            # re-raise unchanged.  (KeyError: an unbound symbol or array.)
+            from ..ir.printer import render_stmt
+
+            detail = (f"unbound name {err.args[0]!r}"
+                      if isinstance(err, KeyError) and err.args
+                      else str(err).removeprefix("interpreter: "))
+            raise LocatedExecutionError(detail, render_stmt(s)) from err
 
 
 def interpret_function(fn: IRFunction, env: dict):
@@ -153,6 +184,12 @@ def interpret_function(fn: IRFunction, env: dict):
             _exec_block(fn.body, env)
         except _Return as r:
             return r.value
+        except LocatedExecutionError as err:
+            if err.function is None:
+                raise LocatedExecutionError(
+                    err.detail, err.stmt_src, fn.name
+                ) from err.__cause__
+            raise
         return env
 
 

@@ -35,8 +35,8 @@ from ..traversal import (
     TraversalStats, batched_dual_tree_traversal, dual_tree_traversal,
 )
 from .cache import (  # noqa: F401 (program_cache re-exported for tests)
-    MISSING, UncacheableParamError, array_fingerprint, cached_build_tree,
-    freeze, program_cache,
+    ARTIFACT_SCHEMA, MISSING, UncacheableParamError, array_fingerprint,
+    cached_build_tree, freeze, program_cache,
 )
 from .codegen import CodegenSpec, GeneratedKernels, bind_kernels, emit
 from .layout import Layout
@@ -86,6 +86,11 @@ class CompileOptions:
     #: variable (CI matrix knob) overrides the default.  Only consulted
     #: when ``parallel=True``.
     executor: str = "auto"
+    #: run the structural IR verifier (:mod:`repro.ir.verify`) after
+    #: lowering and after every optimisation pass.  ``None`` defers to
+    #: the ``REPRO_VERIFY_IR`` environment variable (the test suites set
+    #: it; benchmarks leave it off).
+    verify_ir: bool | None = None
 
     @classmethod
     def from_dict(cls, options: dict) -> "CompileOptions":
@@ -112,6 +117,9 @@ class CompileOptions:
             env = os.environ.get("REPRO_EXECUTOR", "").strip()
             if env:
                 opts.executor = env
+        if opts.verify_ir is None:
+            env = os.environ.get("REPRO_VERIFY_IR", "").strip().lower()
+            opts.verify_ir = env in ("1", "true", "on", "yes")
         if opts.executor not in ("auto", "thread", "process"):
             raise SpecificationError(
                 f"unknown executor {opts.executor!r}; "
@@ -491,11 +499,13 @@ def _program_key(layers: list[Layer], opts: CompileOptions) -> tuple:
         for layer in layers
     )
     return (
+        ARTIFACT_SCHEMA,
         layer_parts,
         (kern.base, repr(kern.g), kern.whiten, freeze(kern.covariance)),
         opts.backend, opts.tree, opts.leaf_size, opts.tau, opts.criterion,
         opts.theta, opts.fastmath, opts.layout, opts.split,
-        tuple(sorted(opts.disable_passes)), same_data, exclude_self,
+        tuple(sorted(opts.disable_passes)), bool(opts.verify_ir),
+        same_data, exclude_self,
     )
 
 
@@ -565,7 +575,8 @@ def _compile_pipeline(pexpr, opts: CompileOptions) -> tuple[_Artifact, dict]:
 
     # Lower + run the optimisation pipeline (kept for dumps & interp).
     pm = PassManager(fastmath=opts.fastmath,
-                     disabled=frozenset(opts.disable_passes))
+                     disabled=frozenset(opts.disable_passes),
+                     verify=bool(opts.verify_ir))
     t0 = time.perf_counter()
     with span("compile.lowering", program=pexpr.name):
         lowered = lower(layers, kernel, classification, rule, pexpr.name)
@@ -785,7 +796,8 @@ def _compile_external_expr(pexpr, opts: CompileOptions) -> CompiledProgram:
     timings["rules"] = time.perf_counter() - t0
 
     pm = PassManager(fastmath=opts.fastmath,
-                     disabled=frozenset(opts.disable_passes))
+                     disabled=frozenset(opts.disable_passes),
+                     verify=bool(opts.verify_ir))
     t0 = time.perf_counter()
     with span("compile.lowering", program=pexpr.name):
         lowered = lower(layers, None, classification, rule, pexpr.name)
@@ -831,7 +843,8 @@ def _compile_multilayer(pexpr, opts: CompileOptions) -> CompiledProgram:
     classification, rule = build_rules(layers, kernel)
 
     pm = PassManager(fastmath=opts.fastmath,
-                     disabled=frozenset(opts.disable_passes))
+                     disabled=frozenset(opts.disable_passes),
+                     verify=bool(opts.verify_ir))
     with span("compile.passes", program=pexpr.name):
         pm.run(lower(layers, kernel, classification, rule, pexpr.name))
 

@@ -23,6 +23,7 @@ import numpy as np
 
 from .dsl import PortalError, parse_program
 from .dsl.storage import _read_csv
+from .ir.passes import PIPELINE_STAGES, TOGGLEABLE_PASSES
 from .observe import collect, tracing
 
 
@@ -46,6 +47,17 @@ def _parse_options(pairs: list[str]) -> dict:
     return out
 
 
+def _options(args) -> dict:
+    """execute()/compile() options: --option pairs plus the dedicated
+    pass-pipeline flags."""
+    out = _parse_options(args.option)
+    if args.disable_pass:
+        out["disable_passes"] = tuple(args.disable_pass)
+    if args.verify_ir:
+        out["verify_ir"] = True
+    return out
+
+
 def _parse_bindings(pairs: list[str]) -> dict:
     out: dict = {}
     for pair in pairs:
@@ -64,7 +76,7 @@ def _load(args) -> "PortalProgram":
 
 def _cmd_run(args) -> int:
     prog = _load(args)
-    results = prog.run(**_parse_options(args.option))
+    results = prog.run(**_options(args))
     for name, out in results.items():
         print(f"== {name} ==")
         if out.scalar is not None:
@@ -85,7 +97,7 @@ def _cmd_run(args) -> int:
 def _cmd_ir(args) -> int:
     prog = _load(args)
     for name, pexpr in prog.portal_exprs.items():
-        pexpr.compile(**_parse_options(args.option))
+        pexpr.compile(**_options(args))
         print(f"== {name} [{args.stage}] ==")
         print(pexpr.ir_dump(args.stage))
         if args.generated:
@@ -104,7 +116,7 @@ def _fmt_timings(timings_ms: dict) -> str:
 
 def _cmd_stats(args) -> int:
     """Execute the program and report observability statistics."""
-    options = _parse_options(args.option)
+    options = _options(args)
     trace_cm = tracing(args.trace) if args.trace else nullcontext()
     summaries: dict[str, dict] = {}
     with trace_cm, collect() as counters:
@@ -151,7 +163,7 @@ def _cmd_stats(args) -> int:
 def _cmd_explain(args) -> int:
     prog = _load(args)
     for name, pexpr in prog.portal_exprs.items():
-        program = pexpr.compile(**_parse_options(args.option))
+        program = pexpr.compile(**_options(args))
         cls = program.classification
         print(f"== {name} ==")
         print(pexpr.describe())
@@ -177,6 +189,14 @@ def main(argv: list[str] | None = None) -> int:
         p.add_argument("--option", action="append", default=[],
                        metavar="KEY=VALUE",
                        help="execute()/compile() option, e.g. tau=1e-3")
+        p.add_argument("--disable-pass", action="append", default=[],
+                       metavar="PASS", dest="disable_pass",
+                       choices=list(TOGGLEABLE_PASSES),
+                       help="skip an IR optimisation pass (repeatable)")
+        p.add_argument("--verify-ir", action="store_true",
+                       dest="verify_ir",
+                       help="run the structural IR verifier after "
+                            "every pass")
 
     p_run = sub.add_parser("run", help="execute the program")
     common(p_run)
@@ -187,8 +207,7 @@ def main(argv: list[str] | None = None) -> int:
     p_ir = sub.add_parser("ir", help="dump the Portal IR")
     common(p_ir)
     p_ir.add_argument("--stage", default="final",
-                      choices=["lowered", "flattened", "numopt",
-                               "strength", "final"])
+                      choices=list(PIPELINE_STAGES))
     p_ir.add_argument("--generated", action="store_true",
                       help="also dump the generated backend source")
     p_ir.set_defaults(fn=_cmd_ir)

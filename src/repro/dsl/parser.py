@@ -330,8 +330,15 @@ class _Parser:
 
     def _unary(self) -> Expr:
         if self.peek().text == "-":
+            from .expr import Const
+
             self.next()
-            return -self._unary()
+            operand = self._unary()
+            if isinstance(operand, Const):
+                # Fold into a negative literal so `-2` round-trips as
+                # Const(-2.0) rather than Neg(Const(2.0)).
+                return Const(-operand.value)
+            return -operand
         return self._primary()
 
     def _primary(self) -> Expr:

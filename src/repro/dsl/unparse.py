@@ -49,7 +49,9 @@ def unparse_expr(e: Expr) -> str:
             "textual spelling in the Appendix-VIII grammar"
         )
     if isinstance(e, Indicator):
-        return f"{unparse_expr(e.lhs)} {e.op} {unparse_expr(e.rhs)}"
+        # Parenthesised: comparisons bind loosest, so an indicator nested
+        # in arithmetic would otherwise re-parse with the wrong precedence.
+        return f"({unparse_expr(e.lhs)} {e.op} {unparse_expr(e.rhs)})"
     raise KernelError(f"cannot unparse expression node {type(e).__name__}")
 
 

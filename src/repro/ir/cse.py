@@ -1,0 +1,199 @@
+"""Common-subexpression elimination by hash-consing (paper section IV-F).
+
+Every IR expression is pure (loads included), and structural
+equality/hashing on :class:`~repro.dsl.expr.Expr` gives content identity
+for free, so CSE reduces to counting structurally equal non-leaf subtrees
+and hoisting each repeated one into a single ``cse<N>`` temporary.
+
+The pass works scope-wide: within one block it shares subexpressions
+*across* statements (the band rule's ``band_hi(g(tmin), g(tmax))`` /
+``band_lo(g(tmin), g(tmax))`` pair collapses to two shared kernel
+evaluations), not just within one statement.  Sharing is only applied
+along runs of statements where no name the expression depends on is
+redefined; nested loop bodies and branches are separate scopes, so no
+loop-carried value is ever hoisted out of its loop.
+
+The rescan loop hoists the largest repeated subtree first and recounts:
+hoisting ``(a-b)*(a-b)`` leaves ``a-b`` occurring once, so its
+components are not hoisted again — temporaries chain only when they are
+genuinely shared.
+"""
+
+from __future__ import annotations
+
+import itertools
+
+from ..dsl.expr import Expr
+from .nodes import (
+    Alloc, Assign, AugAssign, Block, CallStmt, For, IfStmt, IRFunction,
+    IRProgram, LoadExpr, ReturnStmt, Stmt, StoreStmt, SymRef, _map_expr_tree,
+)
+
+__all__ = ["common_subexpression_eliminate"]
+
+
+def _names_read(e: Expr) -> set[str]:
+    out: set[str] = set()
+    for node in e.walk():
+        if isinstance(node, SymRef):
+            out.add(node.name)
+        elif isinstance(node, LoadExpr):
+            out.add(node.array)
+    return out
+
+
+def _names_written(s: Stmt) -> set[str]:
+    """Names a statement may mutate, recursing into nested blocks.
+    ``CallStmt`` intrinsics (sorted_insert, append, ...) mutate their
+    array arguments, so every argument name counts as written."""
+    out: set[str] = set()
+    for stmt in s.walk():
+        if isinstance(stmt, (Assign, AugAssign)):
+            out.add(stmt.target)
+        elif isinstance(stmt, Alloc):
+            out.add(stmt.name)
+        elif isinstance(stmt, StoreStmt):
+            out.add(stmt.array)
+        elif isinstance(stmt, CallStmt):
+            for a in stmt.args:
+                out |= _names_read(a)
+        elif isinstance(stmt, For):
+            out.add(stmt.var)
+    return out
+
+
+def _direct_exprs(s: Stmt) -> tuple[Expr, ...]:
+    """Expression operands evaluated directly by *s* (``Stmt.exprs()``
+    does not recurse into nested blocks, which is exactly the scope
+    boundary CSE needs)."""
+    return s.exprs()
+
+
+def _count_subtrees(stmts: list[Stmt]) -> dict[Expr, int]:
+    counts: dict[Expr, int] = {}
+
+    def visit(e: Expr):
+        if e.children():
+            counts[e] = counts.get(e, 0) + 1
+        for c in e.children():
+            visit(c)
+
+    for s in stmts:
+        for e in _direct_exprs(s):
+            visit(e)
+    return counts
+
+
+def _occurrences(e: Expr, sub: Expr) -> int:
+    n = 1 if e == sub else 0
+    for c in e.children():
+        n += _occurrences(c, sub)
+    return n
+
+
+def _rewrite_direct(s: Stmt, fn) -> Stmt:
+    """Rewrite only the directly evaluated expressions of *s* (nested
+    blocks untouched — they are separate CSE scopes)."""
+    if isinstance(s, Assign):
+        return Assign(s.target, _map_expr_tree(s.value, fn))
+    if isinstance(s, AugAssign):
+        return AugAssign(
+            s.target, s.op, _map_expr_tree(s.value, fn),
+            None if s.index is None else _map_expr_tree(s.index, fn),
+        )
+    if isinstance(s, StoreStmt):
+        return StoreStmt(
+            s.array, tuple(_map_expr_tree(i, fn) for i in s.indices),
+            _map_expr_tree(s.value, fn),
+        )
+    if isinstance(s, ReturnStmt):
+        return ReturnStmt(
+            None if s.value is None else _map_expr_tree(s.value, fn)
+        )
+    if isinstance(s, CallStmt):
+        return CallStmt(s.func, tuple(_map_expr_tree(a, fn) for a in s.args))
+    if isinstance(s, Alloc):
+        return Alloc(
+            s.name,
+            None if s.size is None else _map_expr_tree(s.size, fn),
+            None if s.init is None else _map_expr_tree(s.init, fn),
+        )
+    if isinstance(s, For):
+        return For(s.var, _map_expr_tree(s.start, fn),
+                   _map_expr_tree(s.end, fn), s.body)
+    if isinstance(s, IfStmt):
+        return IfStmt(_map_expr_tree(s.cond, fn), s.then, s.orelse)
+    return s
+
+
+def _find_run(stmts: list[Stmt], sub: Expr) -> tuple[int, int] | None:
+    """First maximal statement range sharing ≥2 occurrences of *sub* with
+    no interposed write to any name *sub* reads.  A statement may both
+    read *sub* and write its dependencies (``t = max(t, gap)``): reads
+    happen first, so its occurrences join the run, which ends after it."""
+    deps = _names_read(sub)
+    start = None
+    occ = 0
+    for i, s in enumerate(stmts):
+        here = sum(_occurrences(e, sub) for e in _direct_exprs(s))
+        if here:
+            if start is None:
+                start = i
+            occ += here
+        if _names_written(s) & deps:
+            if occ >= 2:
+                return (start, i)
+            start, occ = None, 0
+    if occ >= 2 and start is not None:
+        return (start, len(stmts) - 1)
+    return None
+
+
+def _cse_scope(stmts: list[Stmt], counter) -> list[Stmt]:
+    stmts = list(stmts)
+    while True:
+        counts = _count_subtrees(stmts)
+        candidates = [e for e, c in counts.items() if c >= 2]
+        candidates.sort(key=lambda e: (-sum(1 for _ in e.walk()), repr(e)))
+        hoisted = False
+        for sub in candidates:
+            run = _find_run(stmts, sub)
+            if run is None:
+                continue
+            lo, hi = run
+            name = f"cse{next(counter)}"
+            ref = SymRef(name)
+            replace = lambda e, sub=sub, ref=ref: ref if e == sub else e
+            for i in range(lo, hi + 1):
+                stmts[i] = _rewrite_direct(stmts[i], replace)
+            stmts.insert(lo, Assign(name, sub))
+            hoisted = True
+            break
+        if not hoisted:
+            return stmts
+
+
+def _cse_block(block: Block, counter) -> Block:
+    out: list[Stmt] = []
+    for s in block.stmts:
+        if isinstance(s, For):
+            s = For(s.var, s.start, s.end, _cse_block(s.body, counter))
+        elif isinstance(s, IfStmt):
+            s = IfStmt(
+                s.cond, _cse_block(s.then, counter),
+                None if s.orelse is None else _cse_block(s.orelse, counter),
+            )
+        out.append(s)
+    return Block(_cse_scope(out, counter))
+
+
+def common_subexpression_eliminate(program: IRProgram) -> IRProgram:
+    """Hoist repeated pure subexpressions into shared temporaries."""
+    counter = itertools.count(1)
+    return IRProgram(
+        {
+            name: IRFunction(fn.name, fn.params, _cse_block(fn.body, counter))
+            for name, fn in program.functions.items()
+        },
+        dict(program.meta),
+    )

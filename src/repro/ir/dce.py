@@ -1,0 +1,112 @@
+"""Dead-code elimination by liveness from layer outputs (section IV-F).
+
+A value is live when it is reachable from an observable effect: injected
+storage (the layer outputs), array stores, statement-level intrinsic
+calls, returns, and accumulator updates into live targets.  Liveness is
+computed as a fixpoint over the whole function — a chain of temporaries
+feeding only a dead assignment dies with it, unlike the previous
+single-sweep pass which kept any name that was merely *mentioned*.
+
+Structure statements follow their contents: a loop or branch whose body
+retains no effectful statement is dropped entirely (its bounds and
+condition are pure).  Array allocations and comments are always kept —
+arrays may be mutated through intrinsics the liveness model does not
+trace, and comments carry the paper-figure annotations.
+"""
+
+from __future__ import annotations
+
+from ..dsl.expr import Expr
+from .nodes import (
+    Alloc, Assign, AugAssign, Block, CallStmt, Comment, For, IfStmt,
+    IRFunction, IRProgram, LoadExpr, ReturnStmt, Stmt, StoreStmt, SymRef,
+)
+
+__all__ = ["dead_code_eliminate"]
+
+
+def _names_read(exprs) -> set[str]:
+    out: set[str] = set()
+    for e in exprs:
+        for node in e.walk():
+            if isinstance(node, SymRef):
+                out.add(node.name)
+            elif isinstance(node, LoadExpr):
+                out.add(node.array)
+    return out
+
+
+def _is_output(name: str) -> bool:
+    return name.startswith("storage")
+
+
+def _stmt_live(s: Stmt, live: set[str]) -> bool:
+    if isinstance(s, (StoreStmt, CallStmt, ReturnStmt)):
+        return True
+    if isinstance(s, Assign):
+        return s.target in live or _is_output(s.target)
+    if isinstance(s, AugAssign):
+        return s.target in live or _is_output(s.target)
+    if isinstance(s, Alloc):
+        # Array allocations are always kept (mutated via intrinsics).
+        return s.size is not None or s.name in live or _is_output(s.name)
+    if isinstance(s, (For, IfStmt)):
+        return any(
+            _stmt_live(inner, live)
+            for b in s.blocks() for inner in b.stmts
+        )
+    return False  # comments are handled separately
+
+
+def _mark(fn: IRFunction) -> set[str]:
+    """Fixpoint liveness: names read by any live statement."""
+    live: set[str] = set()
+    while True:
+        new = set(live)
+        for s in fn.body.walk():
+            if isinstance(s, Comment):
+                continue
+            if _stmt_live(s, new):
+                new |= _names_read(s.exprs())
+        if new == live:
+            return live
+        live = new
+
+
+def _sweep(block: Block, live: set[str]) -> Block:
+    out: list[Stmt] = []
+    for s in block.stmts:
+        if isinstance(s, Comment):
+            out.append(s)
+            continue
+        if isinstance(s, For):
+            body = _sweep(s.body, live)
+            if any(not isinstance(i, Comment) for i in body.stmts):
+                out.append(For(s.var, s.start, s.end, body))
+            continue
+        if isinstance(s, IfStmt):
+            then = _sweep(s.then, live)
+            orelse = None if s.orelse is None else _sweep(s.orelse, live)
+            kept_then = any(not isinstance(i, Comment) for i in then.stmts)
+            kept_else = orelse is not None and any(
+                not isinstance(i, Comment) for i in orelse.stmts
+            )
+            if kept_then or kept_else:
+                out.append(IfStmt(s.cond, then, orelse))
+            continue
+        if _stmt_live(s, live):
+            out.append(s)
+    return Block(out)
+
+
+def dead_code_eliminate(program: IRProgram) -> IRProgram:
+    """Remove statements unreachable from layer outputs and effects."""
+
+    def clean(fn: IRFunction) -> IRFunction:
+        live = _mark(fn)
+        return IRFunction(fn.name, fn.params, _sweep(fn.body, live))
+
+    return IRProgram(
+        {k: clean(f) for k, f in program.functions.items()},
+        dict(program.meta),
+    )

@@ -362,6 +362,7 @@ def _compute_approx(
     names: dict, classification: Classification,
 ) -> IRFunction:
     stmts: list = []
+    params = ("N1", "N2")
     if rule.kind == "none" and not classification.is_pruning:
         stmts.append(Comment("no approximation rule generated (brute force)"))
         stmts.append(ReturnStmt(Const(0.0)))
@@ -375,6 +376,9 @@ def _compute_approx(
         stmts.append(Comment("closed-form contribution for all-inside pairs "
                              "(0 for all-outside pairs)"))
         if rule.inside_action == "count_product":
+            # The traversal driver passes the node-pair max distance in;
+            # declare it so the IR verifier sees a defined name.
+            params = ("N1", "N2", "tmax")
             stmts.append(IfStmt(
                 Indicator(rule.indicator_op, SymRef("tmax"),
                           Const(rule.indicator_h)),
@@ -406,7 +410,31 @@ def _compute_approx(
                       BinOp("*", IRCall("node_weight", (SymRef("N2"),)), g_center),
                       index=SymRef("q")),
         ])))
-    return IRFunction("ComputeApprox", ("N1", "N2"), Block(stmts))
+    return IRFunction("ComputeApprox", params, Block(stmts))
+
+
+def _rename_storage(stmts: list, mapping: dict) -> list:
+    """Rename storage targets and references in *stmts* (recursing into
+    nested blocks) — used by the m-layer lowering to give each level its
+    own accumulator."""
+
+    def fix_expr(e: Expr) -> Expr:
+        if isinstance(e, SymRef) and e.name in mapping:
+            return SymRef(mapping[e.name])
+        return e
+
+    def fix_stmt(s):
+        if isinstance(s, Alloc) and s.name in mapping:
+            return Alloc(mapping[s.name], s.size, s.init)
+        if isinstance(s, Assign) and s.target in mapping:
+            return Assign(mapping[s.target], s.value)
+        if isinstance(s, AugAssign) and s.target in mapping:
+            return AugAssign(mapping[s.target], s.op, s.value, s.index)
+        if isinstance(s, StoreStmt) and s.array in mapping:
+            return StoreStmt(mapping[s.array], s.indices, s.value)
+        return s
+
+    return list(Block(stmts).map_exprs(fix_expr).map_stmts(fix_stmt).stmts)
 
 
 def _base_case_multilayer(layers: list[Layer]) -> IRFunction:
@@ -430,9 +458,13 @@ def _base_case_multilayer(layers: list[Layer]) -> IRFunction:
     # Innermost-out: each layer's reduction update wraps the loop below.
     for i in range(m - 1, 0, -1):
         layer = layers[i]
-        inner_stmts = body + _inner_update(layer, vars_[i])
-        init = _inner_init(layer)
-        # Rename the per-level storages so levels don't collide.
+        # Rename the per-level storages so levels don't collide: level i
+        # accumulates into storage<i> (level 1 keeps the two-layer name).
+        acc = f"storage{i}"
+        mapping = {"storage1": acc, "storage1_arg": f"{acc}_arg"}
+        update = _rename_storage(_inner_update(layer, vars_[i]), mapping)
+        init = _rename_storage(_inner_init(layer), mapping)
+        inner_stmts = body + update
         loop = For(vars_[i], SymRef(f"{names[i]}.start"),
                    SymRef(f"{names[i]}.end"), Block(inner_stmts))
         body = (
@@ -440,7 +472,7 @@ def _base_case_multilayer(layers: list[Layer]) -> IRFunction:
             + init + [loop]
         )
         if i > 1:
-            body += [Assign("kval", SymRef("storage1"))]
+            body += [Assign("kval", SymRef(acc))]
     outer = layers[0]
     query_body = Block(body + _outer_merge(outer, layers[1], vars_[0]))
     full = Block(

@@ -113,6 +113,8 @@ def _register_ir_funcs():
             "cholesky": lambda S: _chol(S, lower=True),
             "forward_sub": lambda L, y: solve_triangular(L, y, lower=True),
             "dot": np.dot,
+            # dot(x, x) after the simplify pass: same product, one read.
+            "sqnorm": lambda v: np.dot(v, v),
             # Dense Mahalanobis form: replaced by the numerical-optimisation
             # pass; kept executable so pre-pass IR is still interpretable.
             "mahalanobis": lambda y, S: float(y @ np.linalg.inv(S) @ y),

@@ -3,198 +3,55 @@
 The manager runs the pipeline of Fig. 1 —
 
     Lowering & Storage Injection → Flattening → Numerical Optimization →
-    Strength Reduction → standard cleanups (constant folding, DCE) →
-    Code Generation
+    Strength Reduction → standard cleanups (algebraic simplification,
+    constant folding, CSE, DCE) → Code Generation
 
 — and keeps the IR snapshot after every stage so Figs 2 and 3 (the
 per-stage IR dumps for nearest neighbor and KDE) can be regenerated.
+
+When ``verify`` is enabled the structural verifier
+(:mod:`repro.ir.verify`) checks the program after lowering and after
+every pass, so a pass that emits invalid IR fails immediately with an
+:class:`~repro.ir.verify.IRVerificationError` naming it — rather than as
+a downstream miscompile.
 """
 
 from __future__ import annotations
 
-import math
 import time
 from dataclasses import dataclass, field
 
-from ..dsl.expr import BinOp, Const, Expr, Neg
 from ..observe import contribute, span
+from .cse import common_subexpression_eliminate
+from .dce import dead_code_eliminate
 from .flattening import flatten
-from .nodes import (
-    Alloc, Assign, IRCall, IRFunction, IRProgram, Stmt, SymRef,
-)
+from .nodes import IRProgram
 from .numerical_opt import numerical_optimize
+from .simplify import fold_node, simplify
 from .strength_reduction import strength_reduce
+from .verify import verify_program
 
 __all__ = [
     "constant_fold", "dead_code_eliminate", "common_subexpression_eliminate",
-    "PassManager", "PIPELINE_STAGES", "TOGGLEABLE_PASSES",
+    "simplify", "PassManager", "PIPELINE_STAGES", "TOGGLEABLE_PASSES",
 ]
 
-#: Ordered stage names of the compiler pipeline (Fig. 1).
+#: Ordered stage names of the compiler pipeline (Fig. 1).  Snapshots are
+#: taken after flattening, after each named optimisation stage, and after
+#: the closing fold+DCE cleanup ("final").
 PIPELINE_STAGES = (
-    "lowered", "flattened", "numopt", "strength", "final",
+    "lowered", "flattened", "numopt", "strength", "simplify", "cse", "final",
 )
 
 #: Optimisation passes that may be disabled individually (flattening is
 #: not optional: the backends address flattened 1-D strided storage).
-TOGGLEABLE_PASSES = ("numopt", "strength", "fold", "cse", "dce")
-
-_FOLDABLE = {
-    "sqrt": math.sqrt,
-    "exp": math.exp,
-    "log": math.log,
-    "abs": abs,
-    "pow": lambda x, n: x ** n,
-    "max": max,
-    "min": min,
-}
+TOGGLEABLE_PASSES = ("numopt", "strength", "simplify", "fold", "cse", "dce")
 
 
 def constant_fold(program: IRProgram) -> IRProgram:
-    """Evaluate constant sub-expressions and apply algebraic identities."""
-
-    def fold(e: Expr) -> Expr:
-        if isinstance(e, Neg) and isinstance(e.operand, Const):
-            return Const(-e.operand.value)
-        if isinstance(e, BinOp):
-            a, b = e.lhs, e.rhs
-            if isinstance(a, Const) and isinstance(b, Const):
-                try:
-                    return Const({
-                        "+": a.value + b.value,
-                        "-": a.value - b.value,
-                        "*": a.value * b.value,
-                        "/": a.value / b.value if b.value != 0 else math.inf,
-                        "**": a.value ** b.value,
-                    }[e.op])
-                except (OverflowError, ValueError):
-                    return e
-            # Identities: x*1, 1*x, x+0, 0+x, x-0, x/1.
-            if e.op == "*" and isinstance(b, Const) and b.value == 1.0:
-                return a
-            if e.op == "*" and isinstance(a, Const) and a.value == 1.0:
-                return b
-            if e.op == "+" and isinstance(b, Const) and b.value == 0.0:
-                return a
-            if e.op == "+" and isinstance(a, Const) and a.value == 0.0:
-                return b
-            if e.op == "-" and isinstance(b, Const) and b.value == 0.0:
-                return a
-            if e.op == "/" and isinstance(b, Const) and b.value == 1.0:
-                return a
-        if isinstance(e, IRCall) and e.func in _FOLDABLE and all(
-            isinstance(a, Const) for a in e.args
-        ):
-            try:
-                return Const(float(_FOLDABLE[e.func](*(a.value for a in e.args))))
-            except (ValueError, OverflowError):
-                return e
-        return e
-
-    return program.map_exprs(fold)
-
-
-def dead_code_eliminate(program: IRProgram) -> IRProgram:
-    """Remove assignments and scalar allocations whose names are never read.
-
-    Conservative: storage names (program outputs) and array allocations
-    are always kept.
-    """
-
-    def clean(fn: IRFunction) -> IRFunction:
-        used: set[str] = set()
-        for stmt in fn.body.walk():
-            for e in stmt.exprs():
-                for node in e.walk():
-                    if isinstance(node, SymRef):
-                        used.add(node.name)
-
-        def rewrite(s: Stmt):
-            if isinstance(s, Assign) and s.target not in used and not (
-                s.target.startswith("storage")
-            ):
-                return None
-            if (
-                isinstance(s, Alloc)
-                and s.size is None
-                and s.name not in used
-                and not s.name.startswith("storage")
-            ):
-                return None
-            return s
-
-        return fn.map_stmts(rewrite)
-
-    return IRProgram(
-        {k: clean(f) for k, f in program.functions.items()}, dict(program.meta)
-    )
-
-
-def _repeated_subexprs(e: Expr) -> list[Expr]:
-    """Non-leaf subexpressions appearing at least twice, largest first."""
-    counts: dict[Expr, int] = {}
-
-    def visit(n: Expr):
-        if n.children():
-            counts[n] = counts.get(n, 0) + 1
-        for c in n.children():
-            visit(c)
-
-    visit(e)
-    repeated = [n for n, c in counts.items() if c >= 2]
-    repeated.sort(key=lambda n: -sum(1 for _ in n.walk()))
-    return repeated
-
-
-def common_subexpression_eliminate(program: IRProgram) -> IRProgram:
-    """Per-statement local CSE.
-
-    The strength-reduction pass duplicates operand trees (``pow(x, 2)``
-    becomes ``x * x`` with ``x`` materialised twice); this pass hoists
-    each repeated pure subexpression of a single statement into a fresh
-    temporary.  All IR expressions are pure (loads included), and scoping
-    to one statement avoids any cross-statement dependence analysis.
-    """
-    from .nodes import AugAssign, ReturnStmt, StoreStmt
-
-    counter = [0]
-
-    def clean(fn: IRFunction) -> IRFunction:
-        def rewrite(s):
-            if not isinstance(s, (Assign, AugAssign, StoreStmt, ReturnStmt)):
-                return s
-            values = s.exprs()
-            if not values:
-                return s
-            prefix: list = []
-            current = s
-            # One hoist per repeated subtree, largest first, rescanning
-            # after each rewrite (a hoist can collapse other repeats).
-            while True:
-                target_exprs = current.exprs()
-                candidates: list[Expr] = []
-                for v in target_exprs:
-                    candidates.extend(_repeated_subexprs(v))
-                if not candidates:
-                    break
-                sub = candidates[0]
-                counter[0] += 1
-                name = f"cse{counter[0]}"
-                prefix.append(Assign(name, sub))
-                current = current.map_exprs(
-                    lambda e, sub=sub, name=name:
-                        SymRef(name) if e == sub else e
-                )
-            if not prefix:
-                return s
-            return prefix + [current]
-
-        return fn.map_stmts(rewrite)
-
-    return IRProgram(
-        {k: clean(f) for k, f in program.functions.items()},
-        dict(program.meta),
-    )
+    """Evaluate constant sub-expressions and apply exact identities
+    (the folding core shared with :func:`repro.ir.simplify.simplify`)."""
+    return program.map_exprs(fold_node)
 
 
 @dataclass
@@ -206,11 +63,14 @@ class PassManager:
     an ``ir.pass.<name>`` tracer span when tracing is enabled.  Passes
     named in ``disabled`` (see :data:`TOGGLEABLE_PASSES`) are skipped —
     the differential test harness uses this to check that every
-    optimisation is semantics-preserving.
+    optimisation is semantics-preserving.  With ``verify`` on, the
+    structural verifier runs after every pass (timed under the
+    ``verify`` key and the ``passes.verify_s`` counter).
     """
 
     fastmath: bool = True
     disabled: frozenset[str] = frozenset()
+    verify: bool = False
     snapshots: dict[str, IRProgram] = field(default_factory=dict)
     timings: dict[str, float] = field(default_factory=dict)
 
@@ -223,6 +83,18 @@ class PassManager:
                 f"toggleable: {TOGGLEABLE_PASSES}"
             )
 
+    def _verify(self, name: str, prog: IRProgram):
+        t0 = time.perf_counter()
+        try:
+            verify_program(prog, pass_name=name)
+        except Exception:
+            contribute({"passes.verify_failures": 1})
+            raise
+        finally:
+            dt = time.perf_counter() - t0
+            self.timings["verify"] = self.timings.get("verify", 0.0) + dt
+            contribute({"passes.verify_s": dt})
+
     def _apply(self, name: str, fn, prog: IRProgram) -> IRProgram:
         if name in self.disabled:
             self.timings.setdefault(name, 0.0)
@@ -233,10 +105,14 @@ class PassManager:
         dt = time.perf_counter() - t0
         self.timings[name] = self.timings.get(name, 0.0) + dt
         contribute({f"passes.{name}_s": dt})
+        if self.verify:
+            self._verify(name, out)
         return out
 
     def run(self, lowered: IRProgram) -> IRProgram:
         self.snapshots["lowered"] = lowered
+        if self.verify:
+            self._verify("lowering", lowered)
         prog = self._apply("flatten", flatten, lowered)
         self.snapshots["flattened"] = prog
         prog = self._apply("numopt", numerical_optimize, prog)
@@ -247,8 +123,15 @@ class PassManager:
             prog,
         )
         self.snapshots["strength"] = prog
+        prog = self._apply(
+            "simplify",
+            lambda p: simplify(p, fastmath=self.fastmath),
+            prog,
+        )
+        self.snapshots["simplify"] = prog
         prog = self._apply("fold", constant_fold, prog)
         prog = self._apply("cse", common_subexpression_eliminate, prog)
+        self.snapshots["cse"] = prog
         prog = self._apply("fold", constant_fold, prog)
         prog = self._apply("dce", dead_code_eliminate, prog)
         self.snapshots["final"] = prog

@@ -1,0 +1,148 @@
+"""Algebraic simplification pass over the Table I operator set.
+
+Extends plain constant folding with identity/zero rewrites and a small
+set of inverse-function cancellations.  Rewrites that are exact in IEEE
+double arithmetic are always applied; rewrites that can change a result
+in corner cases (``x * 0 → 0`` hides NaN/Inf propagation,
+``exp(log(x)) → x`` changes overflow behaviour) are gated behind the
+``fastmath`` compile flag, mirroring the strength-reduction pass.
+
+The single-node folding core (:func:`fold_node`) is shared with the
+pass manager's standalone ``fold`` pass.
+"""
+
+from __future__ import annotations
+
+import math
+
+from ..dsl.expr import BinOp, Const, Expr, Indicator, Neg
+from .nodes import IRCall, IRProgram
+
+__all__ = ["simplify", "fold_node"]
+
+_FOLDABLE = {
+    "sqrt": math.sqrt,
+    "exp": math.exp,
+    "log": math.log,
+    "abs": abs,
+    "pow": lambda x, n: x ** n,
+    "max": max,
+    "min": min,
+}
+
+_CMP = {
+    "<": lambda a, b: a < b, "<=": lambda a, b: a <= b,
+    ">": lambda a, b: a > b, ">=": lambda a, b: a >= b,
+    "==": lambda a, b: a == b, "!=": lambda a, b: a != b,
+}
+
+
+def _const(e: Expr, value: float) -> bool:
+    return isinstance(e, Const) and e.value == value
+
+
+def fold_node(e: Expr) -> Expr:
+    """Constant folding + exact identities for one (rebuilt) node."""
+    if isinstance(e, Neg) and isinstance(e.operand, Const):
+        return Const(-e.operand.value)
+    if isinstance(e, BinOp):
+        a, b = e.lhs, e.rhs
+        if isinstance(a, Const) and isinstance(b, Const):
+            try:
+                return Const({
+                    "+": a.value + b.value,
+                    "-": a.value - b.value,
+                    "*": a.value * b.value,
+                    "/": a.value / b.value if b.value != 0 else math.inf,
+                    "**": a.value ** b.value,
+                }[e.op])
+            except (OverflowError, ValueError):
+                return e
+        # Identities: x*1, 1*x, x+0, 0+x, x-0, x/1.
+        if e.op == "*" and _const(b, 1.0):
+            return a
+        if e.op == "*" and _const(a, 1.0):
+            return b
+        if e.op == "+" and _const(b, 0.0):
+            return a
+        if e.op == "+" and _const(a, 0.0):
+            return b
+        if e.op == "-" and _const(b, 0.0):
+            return a
+        if e.op == "/" and _const(b, 1.0):
+            return a
+    if isinstance(e, IRCall) and e.func in _FOLDABLE and all(
+        isinstance(a, Const) for a in e.args
+    ):
+        try:
+            return Const(float(_FOLDABLE[e.func](*(a.value for a in e.args))))
+        except (ValueError, OverflowError):
+            return e
+    return e
+
+
+def _simplify_node(e: Expr, fastmath: bool) -> Expr:
+    e = fold_node(e)
+    if isinstance(e, Neg) and isinstance(e.operand, Neg):
+        return e.operand.operand
+    if isinstance(e, Indicator) and isinstance(e.lhs, Const) and isinstance(
+        e.rhs, Const
+    ):
+        return Const(1.0 if _CMP[e.op](e.lhs.value, e.rhs.value) else 0.0)
+    if isinstance(e, BinOp):
+        a, b = e.lhs, e.rhs
+        if e.op == "-" and _const(a, 0.0):
+            return Neg(b)
+        if e.op == "+" and a == b:
+            # x + x == 2*x exactly in IEEE arithmetic; halves the reads.
+            return BinOp("*", Const(2.0), a)
+        if fastmath:
+            # Unsafe identities: hide NaN/Inf propagation from x.
+            if e.op == "*" and (_const(a, 0.0) or _const(b, 0.0)):
+                return Const(0.0)
+            if e.op == "/" and _const(a, 0.0):
+                return Const(0.0)
+            if e.op == "-" and a == b:
+                return Const(0.0)
+            if e.op == "/" and a == b:
+                return Const(1.0)
+    if isinstance(e, IRCall):
+        args = e.args
+        if e.func == "pow" and len(args) == 2 and _const(args[1], 1.0):
+            return args[0]
+        if e.func == "pow" and len(args) == 2 and _const(args[1], 0.0):
+            return Const(1.0)
+        if e.func in ("min", "max") and len(args) == 2 and args[0] == args[1]:
+            return args[0]
+        if (e.func == "abs" and len(args) == 1
+                and isinstance(args[0], IRCall) and args[0].func == "abs"):
+            return args[0]
+        if e.func == "dot" and len(args) == 2 and args[0] == args[1]:
+            # dot(x, x) → sqnorm(x): evaluates x once (paper Table I norm).
+            return IRCall("sqnorm", (args[0],))
+        if fastmath and e.func == "exp" and len(args) == 1 and (
+            isinstance(args[0], IRCall) and args[0].func == "log"
+        ):
+            return args[0].args[0]
+        if fastmath and e.func == "log" and len(args) == 1 and (
+            isinstance(args[0], IRCall) and args[0].func == "exp"
+        ):
+            return args[0].args[0]
+        if fastmath and e.func == "sqrt" and len(args) == 1 and (
+            isinstance(args[0], IRCall) and args[0].func == "pow"
+            and len(args[0].args) == 2 and _const(args[0].args[1], 2.0)
+        ):
+            return IRCall("abs", (args[0].args[0],))
+        if fastmath and e.func == "pow" and len(args) == 2 and (
+            _const(args[1], 2.0)
+            and isinstance(args[0], IRCall) and args[0].func == "sqrt"
+        ):
+            return args[0].args[0]
+    return e
+
+
+def simplify(program: IRProgram, fastmath: bool = False) -> IRProgram:
+    """Apply algebraic simplification to every function of *program*."""
+    out = program.map_exprs(lambda e: _simplify_node(e, fastmath))
+    out.meta["simplified"] = True
+    return out

@@ -2,8 +2,12 @@
 
 Replaces long-latency operations with cheaper forms:
 
-* ``pow(x, n)`` with an integer exponent ``n < 4`` becomes a chained
-  multiplication (exact — always applied);
+* ``pow(x, n)`` with an integer exponent ``2 ≤ n ≤ 8`` becomes a chain
+  of multiplications by binary exponentiation (exact — always applied);
+  in statement context the operand ``x`` and intermediate squares are
+  materialised once into shared ``sr<N>`` temporaries, so the rewrite
+  never duplicates the operand tree (the duplication CSE previously had
+  to rediscover);
 * ``1 / sqrt(x)`` becomes ``fast_inverse_sqrt(x)`` (applied when
   ``fastmath`` is enabled);
 * ``sqrt(x)`` becomes ``1 / fast_inverse_sqrt(x)`` — the paper's safe
@@ -18,19 +22,48 @@ so ``fastmath`` is surfaced as a compile option.
 from __future__ import annotations
 
 from ..dsl.expr import BinOp, Const, Expr
-from .nodes import IRCall, IRProgram, _map_expr_tree
+from .nodes import (
+    Alloc, Assign, AugAssign, CallStmt, For, IfStmt, IRCall, IRFunction,
+    IRProgram, ReturnStmt, Stmt, StoreStmt, SymRef, _map_expr_tree,
+)
 
-__all__ = ["strength_reduce", "reduce_expr"]
+__all__ = ["strength_reduce", "reduce_expr", "MAX_POW_CHAIN"]
+
+#: Largest integer exponent expanded into a multiplication chain.
+MAX_POW_CHAIN = 8
 
 
-def _chain_multiply(x: Expr, n: int) -> Expr:
-    out = x
-    for _ in range(n - 1):
-        out = BinOp("*", out, x)
-    return out
+def _pow_chain(base: Expr, n: int, materialize) -> Expr:
+    """Binary-exponentiation chain for ``base ** n`` (2 ≤ n ≤ 8).
+    *materialize* shares an intermediate square: a hoisted temporary in
+    statement context, the same sub-tree object in expression context."""
+    mul = lambda a, b: BinOp("*", a, b)
+    if n == 2:
+        return mul(base, base)
+    if n == 3:
+        return mul(mul(base, base), base)
+    sq = materialize(mul(base, base))
+    if n == 4:
+        return mul(sq, sq)
+    if n == 5:
+        return mul(mul(sq, sq), base)
+    if n == 6:
+        return mul(mul(sq, sq), sq)
+    if n == 7:
+        return mul(mul(mul(sq, sq), sq), base)
+    sq2 = materialize(mul(sq, sq))  # n == 8
+    return mul(sq2, sq2)
 
 
-def _make_rewriter(fastmath: bool):
+def _make_rewriter(fastmath: bool, hoist=None):
+    """Node rewriter; *hoist* (when given) materialises an expression into
+    a fresh shared temporary, returning its :class:`SymRef`."""
+
+    def materialize(e: Expr) -> Expr:
+        if hoist is None or isinstance(e, (SymRef, Const)):
+            return e
+        return hoist(e)
+
     def rewrite(e: Expr) -> Expr:
         if isinstance(e, IRCall) and e.func == "pow" and len(e.args) == 2:
             x, n = e.args
@@ -38,8 +71,10 @@ def _make_rewriter(fastmath: bool):
                 ni = int(n.value)
                 if ni == 0:
                     return Const(1.0)
-                if 1 <= ni < 4:
-                    return _chain_multiply(x, ni)
+                if ni == 1:
+                    return x
+                if 2 <= ni <= MAX_POW_CHAIN:
+                    return _pow_chain(materialize(x), ni, materialize)
             return e
         if fastmath and isinstance(e, IRCall) and e.func == "sqrt":
             return BinOp(
@@ -65,9 +100,55 @@ def _make_rewriter(fastmath: bool):
     return rewrite
 
 
+def _reduce_stmt(s: Stmt, fastmath: bool, counter: list[int]):
+    """Rewrite the directly evaluated expressions of one statement,
+    hoisting pow operands into ``sr<N>`` temporaries prefixed before it.
+    (Direct expressions of loops and branches — bounds, conditions — are
+    evaluated once before their bodies, so the prefix is sound there
+    too; bodies are rewritten as their own statements.)"""
+    prefix: list[Stmt] = []
+
+    def hoist(e: Expr) -> Expr:
+        counter[0] += 1
+        name = f"sr{counter[0]}"
+        prefix.append(Assign(name, e))
+        return SymRef(name)
+
+    node = _make_rewriter(fastmath, hoist)
+
+    def rw(e: Expr) -> Expr:
+        return _map_expr_tree(e, node)
+
+    if isinstance(s, Assign):
+        s = Assign(s.target, rw(s.value))
+    elif isinstance(s, AugAssign):
+        s = AugAssign(s.target, s.op, rw(s.value),
+                      None if s.index is None else rw(s.index))
+    elif isinstance(s, StoreStmt):
+        s = StoreStmt(s.array, tuple(rw(i) for i in s.indices), rw(s.value))
+    elif isinstance(s, ReturnStmt):
+        s = ReturnStmt(None if s.value is None else rw(s.value))
+    elif isinstance(s, CallStmt):
+        s = CallStmt(s.func, tuple(rw(a) for a in s.args))
+    elif isinstance(s, Alloc):
+        s = Alloc(s.name,
+                  None if s.size is None else rw(s.size),
+                  None if s.init is None else rw(s.init))
+    elif isinstance(s, For):
+        s = For(s.var, rw(s.start), rw(s.end), s.body)
+    elif isinstance(s, IfStmt):
+        s = IfStmt(rw(s.cond), s.then, s.orelse)
+    return prefix + [s] if prefix else s
+
+
 def strength_reduce(program: IRProgram, fastmath: bool = True) -> IRProgram:
     """Apply strength reduction to every function of the program."""
-    out = program.map_exprs(_make_rewriter(fastmath))
+    counter = [0]
+    functions = {
+        name: fn.map_stmts(lambda s: _reduce_stmt(s, fastmath, counter))
+        for name, fn in program.functions.items()
+    }
+    out = IRProgram(functions, dict(program.meta))
     out.meta["strength_reduced"] = True
     out.meta["fastmath"] = fastmath
     return out
@@ -75,5 +156,7 @@ def strength_reduce(program: IRProgram, fastmath: bool = True) -> IRProgram:
 
 def reduce_expr(e: Expr, fastmath: bool = True) -> Expr:
     """Strength-reduce a bare expression (used by the code generator on
-    the kernel body, so the emitted source contains the reduced forms)."""
+    the kernel body, so the emitted source contains the reduced forms).
+    Intermediate squares are shared sub-tree objects; the emitter's
+    value numbering materialises each shared square once."""
     return _map_expr_tree(e, _make_rewriter(fastmath))

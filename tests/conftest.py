@@ -6,6 +6,13 @@ import pytest
 from repro.backend.cache import clear_caches
 
 
+def pytest_addoption(parser):
+    parser.addoption(
+        "--update-golden", action="store_true", default=False,
+        help="rewrite the golden IR dumps under tests/ir/golden/",
+    )
+
+
 @pytest.fixture(autouse=True)
 def _isolated_caches():
     """Tests must be order-independent: the execution caches are
@@ -13,6 +20,13 @@ def _isolated_caches():
     clear_caches()
     yield
     clear_caches()
+
+
+@pytest.fixture(autouse=True)
+def _verify_ir(monkeypatch):
+    """Run the structural IR verifier after every pass in every compile
+    the suite performs (benchmarks leave it off)."""
+    monkeypatch.setenv("REPRO_VERIFY_IR", "1")
 
 
 @pytest.fixture

@@ -127,9 +127,61 @@ class TestStrengthReduction:
         out = reduce_expr(IRCall("pow", (SymRef("x"), Const(3.0))))
         assert repr(out) == "((x * x) * x)"
 
-    def test_pow4_kept(self):
+    def test_pow4_binary_exponentiation(self):
         out = reduce_expr(IRCall("pow", (SymRef("x"), Const(4.0))))
+        assert repr(out) == "((x * x) * (x * x))"
+        # The square is one shared sub-tree object, not a duplicated copy:
+        # the emitter's value numbering materialises it once.
+        assert out.lhs is out.rhs
+
+    def test_pow8_two_squarings(self):
+        out = reduce_expr(IRCall("pow", (SymRef("x"), Const(8.0))))
+        assert out.lhs is out.rhs and out.lhs.lhs is out.lhs.rhs
+
+    def test_pow9_kept(self):
+        out = reduce_expr(IRCall("pow", (SymRef("x"), Const(9.0))))
         assert isinstance(out, IRCall) and out.func == "pow"
+
+    def test_pow1_is_operand(self):
+        out = reduce_expr(IRCall("pow", (SymRef("x"), Const(1.0))))
+        assert out == SymRef("x")
+
+    def test_statement_pass_hoists_shared_operand(self):
+        # pow(load-load, 2) in statement context: the operand is
+        # materialised once into an sr temporary, not duplicated.
+        from repro.ir.nodes import LoadExpr
+
+        diff = BinOp("-", LoadExpr("a", (SymRef("i"),)),
+                     LoadExpr("b", (SymRef("i"),)))
+        p = prog_of([Assign("storage0", IRCall("pow", (diff, Const(2.0))))])
+        out = strength_reduce(p, fastmath=False)
+        stmts = out["F"].body.stmts
+        assert len(stmts) == 2
+        assert stmts[0].target.startswith("sr")
+        assert repr(stmts[1].value).count("load") == 0
+
+    def test_pow_dist4_node_count_pinned(self):
+        # Regression: pow(dist, 4) through the full pipeline.  The square
+        # is hoisted once (`sr1 = dist * dist; out = sr1 * sr1`) — the old
+        # expansion duplicated the operand tree per factor.  Pinning the
+        # node mass keeps the duplication from silently reappearing.
+        from repro.ir.nodes import LoadExpr
+
+        dist = Assign(
+            "dist",
+            IRCall("sqrt", (BinOp("-", LoadExpr("a", (SymRef("i"),)),
+                                  LoadExpr("b", (SymRef("i"),))),)),
+        )
+        p = IRProgram({"F": IRFunction("F", ("a", "b", "i"), Block([
+            dist,
+            Assign("storage0", IRCall("pow", (SymRef("dist"), Const(4.0)))),
+        ]))})
+        pm = PassManager(fastmath=False, verify=True)
+        out = pm.run(p)
+        nodes = sum(1 for s in out["F"].body.walk()
+                    for ex in s.exprs() for _ in ex.walk())
+        assert nodes == 12
+        assert repr(out["F"].body.stmts[-1].value).count("load") == 0
 
     def test_pow0_is_one(self):
         assert reduce_expr(IRCall("pow", (SymRef("x"), Const(0.0)))) == Const(1.0)

@@ -47,6 +47,27 @@ class TestCli:
         out = capsys.readouterr().out
         assert "BaseCase" in out and "alloc storage0" in out
 
+    def test_ir_disable_pass_and_verify(self, setup, capsys):
+        prog, binds = setup
+        assert main(["ir", prog, *binds, "--stage", "final",
+                     "--disable-pass", "strength", "--disable-pass", "cse",
+                     "--verify-ir"]) == 0
+        out = capsys.readouterr().out
+        # Strength reduction skipped: pow survives to the final stage.
+        assert "pow(" in out
+
+    def test_disable_pass_rejects_unknown(self, setup, capsys):
+        prog, binds = setup
+        with pytest.raises(SystemExit):
+            main(["ir", prog, *binds, "--disable-pass", "nonsense"])
+
+    def test_stats_reports_new_pass_timings(self, setup, capsys):
+        prog, binds = setup
+        assert main(["stats", prog, *binds, "--verify-ir"]) == 0
+        out = capsys.readouterr().out
+        for key in ("simplify", "cse", "dce"):
+            assert key in out
+
     def test_ir_generated(self, setup, capsys):
         prog, binds = setup
         assert main(["ir", prog, *binds, "--generated"]) == 0
