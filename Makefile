@@ -1,6 +1,6 @@
 PYTHON ?= python
 
-.PHONY: install test test-fast test-ir bench bench-ir bench-micro bench-parallel examples results clean
+.PHONY: install test test-fast test-ir bench bench-ir bench-micro bench-bound bench-parallel examples results clean
 
 install:
 	$(PYTHON) -m pip install -e . || $(PYTHON) setup.py develop
@@ -33,6 +33,15 @@ bench-ir:
 
 bench-micro:
 	$(PYTHON) benchmarks/bench_micro_traversal.py --smoke
+
+# Bound-aware batched traversal vs the scalar stack engine on the
+# Table IV k-NN / Hausdorff configurations (full run asserts the
+# >= 1.5x k-NN speedup gate; --smoke only checks correctness/routing).
+bench-bound:
+	$(PYTHON) benchmarks/bench_bound_traversal.py --smoke
+
+bench-bound-full:
+	$(PYTHON) benchmarks/bench_bound_traversal.py
 
 bench-parallel:
 	$(PYTHON) benchmarks/bench_parallel_scaling.py --smoke

@@ -9,8 +9,12 @@ isolates *traversal* cost — exactly the plane the batched engine
 vectorizes (see docs/performance.md).
 
 Problems whose bound rules tighten mid-traversal (k-NN, Hausdorff,
-naive Bayes' MIN reduction) automatically fall back to the stack engine;
-their rows are retained as a no-regression check (ratio ≈ 1).
+naive Bayes' MIN reduction) route ``traversal='batched'`` to the
+epoch-based bound-aware engine (``bounded-batched``); their rows
+therefore measure the bounded engine's speedup over the stack engine
+(``bench_bound_traversal.py`` holds the dedicated Table IV gate).  A
+routing assertion runs before timing so an engine-selection regression
+fails the benchmark rather than silently timing the wrong engine.
 
 The ``table4`` section re-times the KDE and range-search Table IV
 configurations (same datasets, bandwidths and radii as
@@ -36,6 +40,7 @@ import numpy as np
 sys.path.insert(0, os.path.dirname(os.path.abspath(__file__)))
 
 from harness import dataset, format_table, split_qr  # noqa: E402
+from repro.dsl import PortalExpr, PortalFunc, PortalOp, Storage  # noqa: E402
 from repro.observe import collect  # noqa: E402
 from repro.problems import (  # noqa: E402
     barnes_hut_potential, dbscan, directed_hausdorff, kde, knn,
@@ -136,6 +141,49 @@ PROBLEMS = {
 }
 
 
+def check_routing() -> None:
+    """Assert the requested-traversal -> resolved-engine table before
+    timing anything: a stateless problem (KDE) must resolve batched
+    requests to the frontier engine, a bound-rule problem (k-NN) must
+    resolve them to the bounded epoch engine, and the stack override
+    must always win."""
+    rng = np.random.default_rng(0)
+    Q = np.ascontiguousarray(rng.uniform(0.0, 2.0, size=(64, 3)))
+
+    def _kde_engine(traversal):
+        expr = PortalExpr("routing-kde")
+        expr.addLayer(PortalOp.FORALL, Storage(Q, name="query"))
+        expr.addLayer(PortalOp.SUM, Storage(Q, name="reference"),
+                      PortalFunc.GAUSSIAN, bandwidth=0.5)
+        expr.execute(traversal=traversal, exclude_self=False)
+        return expr.stats()["traversal_engine"]
+
+    def _knn_engine(traversal):
+        expr = PortalExpr("routing-knn")
+        expr.addLayer(PortalOp.FORALL, Storage(Q, name="query"))
+        expr.addLayer((PortalOp.KARGMIN, 3), Storage(Q, name="reference"),
+                      PortalFunc.EUCLIDEAN)
+        expr.execute(traversal=traversal)
+        return expr.stats()["traversal_engine"]
+
+    expected = [
+        (_kde_engine, "batched", "batched"),
+        (_kde_engine, "bounded-batched", "batched"),
+        (_kde_engine, "stack", "stack"),
+        (_knn_engine, "batched", "bounded-batched"),
+        (_knn_engine, "bounded-batched", "bounded-batched"),
+        (_knn_engine, "stack", "stack"),
+    ]
+    for probe, requested, want in expected:
+        got = probe(requested)
+        assert got == want, (
+            f"routing regression: {probe.__name__} requested={requested!r} "
+            f"resolved to {got!r}, expected {want!r}"
+        )
+    print("[routing] requested->resolved engine table verified",
+          file=sys.stderr)
+
+
 def measure(run, n: int, engine: str, repeats: int) -> dict:
     """Best-of wall clock after a cache-warming call, plus the traversal
     counters from the fastest repeat."""
@@ -224,6 +272,7 @@ def main(argv=None) -> int:
     repeats = args.repeats or (1 if args.smoke else 3)
     scale = 0.4 if args.smoke else 1.0
 
+    check_routing()
     print("[micro] stack vs batched across the nine problems",
           file=sys.stderr)
     rows, speedups = run_micro(scale, repeats)

@@ -52,9 +52,9 @@ GATE_WORKERS = 4
 
 
 def _configs(smoke: bool):
-    """(label, engine, callable) per Table IV configuration.  k-NN is a
-    bound-rule problem: it runs the stack engine regardless of the
-    requested traversal, making it the canonical GIL-bound config."""
+    """(label, engine, callable) per Table IV configuration.  k-NN
+    normally routes to the bound-aware batched engine now, so the
+    GIL-bound config pins ``traversal="stack"`` explicitly."""
     dset = "Yahoo!"
     X = dataset(dset, 700) if smoke else dataset(dset)
     scale = float(np.median(X.std(axis=0))) + 1e-9
@@ -68,7 +68,7 @@ def _configs(smoke: bool):
                     lambda o, Q=Q, R=R, h=1.5 * scale, e=engine:
                         range_count(Q, R, h=h, traversal=e, **o)))
     out.append(("knn/stack", dset, "stack",
-                lambda o, Q=Q, R=R: knn(Q, R, k=5, **o)))
+                lambda o, Q=Q, R=R: knn(Q, R, k=5, traversal="stack", **o)))
     return out
 
 

@@ -157,7 +157,7 @@ class LRUCache:
 #: the pass pipeline or artifact layout changes shape (new passes, new
 #: key fields), so a process that hot-reloads compiler modules can never
 #: serve an artifact built by an older pipeline.
-ARTIFACT_SCHEMA = 2
+ARTIFACT_SCHEMA = 3
 
 #: Compiled-artifact cache (see :mod:`repro.backend.jit`).
 program_cache = LRUCache(maxsize=32)

@@ -164,9 +164,12 @@ class GeneratedKernels:
     the nearest-first stack traversal; the ``*_batch`` closures operate
     on whole frontier arrays of node-id pairs and drive the batched
     frontier engine (:mod:`repro.traversal.batched`).  ``classify_batch``
-    is only emitted for *stateless* rules (indicator / approximation);
-    bound rules read the mutable best-value arrays mid-traversal and
-    keep the scalar path.
+    is only emitted for *stateless* rules (indicator / approximation).
+    Bound rules (k-NN, Hausdorff) get the epoch-oriented trio instead —
+    ``bound_key_batch`` / ``classify_bound_batch`` / ``base_case_group``
+    — which drive the bound-aware batched engine
+    (:mod:`repro.traversal.bounded_batched`) against a signed per-query
+    bound array ``qbound``.
     """
 
     source: str
@@ -177,6 +180,9 @@ class GeneratedKernels:
     classify_batch: Callable | None = None
     apply_action: Callable | None = None
     pair_min_dist_batch: Callable | None = None
+    bound_key_batch: Callable | None = None
+    classify_bound_batch: Callable | None = None
+    base_case_group: Callable | None = None
     #: compiled code object, re-executable against fresh bindings (the
     #: artifact the execution cache stores)
     code: object | None = None
@@ -527,10 +533,10 @@ def _classify_batch_source(spec: CodegenSpec) -> str | None:
     1: prune, 2: approximate / inside action), classifying a whole
     frontier of node pairs in a handful of array operations.
 
-    Only *stateless* rules vectorise: the bound rules (k-NN, Hausdorff)
-    read the mutable best-value arrays, so their decisions depend on
-    traversal order and stay on the scalar path (the engine falls back
-    to the stack traversal for them).
+    Only *stateless* rules classify this way: the bound rules (k-NN,
+    Hausdorff) read the mutable best-value arrays, so their batch form
+    classifies against a node-bound *snapshot* instead — see
+    :func:`_bound_batch_source` / :func:`_base_case_group_source`.
     """
     rule = spec.rule
     if rule is None or rule.kind in ("none", "bound-min", "bound-max"):
@@ -567,6 +573,153 @@ def _classify_batch_source(spec: CodegenSpec) -> str | None:
 
 
 # ---------------------------------------------------------------------------
+# bound-rule batch emission (epoch engine)
+# ---------------------------------------------------------------------------
+
+def _bound_sign(rule: RuleSpec) -> str:
+    """Sign that maps a bound rule onto the unified "prune iff
+    key > node_bound, smaller key = more promising" convention: identity
+    for ``bound-min``, negation for ``bound-max``."""
+    return "" if rule.kind == "bound-min" else "-"
+
+
+def _bound_batch_source(spec: CodegenSpec) -> str | None:
+    """Emit ``bound_key_batch(qis, ris)`` and
+    ``classify_bound_batch(keys, node_bounds)`` for bound rules.
+
+    The key is the *signed* band edge of ``g`` over a node pair
+    (``+g(t_edge)`` for bound-min, ``-g(t_edge)`` for bound-max), so
+    for both rule kinds a pair is prunable iff its key exceeds the
+    max-reduced signed per-query bound of its query node, and ascending
+    key order is "most promising first".  Classification runs against a
+    node-bound snapshot; bounds only tighten (the signed bound only
+    decreases), so a stale snapshot can under-prune but never mis-prune.
+    """
+    rule = spec.rule
+    if rule is None or rule.kind not in ("bound-min", "bound-max"):
+        return None
+    need_max = (rule.kind == "bound-min") == (spec.monotone == "decreasing")
+    tvar = "tmax" if need_max else "tmin"
+    dist_fn = ("pair_max_base_dist_batch" if need_max
+               else "pair_min_base_dist_batch")
+    pre, gband = _g_scalar_vn(spec, tvar, "_vn")
+    sign = _bound_sign(rule)
+    lines = [
+        "def bound_key_batch(qis, ris):",
+        f"    {tvar} = {dist_fn}(qis, ris)",
+        *(f"    {assign}" for assign in pre),
+        f"    return np.asarray({sign}({gband}), dtype=np.float64)",
+        "",
+        "",
+        "def classify_bound_batch(keys, node_bounds):",
+        "    return keys > node_bounds",
+    ]
+    return "\n".join(lines)
+
+
+def _pairwise_gather_lines(spec: CodegenSpec) -> list[str]:
+    """Body lines computing ``v`` for queries ``[qs, qe)`` against a
+    *gathered* reference index array ``ridx`` (the multi-leaf batch of
+    the epoch engine's grouped base case).  Mirrors
+    :func:`_pairwise_source` with ``ridx`` fancy-indexing in place of
+    the ``rs:re`` slice."""
+    out: list[str] = []
+    b = out.append
+    if spec.layout == Layout.COLUMN:
+        b("    dq = QCOL[:, qs:qe]")
+        b("    dr = RCOL[:, ridx]")
+        for d in range(spec.dim):
+            b(f"    _d{d} = dq[{d}][:, None] - dr[{d}][None, :]")
+            if spec.base == "sqeuclidean":
+                term = f"_d{d} * _d{d}"
+            else:
+                term = f"np.abs(_d{d})"
+            if d == 0:
+                b(f"    t = {term}")
+            elif spec.base == "chebyshev":
+                b(f"    np.maximum(t, {term}, out=t)")
+            else:
+                b(f"    t = t + {term}")
+    else:
+        if spec.base == "sqeuclidean" and not spec.is_indicator:
+            b("    t = QN2[qs:qe, None] + RN2[ridx][None, :] "
+              "- 2.0 * (QROW[qs:qe] @ RROW[ridx].T)")
+            b("    np.maximum(t, 0.0, out=t)")
+        elif spec.base == "sqeuclidean":
+            b("    diff = QROW[qs:qe, None, :] - RROW[ridx][None, :, :]")
+            b("    t = np.einsum('ijk,ijk->ij', diff, diff)")
+        elif spec.base == "manhattan":
+            b("    diff = QROW[qs:qe, None, :] - RROW[ridx][None, :, :]")
+            b("    t = np.abs(diff).sum(axis=-1)")
+        else:
+            b("    diff = QROW[qs:qe, None, :] - RROW[ridx][None, :, :]")
+            b("    t = np.abs(diff).max(axis=-1)")
+    pre, g_src = emit_expr_vn(spec.g_ir, {"t": "t"})
+    for assign in pre:
+        b(f"    {assign}")
+    b(f"    v = {g_src}")
+    return out
+
+
+def _base_case_group_source(spec: CodegenSpec) -> str | None:
+    """Emit ``base_case_group(qs, qe, ridx)``: one vectorised base case
+    for a query leaf against the concatenated points of *several*
+    reference leaves, merging into the best arrays and refreshing the
+    signed per-query bound ``qbound`` (the value the next epoch's
+    node-bound snapshot max-reduces)."""
+    rule = spec.rule
+    if rule is None or rule.kind not in ("bound-min", "bound-max"):
+        return None
+    op = spec.inner_op
+    lines = ["def base_case_group(qs, qe, ridx):"]
+    lines += _pairwise_gather_lines(spec)
+    b = lines.append
+    if spec.same_tree and spec.exclude_self:
+        b("    v = np.where(np.arange(qs, qe)[:, None] == ridx[None, :], "
+          f"{_exclusion_value(op)}, v)")
+
+    if op is PortalOp.ARGMIN or op is PortalOp.ARGMAX:
+        red, cmp = ("argmin", "<") if op is PortalOp.ARGMIN else ("argmax", ">")
+        b(f"    j = v.{red}(axis=1)")
+        b("    vals = v[np.arange(v.shape[0]), j]")
+        b("    bb = best[qs:qe]")
+        b(f"    m = vals {cmp} bb")
+        b("    if m.any():")
+        b("        bb[m] = vals[m]")
+        b("        best_idx[qs:qe][m] = ridx[j[m]]")
+    elif op is PortalOp.MIN:
+        b("    np.minimum(best[qs:qe], v.min(axis=1), out=best[qs:qe])")
+    elif op is PortalOp.MAX:
+        b("    np.maximum(best[qs:qe], v.max(axis=1), out=best[qs:qe])")
+    elif op in (PortalOp.KARGMIN, PortalOp.KARGMAX):
+        b("    cand_v = np.concatenate([best[qs:qe], v], axis=1)")
+        b("    cand_i = np.concatenate([best_idx[qs:qe], "
+          "np.broadcast_to(ridx, v.shape)], axis=1)")
+        key = "cand_v" if op is PortalOp.KARGMIN else "-cand_v"
+        b(f"    part = np.argpartition({key}, K - 1, axis=1)[:, :K]")
+        b("    vals = np.take_along_axis(cand_v, part, axis=1)")
+        b("    idxs = np.take_along_axis(cand_i, part, axis=1)")
+        keyv = "vals" if op is PortalOp.KARGMIN else "-vals"
+        b(f"    order = np.argsort({keyv}, axis=1, kind='stable')")
+        b("    best[qs:qe] = np.take_along_axis(vals, order, axis=1)")
+        b("    best_idx[qs:qe] = np.take_along_axis(idxs, order, axis=1)")
+    elif op in (PortalOp.KMIN, PortalOp.KMAX):
+        b("    cand_v = np.concatenate([best[qs:qe], v], axis=1)")
+        b("    cand_v.sort(axis=1)")
+        if op is PortalOp.KMIN:
+            b("    best[qs:qe] = cand_v[:, :K]")
+        else:
+            b("    best[qs:qe] = cand_v[:, ::-1][:, :K]")
+    else:  # pragma: no cover
+        raise CompileError(f"no grouped base case for {op.name}")
+
+    sign = _bound_sign(rule)
+    col = ", K - 1" if (spec.k or 1) > 1 else ""
+    b(f"    qbound[qs:qe] = {sign}best[qs:qe{col}]")
+    return "\n".join(lines)
+
+
+# ---------------------------------------------------------------------------
 # entry point
 # ---------------------------------------------------------------------------
 
@@ -589,7 +742,8 @@ def emit(spec: CodegenSpec) -> tuple[str, object]:
             _pair_dist_source(spec),
             _pair_dist_batch_source(spec),
         ]
-        for maker in (_action_source, _prune_source, _classify_batch_source):
+        for maker in (_action_source, _prune_source, _classify_batch_source,
+                      _bound_batch_source, _base_case_group_source):
             src = maker(spec)
             if src is not None:
                 chunks.append(src)
@@ -606,7 +760,8 @@ def bind_kernels(source: str, code, bindings: dict) -> GeneratedKernels:
     (``QCOL``/``QROW``/``RCOL``/``RROW``), tree metadata arrays
     (``qlo``/``qhi``/``rlo``/``rhi``/``qstart``/``qend``/``rstart``/
     ``rend``/``rcentroid``/``rweight``/``rdiam2``), state arrays
-    (``best``/``best_idx``/``acc``/``out_lists``/``dense``), weights
+    (``best``/``best_idx``/``acc``/``out_lists``/``dense``/``qbound``),
+    weights
     ``rw``, and scalars ``K``/``H``/``TAU``/``THETA2``.
     """
     namespace = {"np": np, "finvsqrt": fast_inverse_sqrt}
@@ -621,6 +776,9 @@ def bind_kernels(source: str, code, bindings: dict) -> GeneratedKernels:
         classify_batch=namespace.get("classify_batch"),
         apply_action=namespace.get("apply_action"),
         pair_min_dist_batch=namespace.get("pair_min_base_dist_batch"),
+        bound_key_batch=namespace.get("bound_key_batch"),
+        classify_bound_batch=namespace.get("classify_bound_batch"),
+        base_case_group=namespace.get("base_case_group"),
         code=code,
     )
 

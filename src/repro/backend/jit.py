@@ -27,12 +27,13 @@ from ..dsl.ops import PortalOp, op_info
 from ..ir.lowering import kernel_to_ir, lower
 from ..ir.passes import TOGGLEABLE_PASSES, PassManager
 from ..ir.printer import render_program, render_stages
-from ..observe import contribute, span
+from ..observe import collect, contribute, span
 from ..ir.strength_reduction import reduce_expr
 from ..parallel import default_workers, parallel_dual_tree
 from ..rules import build_rules
 from ..traversal import (
-    TraversalStats, batched_dual_tree_traversal, dual_tree_traversal,
+    TraversalStats, batched_dual_tree_traversal,
+    bounded_batched_dual_tree_traversal, dual_tree_traversal,
 )
 from .cache import (  # noqa: F401 (program_cache re-exported for tests)
     ARTIFACT_SCHEMA, MISSING, UncacheableParamError, array_fingerprint,
@@ -71,10 +72,13 @@ class CompileOptions:
     #: subset of :data:`repro.ir.passes.TOGGLEABLE_PASSES`
     disable_passes: tuple = ()
     #: traversal engine: 'batched' classifies whole frontier arrays of
-    #: node pairs per kernel call (:mod:`repro.traversal.batched`);
-    #: 'stack' is the scalar nearest-first reference engine.  Batched
-    #: falls back to the stack automatically for stateful (bound-rule)
-    #: problems such as k-NN and Hausdorff.
+    #: node pairs per kernel call (:mod:`repro.traversal.batched`) and is
+    #: the default for every problem — bound-rule problems (k-NN,
+    #: Hausdorff) are routed to the epoch-based bound-aware variant
+    #: (:mod:`repro.traversal.bounded_batched`, reported as
+    #: ``'bounded-batched'``).  'bounded-batched' requests that variant
+    #: explicitly (stateless problems still run plain batched); 'stack'
+    #: forces the scalar nearest-first reference engine.
     traversal: str = "batched"
     #: reuse compiled artifacts and built trees across ``execute()``
     #: calls (content-addressed; see :mod:`repro.backend.cache`)
@@ -108,10 +112,10 @@ class CompileOptions:
                 f"unknown disable_passes: {sorted(bad)}; "
                 f"toggleable: {TOGGLEABLE_PASSES}"
             )
-        if opts.traversal not in ("batched", "stack"):
+        if opts.traversal not in ("batched", "bounded-batched", "stack"):
             raise SpecificationError(
                 f"unknown traversal engine {opts.traversal!r}; "
-                "expected 'batched' or 'stack'"
+                "expected 'batched', 'bounded-batched' or 'stack'"
             )
         if "executor" not in options:
             env = os.environ.get("REPRO_EXECUTOR", "").strip()
@@ -130,8 +134,8 @@ class CompileOptions:
 
 def _resolve_executor(executor: str, engine: str) -> str:
     """Resolve ``executor='auto'``: the scalar stack engine is GIL-bound
-    (one Python bytecode stream per task), so processes win; the batched
-    engine spends its time in NumPy kernels that release the GIL, so
+    (one Python bytecode stream per task), so processes win; both batched
+    engines spend their time in NumPy kernels that release the GIL, so
     threads win (no pickling, no merge copies)."""
     if executor != "auto":
         return executor
@@ -264,6 +268,8 @@ class CompiledProgram:
             },
             "run_ms": self.timings.get("run", 0.0) * 1e3,
         }
+        if "bounded" in self.extras:
+            summary["bounded"] = dict(self.extras["bounded"])
         nq = self.state.nq
         nr = getattr(self.rtree, "n", None)
         if nr is None:
@@ -334,8 +340,25 @@ class CompiledProgram:
         return Output(scalar=float(storage0))
 
     def _run_tree(self) -> TraversalStats:
-        kk = self.kernels
         engine = self.extras.get("engine", "stack")
+        if engine != "bounded-batched":
+            return self._dispatch_tree(engine)
+        # Capture the epoch engine's bounded.* counters (epochs, deferred
+        # prunes, bound refreshes) for stats_summary() regardless of
+        # whether the caller installed a registry; everything captured is
+        # re-contributed so an outer collect() still sees it.
+        with collect() as bounded_counters:
+            stats = self._dispatch_tree(engine)
+        snap = bounded_counters.as_dict()
+        self.extras["bounded"] = {
+            name.split(".", 1)[1]: value
+            for name, value in snap.items() if name.startswith("bounded.")
+        }
+        contribute(snap)
+        return stats
+
+    def _dispatch_tree(self, engine: str) -> TraversalStats:
+        kk = self.kernels
         if self.options.parallel:
             workers = self.options.workers or default_workers()
             executor = _resolve_executor(self.options.executor, engine)
@@ -360,6 +383,16 @@ class CompiledProgram:
                 engine=engine, classify_batch=kk.classify_batch,
                 apply_action=kk.apply_action,
                 pair_min_dist_batch=kk.pair_min_dist_batch,
+                bound_key_batch=kk.bound_key_batch,
+                classify_bound_batch=kk.classify_bound_batch,
+                base_case_group=kk.base_case_group,
+                qbound=self.state.arrays.get("qbound"),
+            )
+        if engine == "bounded-batched":
+            return bounded_batched_dual_tree_traversal(
+                self.qtree, self.rtree, kk.bound_key_batch,
+                kk.classify_bound_batch, kk.base_case_group,
+                self.state.arrays["qbound"],
             )
         if engine == "batched":
             return batched_dual_tree_traversal(
@@ -753,15 +786,20 @@ def _instantiate(art: _Artifact, layers: list[Layer], opts: CompileOptions,
 
     if art.mode == "tree":
         kk = program.kernels
-        # Batched needs vectorisable decisions: either there is no rule
-        # at all, or the rule is stateless and classify_batch exists.
-        # Bound rules (k-NN, Hausdorff) keep the scalar stack engine.
-        program.extras["engine"] = (
-            "batched"
-            if opts.traversal == "batched"
-            and (kk.prune_or_approx is None or kk.classify_batch is not None)
-            else "stack"
-        )
+        # Engine routing: bound rules (k-NN, Hausdorff) run the
+        # epoch-based bound-aware batched engine; stateless rules (or no
+        # rule) run the plain batched frontier engine; 'stack' forces
+        # the scalar reference engine.  Requesting 'bounded-batched' on
+        # a stateless problem degrades gracefully to 'batched'.
+        if opts.traversal == "stack":
+            engine = "stack"
+        elif kk.bound_key_batch is not None:
+            engine = "bounded-batched"
+        elif kk.prune_or_approx is None or kk.classify_batch is not None:
+            engine = "batched"
+        else:  # pragma: no cover - every rule kind has a batch form
+            engine = "stack"
+        program.extras["engine"] = engine
         # The process executor ships these to workers: the static (non-
         # state) bindings go to shared memory, the token keys the
         # publication so repeated runs republish nothing.

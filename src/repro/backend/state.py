@@ -169,4 +169,9 @@ def allocate_state(
             st.arrays["best_idx"] = np.full(nq, -1, dtype=np.int64)
     else:  # SUM / PROD
         st.arrays["acc"] = np.full(nq, info.identity)
+    if "best" in st.arrays:
+        # Signed per-query pruning bound for the bound-aware batched
+        # engine: ± the k-th retained value, +inf before any base case
+        # (see traversal/bounded_batched.py).  Finalize ignores it.
+        st.arrays["qbound"] = np.full(nq, math.inf)
     return st

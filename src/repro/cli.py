@@ -152,6 +152,14 @@ def _cmd_stats(args) -> int:
         if "exact_pair_fraction" in t:
             line += f" ({_fmt_rate(t['exact_pair_fraction'])} of all pairs)"
         print(line)
+        if s.get("bounded"):
+            bb = s["bounded"]
+            print(
+                f"  bounded:   epochs={bb.get('epochs', 0)} "
+                f"bound-refreshes={bb.get('bound_refreshes', 0)} "
+                f"deferred-prunes={bb.get('deferred_prunes', 0)} "
+                f"pending-peak={bb.get('pending_peak', 0)}"
+            )
         print(f"  IR passes: {_fmt_timings(s['pass_timings_ms'])}")
         print(f"  compile:   {_fmt_timings(s['compile_timings_ms'])}")
         print(f"  run:       {s['run_ms']:.3f} ms")

@@ -20,9 +20,15 @@ Standard keys
 -------------
 ``traversal.visited / pruned / approximated / recursions / base_cases /
 base_case_pairs`` — merged :class:`~repro.traversal.TraversalStats`;
-``rules.classified.<category>``, ``rules.generated.<kind>`` — PASCAL rule
-machinery; ``compile.count``, ``passes.<name>_s`` and
-``compile.<stage>_s`` — pipeline invocations and wall-clock seconds.
+``traversal.frontier_peak`` — the batched engine's widest recorded
+classification level (summed over tasks under parallel execution);
+``bounded.epochs / deferred_prunes / bound_refreshes / pending_peak`` —
+the bound-aware epoch engine's loop counters (``deferred_prunes`` counts
+pairs pruned on a later epoch than the one they were generated in — the
+cost of snapshot staleness); ``rules.classified.<category>``,
+``rules.generated.<kind>`` — PASCAL rule machinery; ``compile.count``,
+``passes.<name>_s`` and ``compile.<stage>_s`` — pipeline invocations and
+wall-clock seconds.
 """
 
 from __future__ import annotations

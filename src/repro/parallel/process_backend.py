@@ -5,10 +5,14 @@
 frontier decomposition, but each (query-subtree × reference-root) task
 is shipped to a worker process as a picklable payload (program token +
 shared-memory manifest + generated source + ``q_root``) instead of a
-closure.  Workers return partial accumulator slices, which the parent
-merges **in frontier order** into the program's state arrays — byte-for-
-byte the values the thread executor's shared-array updates would have
-produced, because every task writes a disjoint query range.
+closure.  Workers return partial accumulator slices — including the
+bounded engine's signed per-query ``qbound`` bound array — which the
+parent merges **in frontier order** into the program's state arrays —
+byte-for-byte the values the thread executor's shared-array updates
+would have produced, because every task writes a disjoint query range.
+Tree structure (children CSR, expansion CSR, per-node levels for the
+bounded engine's bound propagation) is republished through
+:mod:`repro.parallel.shm` alongside the kernel operands.
 
 Per-task ``TraversalStats`` are merged exactly as the thread path merges
 them, and each worker's counter registry is shipped back and
@@ -55,7 +59,9 @@ def _split_bindings(static_bindings: dict) -> tuple[dict, dict, list[str]]:
 
 def _tree_structure(tree, prefix: str) -> dict[str, np.ndarray]:
     """The traversal-facing tree arrays a worker's ``TreeView`` needs
-    (``start``/``end`` ship with the kernel bindings already)."""
+    (``start``/``end`` ship with the kernel bindings already).  The
+    per-node level array feeds the bounded engine's bottom-up node-bound
+    propagation worker-side."""
     exp_off, exp_flat = tree.expansion_children()
     return {
         f"{prefix}_is_leaf": tree.is_leaf_arr,
@@ -63,6 +69,7 @@ def _tree_structure(tree, prefix: str) -> dict[str, np.ndarray]:
         f"{prefix}_child_list": tree.child_list,
         f"{prefix}_exp_offsets": exp_off,
         f"{prefix}_exp_flat": exp_flat,
+        f"{prefix}_level": tree.levels(),
     }
 
 

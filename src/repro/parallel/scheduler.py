@@ -20,7 +20,8 @@ from typing import Callable
 
 from ..observe import span
 from ..traversal import (
-    TraversalStats, batched_dual_tree_traversal, dual_tree_traversal,
+    TraversalStats, batched_dual_tree_traversal,
+    bounded_batched_dual_tree_traversal, dual_tree_traversal,
 )
 from ..trees.node import ArrayTree
 from .executor import default_workers, run_tasks
@@ -64,6 +65,10 @@ def parallel_dual_tree(
     classify_batch: Callable | None = None,
     apply_action: Callable | None = None,
     pair_min_dist_batch: Callable | None = None,
+    bound_key_batch: Callable | None = None,
+    classify_bound_batch: Callable | None = None,
+    base_case_group: Callable | None = None,
+    qbound=None,
 ) -> TraversalStats:
     """Parallel counterpart of
     :func:`repro.traversal.dualtree.dual_tree_traversal`.
@@ -72,8 +77,12 @@ def parallel_dual_tree(
     worker count, giving an identical task decomposition across worker
     counts (the determinism tests rely on this).  With
     ``engine='batched'`` each query-subtree task runs the batched
-    frontier traversal instead of the scalar stack engine (same
-    decomposition, so the determinism guarantee carries over).
+    frontier traversal instead of the scalar stack engine; with
+    ``engine='bounded-batched'`` it runs the epoch-based bound-aware
+    engine (tasks own disjoint query subtrees, so their ``qbound``
+    slices and per-task node-bound snapshots never interfere).  Same
+    decomposition in all cases, so the determinism guarantee carries
+    over.
     """
     workers = workers or default_workers()
     frontier = expand_frontier(qtree, min_tasks or workers * TASKS_PER_WORKER)
@@ -81,6 +90,11 @@ def parallel_dual_tree(
     def make_task(q_root: int):
         def task() -> TraversalStats:
             with span("parallel.task", q_root=q_root, engine=engine):
+                if engine == "bounded-batched":
+                    return bounded_batched_dual_tree_traversal(
+                        qtree, rtree, bound_key_batch, classify_bound_batch,
+                        base_case_group, qbound, q_root=q_root,
+                    )
                 if engine == "batched":
                     return batched_dual_tree_traversal(
                         qtree, rtree, classify_batch, apply_action,

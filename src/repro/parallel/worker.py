@@ -38,23 +38,26 @@ from ..backend.codegen import GeneratedKernels, bind_kernels
 from ..backend.state import State, allocate_state
 from ..dsl.ops import op_info
 from ..observe import collect
-from ..traversal import batched_dual_tree_traversal, dual_tree_traversal
+from ..traversal import (
+    batched_dual_tree_traversal, bounded_batched_dual_tree_traversal,
+    dual_tree_traversal,
+)
 from . import shm
 
 __all__ = ["run_task", "TreeView", "reset_state_range"]
 
 #: Accumulator names bound by the parent that workers allocate fresh.
-STATE_ARRAY_NAMES = frozenset({"best", "best_idx", "acc", "dense"})
+STATE_ARRAY_NAMES = frozenset({"best", "best_idx", "acc", "dense", "qbound"})
 
 
 class TreeView:
     """The minimal tree facade the traversal engines touch, backed by
     shared-memory views (``start``/``end``/``is_leaf_arr``/``children``/
-    ``expansion_children`` — everything else about
+    ``expansion_children``/``levels`` — everything else about
     :class:`~repro.trees.node.ArrayTree` stays parent-side)."""
 
     __slots__ = ("start", "end", "is_leaf_arr", "child_offset",
-                 "child_list", "_exp")
+                 "child_list", "_exp", "_level", "_bound_plan")
 
     def __init__(self, views: dict[str, np.ndarray], prefix: str):
         self.start = views[f"{prefix}start"]
@@ -64,12 +67,18 @@ class TreeView:
         self.child_list = views[f"{prefix}_child_list"]
         self._exp = (views[f"{prefix}_exp_offsets"],
                      views[f"{prefix}_exp_flat"])
+        self._level = views[f"{prefix}_level"]
+        # Populated lazily by the bounded engine's _bound_plan().
+        self._bound_plan = None
 
     def children(self, i: int) -> np.ndarray:
         return self.child_list[self.child_offset[i]:self.child_offset[i + 1]]
 
     def expansion_children(self) -> tuple[np.ndarray, np.ndarray]:
         return self._exp
+
+    def levels(self) -> np.ndarray:
+        return self._level
 
 
 def reset_state_range(state: State, s: int, e: int) -> None:
@@ -85,6 +94,8 @@ def reset_state_range(state: State, s: int, e: int) -> None:
             arr[s:e] = -1
         elif name == "dense":
             arr[s:e] = 0.0
+        elif name == "qbound":
+            arr[s:e] = np.inf  # signed-bound identity, both rule kinds
         else:
             arr[s:e] = info.identity
 
@@ -159,7 +170,13 @@ def run_task(payload: dict) -> dict:
     reset_state_range(state, s, e)
 
     with collect() as counters:
-        if payload["engine"] == "batched":
+        if payload["engine"] == "bounded-batched":
+            stats = bounded_batched_dual_tree_traversal(
+                prog.qview, prog.rview, kk.bound_key_batch,
+                kk.classify_bound_batch, kk.base_case_group,
+                state.arrays["qbound"], q_root=q_root,
+            )
+        elif payload["engine"] == "batched":
             stats = batched_dual_tree_traversal(
                 prog.qview, prog.rview, kk.classify_batch, kk.apply_action,
                 kk.base_case, pair_min_dist_batch=kk.pair_min_dist_batch,

@@ -29,8 +29,15 @@ mutable best-value bounds):
 
 Comparative reductions whose bounds tighten mid-traversal (k-NN,
 Hausdorff — the ``bound-min``/``bound-max`` rules) cannot be classified
-in batch; the compiler keeps them on the stack engine (see
-``CompileOptions.traversal``).
+statelessly; the compiler routes them to the epoch-based bound-aware
+engine (:mod:`repro.traversal.bounded_batched`) instead, with
+``CompileOptions.traversal = "stack"`` as the scalar escape hatch.
+
+Memory: the recorded decision levels grow geometrically with depth, so
+phase 1 reports its peak frontier width as the
+``traversal.frontier_peak`` counter (summed over tasks under parallel
+execution) and phase 2 frees each level's lists as soon as the replay
+has popped every entry recorded for it.
 """
 
 from __future__ import annotations
@@ -39,6 +46,7 @@ from typing import Callable
 
 import numpy as np
 
+from ..observe import contribute
 from ..trees.node import ArrayTree
 from .multitree import TraversalStats
 
@@ -76,11 +84,13 @@ def batched_dual_tree_traversal(
     roff, rflat = rtree.expansion_children()
 
     # ---- phase 1: level-synchronous batched classification --------------
-    levels: list[tuple] = []
+    levels: list[tuple | None] = []
+    frontier_peak = 0
     q = np.array([q_root], dtype=np.int64)
     r = np.array([r_root], dtype=np.int64)
     while q.size:
         n = q.size
+        frontier_peak = max(frontier_peak, int(n))
         if classify_batch is not None:
             codes = np.asarray(classify_batch(q, r), dtype=np.int8)
         else:
@@ -146,6 +156,11 @@ def batched_dual_tree_traversal(
         q, r = cq, cr
 
     # ---- phase 2: replay side effects in stack-engine order -------------
+    # Every entry of level L+1 is pushed exactly once (it is a child of
+    # some expand pair at level L), so a per-level countdown of pops
+    # tells when a level's lists can never be touched again — free them
+    # then rather than holding the whole decision record to the end.
+    remaining = [len(lv[0]) for lv in levels]
     stack: list[tuple[int, int]] = [(0, 0)]
     push = stack.append
     pop = stack.pop
@@ -162,7 +177,11 @@ def batched_dual_tree_traversal(
         elif k == _ACTION:
             apply_action(ql[i], rl[i])
         # _PRUNED: no side effect.
+        remaining[lvl] -= 1
+        if not remaining[lvl]:
+            levels[lvl] = None
 
+    contribute({"traversal.frontier_peak": frontier_peak})
     if owns_stats:
         stats.contribute()
     return stats

@@ -1,0 +1,246 @@
+"""Epoch-based bound-aware batched dual-tree traversal.
+
+The batched frontier engine (:mod:`repro.traversal.batched`) vectorises
+stateless rules, but comparative reductions whose pruning bounds tighten
+mid-traversal (``bound-min``/``bound-max`` rules — k-NN, Hausdorff, the
+paper's §II-C "prune by best-so-far" family) read the mutable best-value
+arrays, so their per-pair decisions depend on traversal order.  This
+engine batches them anyway by trading decision *freshness* for decision
+*width*:
+
+1. **Signed bounds.**  Codegen folds both rule kinds onto one
+   convention: each pending pair carries a signed *promise key*
+   (``+g(t_edge)`` for bound-min, ``-g(t_edge)`` for bound-max) and each
+   query point carries a signed bound ``qbound`` (``±`` its current
+   k-th best value, ``+inf`` before any base case).  A pair is prunable
+   iff its key exceeds the max-reduction of ``qbound`` over its query
+   node's slice, and a *smaller* key always means "more promising".
+
+2. **Epochs.**  A pending pool holds unclassified pairs.  Each epoch
+   selects the most promising pairs (one ``argpartition``), classifies
+   the whole selection against a *snapshot* of per-query-node bounds
+   (one ``classify_bound_batch`` call), runs the surviving leaf pairs
+   as grouped base cases (all reference leaves meeting one query leaf
+   gathered into a single kernel call), expands the surviving non-leaf
+   pairs through the expansion CSR, then refreshes the node-bound
+   snapshot.  Epoch width ramps from :data:`RAMP_START` up to
+   ``epoch_size``, doubling after every refresh: the narrow early
+   epochs run only the best pairs so bounds are tight before the wide
+   epochs classify the bulk of the pool.
+
+3. **Conservative correctness.**  Bounds tighten monotonically — a base
+   case can only decrease the signed ``qbound`` — so the snapshot a
+   pair is classified against is never *tighter* than reality.  A stale
+   bound can therefore under-prune (the pair runs a redundant base case
+   whose merge is a no-op: every candidate it contributes is dominated)
+   but never mis-prune, and outputs match the stack engine exactly.
+   Processing pairs best-first means bounds tighten as fast as the
+   nearest-first stack engine's, so pruning is equivalent or better in
+   practice (asserted differentially by the test-suite).
+
+Node bounds are refreshed from ``qbound`` in two reduceat sweeps: sorted
+leaves tile ``[0, n)`` contiguously, so one ``np.maximum.reduceat`` over
+the leaf starts bounds every leaf, and the per-level bottom-up plan from
+:func:`repro.trees.node.level_propagation` propagates them to internal
+nodes (children are always strictly deeper, hence already reduced).
+
+Observability (``repro.observe``): a ``traversal.bounded`` span plus
+``bounded.epochs``, ``bounded.deferred_prunes`` (pairs pruned only on a
+*later* epoch than the one they were generated in — the price of
+snapshot staleness), ``bounded.bound_refreshes`` and
+``bounded.pending_peak``.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+import numpy as np
+
+from ..observe import contribute, span
+from ..trees.node import level_propagation, tree_levels
+from .multitree import TraversalStats
+
+__all__ = ["bounded_batched_dual_tree_traversal", "DEFAULT_EPOCH_SIZE"]
+
+#: Pairs classified per epoch once the ramp is done.  Large enough that
+#: kernel calls amortise their dispatch cost, small enough that the bound
+#: snapshot a pair sees is rarely stale (measured on the Table IV k-NN
+#: configurations).
+DEFAULT_EPOCH_SIZE = 4096
+
+#: Warm-up epoch size.  Until the first base cases run, every query bound
+#: is ``+inf`` and nothing can prune — so the first leaf-bearing epochs
+#: must be narrow (process only the most promising pairs, tighten bounds)
+#: before the epoch width doubles up to ``epoch_size``.  Without the ramp
+#: a pool that fits inside one epoch degenerates to level-synchronous
+#: brute force: all leaf pairs are classified against the untouched
+#: snapshot.
+RAMP_START = 64
+
+_EMPTY_I = np.empty(0, dtype=np.int64)
+_EMPTY_F = np.empty(0, dtype=np.float64)
+
+
+def _bound_plan(tree):
+    """(sorted leaf ids, their starts, bottom-up level plan) for the
+    query tree's node-bound refresh; cached on the tree object."""
+    cached = getattr(tree, "_bound_plan", None)
+    if cached is not None:
+        return cached
+    start = np.asarray(tree.start)
+    leaves = np.flatnonzero(np.asarray(tree.is_leaf_arr))
+    lsort = leaves[np.argsort(start[leaves], kind="stable")]
+    if hasattr(tree, "levels"):
+        level = tree.levels()
+    else:  # pragma: no cover - every tree facade exposes levels()
+        level = tree_levels(tree.child_offset, tree.child_list)
+    plan = level_propagation(tree.child_offset, tree.child_list, level)
+    cached = (lsort, start[lsort], plan)
+    try:
+        tree._bound_plan = cached
+    except AttributeError:  # pragma: no cover - read-only facade
+        pass
+    return cached
+
+
+def bounded_batched_dual_tree_traversal(
+    qtree,
+    rtree,
+    bound_key_batch: Callable[[np.ndarray, np.ndarray], np.ndarray],
+    classify_bound_batch: Callable[[np.ndarray, np.ndarray], np.ndarray],
+    base_case_group: Callable[[int, int, np.ndarray], None],
+    qbound: np.ndarray,
+    epoch_size: int = DEFAULT_EPOCH_SIZE,
+    q_root: int = 0,
+    r_root: int = 0,
+    stats: TraversalStats | None = None,
+) -> TraversalStats:
+    """Traverse the (query, reference) tree pair in bound-aware epochs.
+
+    ``qbound`` is the signed per-query bound array allocated with the
+    program state (``+inf`` identity); it is updated in place by
+    ``base_case_group`` and re-read here at every node-bound refresh, so
+    concurrent tasks over disjoint query subtrees share one array.
+    """
+    owns_stats = stats is None
+    stats = stats or TraversalStats()
+    qstart, qend = qtree.start, qtree.end
+    rstart, rend = rtree.start, rtree.end
+    q_leaf_arr = np.asarray(qtree.is_leaf_arr)
+    r_leaf_arr = np.asarray(rtree.is_leaf_arr)
+    qoff, qflat = qtree.expansion_children()
+    roff, rflat = rtree.expansion_children()
+    lsort, lstarts, plan = _bound_plan(qtree)
+
+    # Signed node bounds over the *query* tree; +inf until the first
+    # refresh (nothing prunes against an untouched query subtree).
+    node_bound = np.full(len(qstart), np.inf)
+
+    pq = np.array([q_root], dtype=np.int64)
+    pr = np.array([r_root], dtype=np.int64)
+    pkey = np.asarray(bound_key_batch(pq, pr), dtype=np.float64).reshape(1)
+    pborn = np.zeros(1, dtype=np.int64)
+
+    epochs = 0
+    deferred = 0
+    refreshes = 0
+    pending_peak = 0
+    cur_size = min(epoch_size, RAMP_START)
+    with span("traversal.bounded", epoch_size=epoch_size) as sp:
+        while pq.size:
+            pending_peak = max(pending_peak, int(pq.size))
+            epochs += 1
+            if pq.size > cur_size:
+                sel = np.argpartition(pkey, cur_size - 1)[:cur_size]
+                keep = np.ones(pq.size, dtype=bool)
+                keep[sel] = False
+                q, r, keys, born = pq[sel], pr[sel], pkey[sel], pborn[sel]
+                pq, pr, pkey, pborn = pq[keep], pr[keep], pkey[keep], pborn[keep]
+            else:
+                q, r, keys, born = pq, pr, pkey, pborn
+                pq, pr, pkey, pborn = _EMPTY_I, _EMPTY_I, _EMPTY_F, _EMPTY_I
+
+            stats.visited += int(q.size)
+            pruned = np.asarray(classify_bound_batch(keys, node_bound[q]),
+                                dtype=bool)
+            n_pruned = int(np.count_nonzero(pruned))
+            if n_pruned:
+                stats.pruned += n_pruned
+                # Pairs generated in an earlier epoch and pruned only now:
+                # the snapshot they were born under was too stale to kill
+                # them at generation time.
+                deferred += int(np.count_nonzero(born[pruned] < epochs - 1))
+                live = ~pruned
+                q, r, keys = q[live], r[live], keys[live]
+
+            both_leaf = q_leaf_arr[q] & r_leaf_arr[r]
+            bq, br, bkey = q[both_leaf], r[both_leaf], keys[both_leaf]
+            if bq.size:
+                stats.base_cases += int(bq.size)
+                stats.base_case_pairs += int(
+                    ((qend[bq] - qstart[bq]) * (rend[br] - rstart[br])).sum()
+                )
+                # Group by query leaf, most promising reference leaf first,
+                # and gather every reference slice into one flat index
+                # array: one kernel call per (query leaf, epoch) instead of
+                # one per leaf pair.
+                order = np.lexsort((bkey, bq))
+                bq, br = bq[order], br[order]
+                rlen = rend[br] - rstart[br]
+                total = int(rlen.sum())
+                seg = np.cumsum(rlen) - rlen
+                ridx = (np.arange(total, dtype=np.int64)
+                        - np.repeat(seg, rlen)
+                        + np.repeat(rstart[br], rlen))
+                uq, first = np.unique(bq, return_index=True)
+                pair_edge = np.append(first, bq.size)
+                flat_edge = np.append(seg, total)
+                for g in range(uq.size):
+                    qi = int(uq[g])
+                    s0 = int(flat_edge[pair_edge[g]])
+                    e0 = int(flat_edge[pair_edge[g + 1]])
+                    base_case_group(int(qstart[qi]), int(qend[qi]), ridx[s0:e0])
+                # Refresh the node-bound snapshot: leaf bounds in one
+                # reduceat over the contiguous leaf partition, internal
+                # bounds bottom-up per level.
+                refreshes += 1
+                node_bound[lsort] = np.maximum.reduceat(qbound, lstarts)
+                for ids, kids, segs in plan:
+                    node_bound[ids] = np.maximum.reduceat(node_bound[kids], segs)
+                # Widen only once base cases have fed the snapshot: the
+                # ramp exists to get real bounds in place before the bulk
+                # of the leaf pairs is classified.
+                cur_size = min(cur_size * 2, epoch_size)
+
+            eq, er = q[~both_leaf], r[~both_leaf]
+            stats.recursions += int(eq.size)
+            if eq.size:
+                qn = qoff[eq + 1] - qoff[eq]
+                rn = roff[er + 1] - roff[er]
+                combos = qn * rn
+                coff = np.cumsum(combos) - combos
+                total = int(combos.sum())
+                parent = np.repeat(np.arange(eq.size), combos)
+                within = np.arange(total) - coff[parent]
+                rrep = rn[parent]
+                cq = qflat[qoff[eq][parent] + within // rrep]
+                cr = rflat[roff[er][parent] + within % rrep]
+                ckey = np.asarray(bound_key_batch(cq, cr), dtype=np.float64)
+                pq = np.concatenate([pq, cq])
+                pr = np.concatenate([pr, cr])
+                pkey = np.concatenate([pkey, ckey])
+                pborn = np.concatenate(
+                    [pborn, np.full(total, epochs, dtype=np.int64)]
+                )
+        sp.note(epochs=epochs, pending_peak=pending_peak)
+
+    contribute({
+        "bounded.epochs": epochs,
+        "bounded.deferred_prunes": deferred,
+        "bounded.bound_refreshes": refreshes,
+        "bounded.pending_peak": pending_peak,
+    })
+    if owns_stats:
+        stats.contribute()
+    return stats

@@ -24,7 +24,66 @@ import numpy as np
 
 from . import geometry
 
-__all__ = ["ArrayTree", "TreeNode"]
+__all__ = ["ArrayTree", "TreeNode", "tree_levels", "level_propagation"]
+
+
+def tree_levels(child_offset: np.ndarray, child_list: np.ndarray) -> np.ndarray:
+    """Per-node depth array (root = 0) from the CSR children adjacency.
+
+    Vectorised BFS: each step gathers every child of the current level in
+    one shot, so the cost is O(levels) NumPy calls instead of an O(n_nodes)
+    Python loop.
+    """
+    n_nodes = len(child_offset) - 1
+    level = np.zeros(n_nodes, dtype=np.int64)
+    if n_nodes == 0:
+        return level
+    cur = np.array([0], dtype=np.int64)
+    depth = 0
+    while cur.size:
+        cnt = child_offset[cur + 1] - child_offset[cur]
+        total = int(cnt.sum())
+        if total == 0:
+            break
+        starts = np.repeat(child_offset[cur], cnt)
+        within = np.arange(total) - np.repeat(np.cumsum(cnt) - cnt, cnt)
+        kids = child_list[starts + within]
+        depth += 1
+        level[kids] = depth
+        cur = kids
+    return level
+
+
+def level_propagation(
+    child_offset: np.ndarray,
+    child_list: np.ndarray,
+    level: np.ndarray,
+) -> list[tuple[np.ndarray, np.ndarray, np.ndarray]]:
+    """Bottom-up reduction plan over internal nodes, deepest level first.
+
+    Each entry is ``(ids, child_ids, seg_offsets)``: reducing
+    ``values[child_ids]`` with ``np.<ufunc>.reduceat`` at ``seg_offsets``
+    yields one value per node in ``ids``.  Processing entries in order
+    propagates per-point values to every node, because a node's children
+    are always at a strictly deeper level and so already reduced.
+    """
+    counts = child_offset[1:] - child_offset[:-1]
+    internal = np.flatnonzero(counts > 0)
+    plan: list[tuple[np.ndarray, np.ndarray, np.ndarray]] = []
+    if internal.size == 0:
+        return plan
+    for lv in range(int(level[internal].max()), -1, -1):
+        ids = internal[level[internal] == lv]
+        if ids.size == 0:
+            continue
+        cnt = counts[ids]
+        total = int(cnt.sum())
+        starts = np.repeat(child_offset[ids], cnt)
+        within = np.arange(total) - np.repeat(np.cumsum(cnt) - cnt, cnt)
+        kids = child_list[starts + within]
+        seg = np.cumsum(cnt) - cnt
+        plan.append((ids, kids, seg))
+    return plan
 
 
 class ArrayTree:
@@ -68,23 +127,56 @@ class ArrayTree:
         self.center = 0.5 * (self.lo + self.hi)
         self.diameter = (self.hi - self.lo).max(axis=1)  # widest-dim span
 
-        # Centroids (and mass data when weighted) per node, O(n log n) total.
-        n_nodes, d = self.n_nodes, self.points.shape[1]
-        self.centroid = np.empty((n_nodes, d))
+        # Centroids (and mass data when weighted) per node.  Vectorised:
+        # leaf sums come from one np.add.reduceat over the contiguous
+        # [start, end) partition, internal sums from a per-level bottom-up
+        # children reduction — O(levels) NumPy calls, no Python node loop.
+        counts_pts = (self.end - self.start).astype(np.float64)
+        self.centroid = self._node_sums(self.points) / counts_pts[:, None]
         if self.weights is not None:
-            self.wsum = np.empty(n_nodes)
-            self.wcentroid = np.empty((n_nodes, d))
-        for i in range(n_nodes):
-            s, e = self.start[i], self.end[i]
-            pts = self.points[s:e]
-            self.centroid[i] = pts.mean(axis=0)
-            if self.weights is not None:
-                w = self.weights[s:e]
-                tw = w.sum()
-                self.wsum[i] = tw
-                self.wcentroid[i] = (
-                    (w[:, None] * pts).sum(axis=0) / tw if tw > 0 else self.centroid[i]
-                )
+            self.wsum = self._node_sums(self.weights)
+            wsums = self._node_sums(self.weights[:, None] * self.points)
+            self.wcentroid = np.where(
+                self.wsum[:, None] > 0,
+                np.divide(wsums, self.wsum[:, None],
+                          out=np.zeros_like(wsums),
+                          where=self.wsum[:, None] != 0),
+                self.centroid,
+            )
+
+    def _node_sums(self, values: np.ndarray) -> np.ndarray:
+        """Per-node sums of a per-point array over each ``[start, end)``
+        slice, computed bottom-up: leaves via ``np.add.reduceat`` on the
+        contiguous leaf partition, internal nodes by summing children."""
+        x = np.asarray(values, dtype=np.float64)
+        squeeze = x.ndim == 1
+        if squeeze:
+            x = x[:, None]
+        out = np.empty((self.n_nodes, x.shape[1]))
+        leaves = np.flatnonzero(self.is_leaf_arr)
+        lsort = leaves[np.argsort(self.start[leaves], kind="stable")]
+        # Sorted leaves tile [0, n) contiguously (validate() invariant), so
+        # reduceat over just the starts segments exactly on leaf boundaries.
+        out[lsort] = np.add.reduceat(x, self.start[lsort], axis=0)
+        for ids, kids, seg in self._level_plan():
+            out[ids] = np.add.reduceat(out[kids], seg, axis=0)
+        return out[:, 0] if squeeze else out
+
+    def levels(self) -> np.ndarray:
+        """Per-node depth array (root = 0); computed once, cached."""
+        cached = getattr(self, "_level_arr", None)
+        if cached is None:
+            cached = tree_levels(self.child_offset, self.child_list)
+            self._level_arr = cached
+        return cached
+
+    def _level_plan(self):
+        cached = getattr(self, "_level_plan_cache", None)
+        if cached is None:
+            cached = level_propagation(self.child_offset, self.child_list,
+                                       self.levels())
+            self._level_plan_cache = cached
+        return cached
 
     # -- structure -----------------------------------------------------------
     @property
@@ -174,11 +266,7 @@ class ArrayTree:
     # -- diagnostics -----------------------------------------------------------
     def depth(self) -> int:
         """Maximum depth of the tree (root = 0)."""
-        depth = np.zeros(self.n_nodes, dtype=np.int64)
-        for i in range(self.n_nodes):
-            for c in self.children(i):
-                depth[c] = depth[i] + 1
-        return int(depth.max()) if self.n_nodes else 0
+        return int(self.levels().max()) if self.n_nodes else 0
 
     def validate(self) -> None:
         """Assert structural invariants; used by the test-suite."""

@@ -31,11 +31,17 @@ class TuneResult:
 
 
 def tune_leaf_size(
-    run: Callable[[int], object],
+    run: Callable[..., object],
     candidates: Sequence[int] = DEFAULT_CANDIDATES,
     repeats: int = 2,
+    subsample: int | None = None,
 ) -> TuneResult:
     """Time ``run(leaf_size)`` over the candidate grid; best-of-``repeats``.
+
+    With ``subsample`` set, ``run`` is called as ``run(leaf_size,
+    subsample)`` instead, so large inputs can be tuned on a smaller
+    draw — the relative ranking of leaf sizes is what matters, not the
+    absolute timings.
 
     Example
     -------
@@ -45,6 +51,8 @@ def tune_leaf_size(
     """
     if not candidates:
         raise ValueError("need at least one candidate leaf size")
+    if subsample is not None and subsample < 1:
+        raise ValueError(f"invalid subsample size {subsample}")
     timings: dict[int, float] = {}
     for leaf in candidates:
         if leaf < 1:
@@ -52,7 +60,10 @@ def tune_leaf_size(
         best = float("inf")
         for _ in range(repeats):
             t0 = time.perf_counter()
-            run(int(leaf))
+            if subsample is None:
+                run(int(leaf))
+            else:
+                run(int(leaf), int(subsample))
             best = min(best, time.perf_counter() - t0)
         timings[int(leaf)] = best
     best_leaf = min(timings, key=timings.get)

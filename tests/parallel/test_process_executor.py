@@ -60,7 +60,8 @@ def _traversal_counts(counters):
 
 # The nine evaluated problems (paper Table III), each through both
 # executors.  k-NN, Hausdorff and k-NN regression exercise the bound-rule
-# (stack engine) path; the rest run batched under `traversal="batched"`.
+# (bounded-batched engine) path; the rest run the stateless batched
+# frontier engine under `traversal="batched"`.
 PROBLEMS = {
     "kde": lambda Q, R, o: kde(Q, R, bandwidth=0.7, **o),
     "knn": lambda Q, R, o: knn(Q, R, k=5, **o),
@@ -134,18 +135,20 @@ class TestTreesAndEngines:
                       **dict(PAR, executor="process"))
         assert np.array_equal(thread, process)
 
-    def test_knn_bound_rule_fallback_under_process(self, data):
-        """k-NN requested batched falls back to the stack engine (bound
-        rule); that fallback must carry through the process executor."""
+    def test_knn_bound_rule_routes_bounded_under_process(self, data):
+        """k-NN requested batched routes to the bound-aware epoch engine;
+        that routing must carry through the process executor, which ships
+        each worker's ``qbound`` slice back for the parent-side merge."""
         Q, R = data
-        expr = PortalExpr("knn-fallback")
+        expr = PortalExpr("knn-routing")
         expr.addLayer(PortalOp.FORALL, Storage(Q, name="query"))
         expr.addLayer((PortalOp.KARGMIN, 5), Storage(R, name="reference"),
                       PortalFunc.EUCLIDEAN)
         out = expr.execute(traversal="batched", executor="process", **PAR)
         stats = expr.stats()
-        assert stats["traversal_engine"] == "stack"
+        assert stats["traversal_engine"] == "bounded-batched"
         assert stats["executor"] == "process"
+        assert stats["bounded"]["epochs"] > 0
         thread = knn(Q, R, k=5, traversal="batched",
                      **dict(PAR, executor="thread"))
         assert np.array_equal(thread[0], np.asarray(out.values))

@@ -6,7 +6,9 @@ the stack engine — classification is stateless and the replay phase
 applies side effects in exactly the stack engine's order.  These tests
 pin that contract across tree kinds for both prune-heavy (range search /
 count) and approximation-heavy (KDE band, KDE multipole-acceptance)
-configurations, plus the automatic fallback for stateful bound rules.
+configurations, plus the automatic routing of stateful bound rules to
+the epoch-based bounded engine (``test_bounded_batched.py`` covers that
+engine differentially).
 """
 
 import numpy as np
@@ -53,8 +55,10 @@ def _run(expr_maker, **options):
     expr = expr_maker()
     with collect() as counters:
         out = expr.execute(**options)
+    # frontier_peak is batched-only bookkeeping: drop it so counter
+    # dictionaries stay directly comparable against the stack engine.
     trav = {k: v for k, v in counters.as_dict().items()
-            if k.startswith("traversal.")}
+            if k.startswith("traversal.") and k != "traversal.frontier_peak"}
     return out, trav, expr.stats().get("traversal_engine")
 
 
@@ -141,20 +145,34 @@ class TestApproxHeavyDifferential:
 
 
 class TestEngineSelection:
-    def test_bound_rule_falls_back_to_stack(self, data):
+    def test_bound_rule_routes_to_bounded_batched(self, data):
         """k-NN's bound rule reads mutable best values mid-traversal —
-        the batched engine must decline it (and still be correct)."""
+        the frontier engine routes it to the epoch-based bound-aware
+        variant (and stays correct)."""
         Q, R = data
         qs = Storage(Q, name="query")
         rs = Storage(R, name="reference")
-        expr = PortalExpr("knn-fallback")
+        expr = PortalExpr("knn-routing")
         expr.addLayer(PortalOp.FORALL, qs)
         expr.addLayer((PortalOp.KARGMIN, 3), rs, PortalFunc.EUCLIDEAN)
         expr.execute(traversal="batched")
-        assert expr.stats()["traversal_engine"] == "stack"
+        assert expr.stats()["traversal_engine"] == "bounded-batched"
+        assert expr.stats()["bounded"]["epochs"] > 0
         d_tree, i_tree = knn(Q, R, k=3, traversal="batched")
         d_brute, i_brute = knn(Q, R, k=3, backend="brute")
         assert np.array_equal(i_tree, i_brute)
+
+    def test_stack_override_still_honoured(self, data):
+        """traversal='stack' forces the scalar engine even for bound
+        rules — the escape hatch the routing table documents."""
+        Q, R = data
+        qs = Storage(Q, name="query")
+        rs = Storage(R, name="reference")
+        expr = PortalExpr("knn-stack-override")
+        expr.addLayer(PortalOp.FORALL, qs)
+        expr.addLayer((PortalOp.KARGMIN, 3), rs, PortalFunc.EUCLIDEAN)
+        expr.execute(traversal="stack")
+        assert expr.stats()["traversal_engine"] == "stack"
 
     def test_no_rule_runs_batched(self, data):
         """Without any rule the frontier engine still handles the plain

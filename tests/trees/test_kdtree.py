@@ -129,6 +129,64 @@ class TestSlidingMidpoint:
         with pytest.raises(ValueError, match="split strategy"):
             build_kdtree(rng.normal(size=(10, 2)), split="random")
 
+    def test_all_coincident_is_single_leaf(self):
+        """Every width is zero: the root must stay a (possibly
+        oversized) leaf instead of recursing forever."""
+        t = build_kdtree(np.full((50, 3), 2.5), leaf_size=4,
+                         split="midpoint")
+        t.validate()
+        assert t.n_nodes == 1
+        assert t.is_leaf(0)
+
+    def test_slide_branch_on_fp_rounded_cut(self):
+        """With exact arithmetic ``lo < cut`` always holds when the
+        width is positive, so the slide branch is reachable only via
+        floating-point rounding: lo=1.0, hi=1.0+2^-52 gives a midpoint
+        that rounds back down to 1.0 (ties-to-even), leaving the left
+        side empty.  The slide must isolate at least one point per
+        side."""
+        eps = 2.0 ** -52
+        X = np.array([[1.0]] * 6 + [[1.0 + eps]] * 2)
+        t = build_kdtree(X, leaf_size=2, split="midpoint")
+        t.validate()
+        kids = t.children(0)
+        assert len(kids) == 2
+        sizes = sorted(t.count(int(c)) for c in kids)
+        assert sizes[0] >= 1 and sum(sizes) == 8
+        for i in range(t.n_nodes):
+            for c in t.children(i):
+                assert t.count(int(c)) >= 1
+
+    def test_duplicate_coords_along_split_dim(self, rng):
+        """Duplicates along the widest dimension: the cut lands between
+        the two duplicate groups, and once a subtree's widest dimension
+        collapses to zero width the next-widest takes over."""
+        n = 64
+        X = np.column_stack([
+            np.repeat([0.0, 1.0], n // 2),
+            rng.uniform(0.0, 0.05, size=n),
+        ])
+        t = build_kdtree(X, leaf_size=4, split="midpoint")
+        t.validate()
+        kids = t.children(0)
+        assert len(kids) == 2
+        assert sorted(t.count(int(c)) for c in kids) == [n // 2, n // 2]
+        for i in range(t.n_nodes):
+            for c in t.children(i):
+                assert t.count(int(c)) >= 1
+
+    def test_knn_agrees_across_strategies(self, rng):
+        """Both strategies are exact spatial indexes: k-NN answers must
+        be identical whichever one the compiler builds."""
+        from repro.problems import knn
+
+        Q = rng.uniform(0.0, 5.0, size=(120, 3))
+        R = rng.uniform(0.0, 5.0, size=(150, 3))
+        d_med, i_med = knn(Q, R, k=4, split="median", leaf_size=8)
+        d_mid, i_mid = knn(Q, R, k=4, split="midpoint", leaf_size=8)
+        assert np.array_equal(d_med, d_mid)
+        assert np.array_equal(i_med, i_mid)
+
     def test_same_knn_results(self, rng):
         from repro.problems import knn
 

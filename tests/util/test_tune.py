@@ -1,0 +1,94 @@
+"""Tests for the leaf-size auto-tuner (paper section V-B).
+
+Timing is driven by a fake clock so the tests are deterministic: each
+``run`` call advances the clock by a scripted duration, and the tuner's
+best-of-repeats / argmin logic is asserted against the script.
+"""
+
+import pytest
+
+from repro.util import tune as tune_mod
+from repro.util.tune import DEFAULT_CANDIDATES, TuneResult, tune_leaf_size
+
+
+class FakeClock:
+    def __init__(self):
+        self.now = 0.0
+
+    def perf_counter(self):
+        return self.now
+
+
+@pytest.fixture
+def clock(monkeypatch):
+    clk = FakeClock()
+    monkeypatch.setattr(tune_mod, "time", clk)
+    return clk
+
+
+class TestTuneLeafSize:
+    def test_picks_argmin_of_best_of_repeats(self, clock):
+        # leaf 16 is erratic (5.0 then 1.0): best-of must score it 1.0,
+        # beating leaf 32's steady 2.0 — a mean or first-run policy
+        # would pick 32 instead.
+        script = {16: [5.0, 1.0], 32: [2.0, 2.0], 64: [3.0, 6.0]}
+        calls = {leaf: iter(times) for leaf, times in script.items()}
+
+        def run(leaf):
+            clock.now += next(calls[leaf])
+
+        result = tune_leaf_size(run, candidates=(16, 32, 64), repeats=2)
+        assert result.best == 16
+        assert result.timings == {16: 1.0, 32: 2.0, 64: 3.0}
+
+    def test_repeats_run_count(self, clock):
+        seen = []
+        tune_leaf_size(lambda leaf: seen.append(leaf),
+                       candidates=(8, 16), repeats=3)
+        assert seen == [8, 8, 8, 16, 16, 16]
+
+    def test_subsample_forwarded(self, clock):
+        seen = []
+
+        def run(leaf, sub):
+            seen.append((leaf, sub))
+
+        result = tune_leaf_size(run, candidates=(16, 32), repeats=1,
+                                subsample=500)
+        assert seen == [(16, 500), (32, 500)]
+        assert isinstance(result, TuneResult)
+        assert set(result.timings) == {16, 32}
+
+    def test_without_subsample_run_gets_only_leaf(self, clock):
+        def run(leaf, sub=None):
+            assert sub is None
+
+        tune_leaf_size(run, candidates=(16,), repeats=1)
+
+    def test_default_candidates(self, clock):
+        seen = set()
+        tune_leaf_size(lambda leaf: seen.add(leaf), repeats=1)
+        assert seen == set(DEFAULT_CANDIDATES)
+
+    def test_empty_candidates_rejected(self):
+        with pytest.raises(ValueError, match="candidate"):
+            tune_leaf_size(lambda leaf: None, candidates=())
+
+    def test_invalid_leaf_rejected(self):
+        with pytest.raises(ValueError, match="leaf size"):
+            tune_leaf_size(lambda leaf: None, candidates=(0,))
+
+    def test_invalid_subsample_rejected(self):
+        with pytest.raises(ValueError, match="subsample"):
+            tune_leaf_size(lambda leaf, sub: None, candidates=(16,),
+                           subsample=0)
+
+    def test_repr_lists_timings(self, clock):
+        script = iter([1.5, 0.5])
+
+        def run(leaf):
+            clock.now += next(script)
+
+        result = tune_leaf_size(run, candidates=(16, 32), repeats=1)
+        text = repr(result)
+        assert "best=32" in text and "16:" in text
