@@ -1,6 +1,6 @@
 PYTHON ?= python
 
-.PHONY: install test test-fast test-ir bench bench-ir bench-micro bench-bound bench-parallel examples results clean
+.PHONY: install test test-fast test-ir bench bench-ir bench-micro bench-bound bench-native bench-parallel examples results clean
 
 install:
 	$(PYTHON) -m pip install -e . || $(PYTHON) setup.py develop
@@ -42,6 +42,15 @@ bench-bound:
 
 bench-bound-full:
 	$(PYTHON) benchmarks/bench_bound_traversal.py
+
+# Native (numba) codegen backend vs the NumPy reference on the Table IV
+# scalar-kernel configurations (full run asserts the >= 2x geomean gate
+# when numba is importable; without numba the run records the fallback).
+bench-native:
+	$(PYTHON) benchmarks/bench_native_backend.py --smoke
+
+bench-native-full:
+	$(PYTHON) benchmarks/bench_native_backend.py
 
 bench-parallel:
 	$(PYTHON) benchmarks/bench_parallel_scaling.py --smoke

@@ -157,7 +157,10 @@ class LRUCache:
 #: the pass pipeline or artifact layout changes shape (new passes, new
 #: key fields), so a process that hot-reloads compiler modules can never
 #: serve an artifact built by an older pipeline.
-ARTIFACT_SCHEMA = 3
+#: v4: pluggable codegen backends — the key carries the resolved
+#: codegen backend name, so a native artifact never collides with a
+#: NumPy one.
+ARTIFACT_SCHEMA = 4
 
 #: Compiled-artifact cache (see :mod:`repro.backend.jit`).
 program_cache = LRUCache(maxsize=32)

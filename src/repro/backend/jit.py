@@ -35,6 +35,7 @@ from ..traversal import (
     TraversalStats, batched_dual_tree_traversal,
     bounded_batched_dual_tree_traversal, dual_tree_traversal,
 )
+from .backends import CODEGEN_BACKENDS, get_backend, resolve_codegen_backend
 from .cache import (  # noqa: F401 (program_cache re-exported for tests)
     ARTIFACT_SCHEMA, MISSING, UncacheableParamError, array_fingerprint,
     cached_build_tree, freeze, program_cache,
@@ -51,6 +52,15 @@ class CompileOptions:
     """Execution/compilation knobs surfaced on ``PortalExpr.execute``."""
 
     backend: str = "vectorized"      # 'vectorized' | 'brute' | 'interp'
+    #: codegen target for the emitted kernels: 'numpy' (vectorised
+    #: NumPy source, the differential reference), 'native' (Numba-jitted
+    #: per-pair scalar kernels, degrading gracefully to numpy when
+    #: numba is unavailable) or 'auto' (native only above a measured
+    #: problem-size threshold).  ``backend='numpy'|'native'|'auto'`` is
+    #: accepted as an alias for ``backend='vectorized'`` plus this
+    #: option; the ``REPRO_CODEGEN`` environment variable (CI matrix
+    #: knob) overrides the default when the option is not passed.
+    codegen: str = "numpy"
     tree: str = "kd"                 # 'kd' | 'ball' | 'octree' | 'none'
     leaf_size: int | None = None
     tau: float | None = None         # approximation threshold (band criterion)
@@ -98,12 +108,27 @@ class CompileOptions:
 
     @classmethod
     def from_dict(cls, options: dict) -> "CompileOptions":
+        options = dict(options)
+        # `backend='numpy'|'native'|'auto'` is shorthand for the default
+        # execution mode with an explicit codegen target.
+        if options.get("backend") in CODEGEN_BACKENDS:
+            options.setdefault("codegen", options["backend"])
+            options["backend"] = "vectorized"
         unknown = set(options) - {f for f in cls.__dataclass_fields__}
         if unknown:
             raise SpecificationError(
                 f"unknown execute() options: {sorted(unknown)}"
             )
         opts = cls(**options)
+        if "codegen" not in options:
+            env = os.environ.get("REPRO_CODEGEN", "").strip()
+            if env:
+                opts.codegen = env
+        if opts.codegen not in CODEGEN_BACKENDS:
+            raise SpecificationError(
+                f"unknown codegen backend {opts.codegen!r}; "
+                f"expected one of {CODEGEN_BACKENDS}"
+            )
         if isinstance(opts.disable_passes, str):
             opts.disable_passes = (opts.disable_passes,)
         bad = set(opts.disable_passes) - set(TOGGLEABLE_PASSES)
@@ -249,6 +274,7 @@ class CompiledProgram:
         summary = {
             "mode": self.mode,
             "backend": self.options.backend,
+            "codegen": self.extras.get("codegen"),
             "tree": self.options.tree if self.mode == "tree" else None,
             "traversal_engine": self.extras.get("engine"),
             "executor": self.extras.get("executor"),
@@ -375,6 +401,7 @@ class CompiledProgram:
                     token=self.extras.get("program_token"),
                     engine=engine, workers=workers,
                     min_tasks=self.options.min_tasks,
+                    codegen_backend=self.extras.get("codegen", "numpy"),
                 )
             return parallel_dual_tree(
                 self.qtree, self.rtree, kk.prune_or_approx, kk.base_case,
@@ -479,6 +506,10 @@ class _Artifact:
     rule: object
     pass_manager: PassManager
     spec: CodegenSpec
+    #: concrete (post-``resolve_codegen_backend``) codegen backend that
+    #: emitted ``source``/``code`` — the backend that must re-bind it
+    #: (here and in worker processes)
+    codegen_backend: str
     source: str
     code: object
     static_bindings: dict
@@ -535,7 +566,8 @@ def _program_key(layers: list[Layer], opts: CompileOptions) -> tuple:
         ARTIFACT_SCHEMA,
         layer_parts,
         (kern.base, repr(kern.g), kern.whiten, freeze(kern.covariance)),
-        opts.backend, opts.tree, opts.leaf_size, opts.tau, opts.criterion,
+        opts.backend, opts.codegen, opts.tree, opts.leaf_size, opts.tau,
+        opts.criterion,
         opts.theta, opts.fastmath, opts.layout, opts.split,
         tuple(sorted(opts.disable_passes)), bool(opts.verify_ir),
         same_data, exclude_self,
@@ -556,6 +588,13 @@ def compile_expr(pexpr, options: dict) -> CompiledProgram:
         return _compile_multilayer(pexpr, opts)
     if layers[1].metric_kernel is None:
         return _compile_external_expr(pexpr, opts)
+
+    # Resolve 'auto' / unavailable-native to the concrete backend that
+    # will emit the artifact *before* the cache key is computed: a
+    # native artifact must never collide with a NumPy one, and a
+    # fallen-back native run legitimately shares the NumPy entry.
+    opts.codegen = resolve_codegen_backend(
+        opts.codegen, layers[0].storage.n, layers[1].storage.n)
 
     cacheable = (
         opts.cache
@@ -743,13 +782,15 @@ def _compile_pipeline(pexpr, opts: CompileOptions) -> tuple[_Artifact, dict]:
             rw=rstorage.weights,
         )
 
+    backend_obj = get_backend(opts.codegen)
     t0 = time.perf_counter()
-    source, code = emit(spec)
+    source, code = backend_obj.emit(spec)
     timings["codegen"] = time.perf_counter() - t0
 
     art = _Artifact(
         mode=mode, kernel=kernel, classification=classification, rule=rule,
-        pass_manager=pm, spec=spec, source=source, code=code,
+        pass_manager=pm, spec=spec, codegen_backend=backend_obj.name,
+        source=source, code=code,
         static_bindings=static_bindings, qtree=qtree, rtree=rtree,
         qdata=qdata, rdata=rdata, nq=nq, nr=nr, same_data=same_data,
         exclude_self=exclude_self, defer_monotone=defer_monotone,
@@ -782,7 +823,9 @@ def _instantiate(art: _Artifact, layers: list[Layer], opts: CompileOptions,
     bindings.update(state.arrays)
     if state.lists is not None:
         bindings["out_lists"] = state.lists
-    program.kernels = bind_kernels(art.source, art.code, bindings)
+    backend_obj = get_backend(art.codegen_backend)
+    program.kernels = backend_obj.bind(art.source, art.code, bindings)
+    program.extras["codegen"] = art.codegen_backend
 
     if art.mode == "tree":
         kk = program.kernels

@@ -137,8 +137,9 @@ def _cmd_stats(args) -> int:
         engine = f" engine: {s['traversal_engine']}" if s.get("traversal_engine") else ""
         executor = f" executor: {s['executor']}" if s.get("executor") else ""
         cache = f" cache: {s['cache']}" if s.get("cache") else ""
+        codegen = f" codegen: {s['codegen']}" if s.get("codegen") else ""
         print(f"  mode: {s['mode']}  backend: {s['backend']}"
-              f"{tree}{engine}{executor}{cache}")
+              f"{codegen}{tree}{engine}{executor}{cache}")
         print(
             f"  traversal: visited={t['visited']} pruned={t['pruned']} "
             f"approximated={t['approximated']} "

@@ -84,6 +84,7 @@ def parallel_dual_tree_process(
     engine: str = "stack",
     workers: int | None = None,
     min_tasks: int | None = None,
+    codegen_backend: str = "numpy",
 ) -> TraversalStats:
     """Run the parallel dual-tree traversal on the process pool,
     merging worker partials into ``state``; returns the merged stats.
@@ -122,6 +123,10 @@ def parallel_dual_tree_process(
                            state.nq, nr),
             "same_tree": same_tree,
             "engine": engine,
+            # Workers rebuild kernels from the shipped source with this
+            # backend (a native program re-warms its JIT once per
+            # worker, under the worker's own counters registry).
+            "codegen_backend": codegen_backend,
         }
         payloads = [dict(common, q_root=int(q)) for q in frontier]
 

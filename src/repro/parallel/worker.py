@@ -34,7 +34,8 @@ from dataclasses import dataclass
 
 import numpy as np
 
-from ..backend.codegen import GeneratedKernels, bind_kernels
+from ..backend.backends import get_backend
+from ..backend.codegen import GeneratedKernels
 from ..backend.state import State, allocate_state
 from ..dsl.ops import op_info
 from ..observe import collect
@@ -145,7 +146,10 @@ def _program(payload: dict) -> _WorkerProgram:
         bindings["out_lists"] = state.lists
     source = payload["source"]
     code = compile(source, "<portal-worker>", "exec")
-    kernels = bind_kernels(source, code, bindings)
+    # Rebuild with the backend that emitted the source: a native program
+    # JIT-compiles (warms) its kernels here, once per worker process.
+    backend = get_backend(payload.get("codegen_backend", "numpy"))
+    kernels = backend.bind(source, code, bindings)
     qview = TreeView(views, "q")
     rview = qview if payload["same_tree"] else TreeView(views, "r")
 
@@ -161,15 +165,18 @@ def _program(payload: dict) -> _WorkerProgram:
 def run_task(payload: dict) -> dict:
     """Run one (query-subtree × reference-root) traversal task; returns
     the partial accumulator slices, stats and counters for its range."""
-    prog = _program(payload)
-    kk = prog.kernels
-    state = prog.state
-    q_root = int(payload["q_root"])
-    s = int(prog.qview.start[q_root])
-    e = int(prog.qview.end[q_root])
-    reset_state_range(state, s, e)
-
     with collect() as counters:
+        # Program build happens *inside* the collect scope so bind-time
+        # counters (backend.native.compile_s / .fallback on a cold
+        # worker) ship back with the task result.
+        prog = _program(payload)
+        kk = prog.kernels
+        state = prog.state
+        q_root = int(payload["q_root"])
+        s = int(prog.qview.start[q_root])
+        e = int(prog.qview.end[q_root])
+        reset_state_range(state, s, e)
+
         if payload["engine"] == "bounded-batched":
             stats = bounded_batched_dual_tree_traversal(
                 prog.qview, prog.rview, kk.bound_key_batch,

@@ -122,6 +122,79 @@ class TestCompileCache:
         assert np.array_equal(first, second)
 
 
+class TestBackendDimension:
+    """The artifact key carries the *resolved* codegen backend: a native
+    artifact must never collide with a NumPy one (ARTIFACT_SCHEMA v4)."""
+
+    @pytest.fixture(autouse=True)
+    def _native_sim(self, monkeypatch):
+        from repro.backend.native import native_available
+
+        if not native_available():
+            # Keep 'native' resolving to itself on numba-less hosts so
+            # the two backends genuinely key differently.
+            monkeypatch.setenv("REPRO_NATIVE_JIT", "python")
+        clear_caches()
+
+    def test_numpy_and_native_are_distinct_entries(self, data):
+        Q, R = data
+        with collect() as counters:
+            _kde_expr(Q, R).execute(tau=1e-3, codegen="numpy")
+            _kde_expr(Q, R).execute(tau=1e-3, codegen="native")
+        c = _cache_counts(counters)
+        assert c["cache.compile.miss"] == 2
+        assert "cache.compile.hit" not in c
+        assert cache_stats()["programs"] == 2
+        # …and each backend re-hits its *own* entry afterwards.
+        with collect() as counters:
+            first = _kde_expr(Q, R).execute(tau=1e-3, codegen="numpy")
+            second = _kde_expr(Q, R).execute(tau=1e-3, codegen="native")
+        assert _cache_counts(counters)["cache.compile.hit"] == 2
+        np.testing.assert_allclose(np.asarray(first.values),
+                                   np.asarray(second.values), rtol=1e-7)
+
+    def test_fallen_back_native_shares_numpy_entry(self, data, monkeypatch):
+        """With no native JIT available, 'native' resolves to 'numpy'
+        *before* keying — the fallback legitimately reuses the NumPy
+        artifact instead of duplicating it."""
+        monkeypatch.setenv("REPRO_NATIVE_JIT", "off")
+        Q, R = data
+        with collect() as counters:
+            _kde_expr(Q, R).execute(tau=1e-3, codegen="numpy")
+            _kde_expr(Q, R).execute(tau=1e-3, codegen="native")
+        c = counters.as_dict()
+        assert c["cache.compile.miss"] == 1
+        assert c["cache.compile.hit"] == 1
+        assert c["backend.native.fallback"] >= 1
+        assert cache_stats()["programs"] == 1
+
+    def test_clear_caches_drops_both(self, data):
+        Q, R = data
+        _kde_expr(Q, R).execute(tau=1e-3, codegen="numpy")
+        _kde_expr(Q, R).execute(tau=1e-3, codegen="native")
+        assert cache_stats()["programs"] == 2
+        clear_caches()
+        assert cache_stats() == {"programs": 0, "trees": 0}
+        with collect() as counters:
+            _kde_expr(Q, R).execute(tau=1e-3, codegen="native")
+        assert _cache_counts(counters)["cache.compile.miss"] == 1
+
+    def test_uncacheable_native_still_executes(self, data):
+        """An uncacheable-param program under the native backend skips
+        the cache but still compiles, binds and runs natively."""
+        Q, R = data
+        with collect() as counters:
+            expr = _kde_expr(Q, R)
+            expr.layers[1].params["opaque"] = object()
+            out = expr.execute(tau=1e-3, codegen="native")
+        c = counters.as_dict()
+        assert c["cache.compile.uncacheable"] == 1
+        assert "cache.compile.hit" not in c and "cache.compile.miss" not in c
+        assert cache_stats()["programs"] == 0
+        assert expr.stats()["codegen"] == "native"
+        assert np.asarray(out.values).shape == (len(Q),)
+
+
 class TestTreeCache:
     def test_cross_problem_tree_reuse(self, data):
         """Different problems over the same dataset share tree builds."""

@@ -1,5 +1,7 @@
 """Coverage for the remaining execute()/compile() option combinations."""
 
+import itertools
+
 import numpy as np
 import pytest
 
@@ -102,6 +104,75 @@ class TestStatsAccounting:
         e = nn(rng, n=100)
         e.execute(backend="brute")
         assert e.program.stats.base_case_pairs == 100 * 100
+
+
+class TestExecutorTraversalCodegenMatrix:
+    """Joint ``executor × traversal × codegen`` sweep (previously the
+    three dimensions were only tested pairwise): every cell must agree
+    with the serial/stack/numpy reference.  The full product is the slow
+    tier; the fast tier keeps one representative cell per executor,
+    engine and backend."""
+
+    TRAVERSALS = ("stack", "batched", "bounded-batched")
+    EXECUTORS = ("serial", "thread", "process")
+    CODEGENS = ("numpy", "native")
+    #: fast representatives: each executor, engine and codegen appears
+    FAST_CELLS = (
+        ("stack", "serial", "native"),
+        ("batched", "thread", "numpy"),
+        ("bounded-batched", "thread", "native"),
+        ("batched", "process", "native"),
+    )
+
+    @pytest.fixture(autouse=True)
+    def _native_sim(self, monkeypatch):
+        from repro.backend.native import native_available
+
+        if not native_available():
+            monkeypatch.setenv("REPRO_NATIVE_JIT", "python")
+
+    @staticmethod
+    def _knn():
+        rng = np.random.default_rng(77)
+        Q = rng.normal(size=(90, 3))
+        R = rng.normal(size=(110, 3))
+
+        def build():
+            e = PortalExpr()
+            e.addLayer(PortalOp.FORALL, Storage(Q, name="q"))
+            e.addLayer((PortalOp.KARGMIN, 3), Storage(R, name="r"),
+                       PortalFunc.EUCLIDEAN)
+            return e
+
+        return build
+
+    @classmethod
+    def _run(cls, build, traversal, executor, codegen):
+        kwargs = dict(traversal=traversal, codegen=codegen, fastmath=False,
+                      leaf_size=16)
+        if executor != "serial":
+            kwargs.update(parallel=True, workers=2, min_tasks=4,
+                          executor=executor)
+        return build().execute(**kwargs)
+
+    def _check_cell(self, traversal, executor, codegen):
+        build = self._knn()
+        ref = self._run(build, "stack", "serial", "numpy")
+        got = self._run(build, traversal, executor, codegen)
+        assert np.array_equal(np.asarray(got.indices),
+                              np.asarray(ref.indices))
+
+    @pytest.mark.parametrize("traversal,executor,codegen", FAST_CELLS)
+    def test_matrix_fast(self, traversal, executor, codegen):
+        self._check_cell(traversal, executor, codegen)
+
+    @pytest.mark.slow
+    @pytest.mark.parametrize(
+        "traversal,executor,codegen",
+        list(itertools.product(TRAVERSALS, EXECUTORS, CODEGENS)),
+    )
+    def test_matrix_full(self, traversal, executor, codegen):
+        self._check_cell(traversal, executor, codegen)
 
 
 class TestMultilayerCLIIntrospection:

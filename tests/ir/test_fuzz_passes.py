@@ -165,6 +165,20 @@ FAST_SEEDS = [9001, 9002, 9003, 9004]
 SLOW_SEEDS = [7000 + i for i in range(32)]
 
 
+def _sweep_native(seed):
+    """Native-backend leg: every generated program also runs through the
+    native scalar emitter and must match the NumPy reference (the
+    emitter sees arbitrary strength-reduced kernel trees here, not just
+    the named problems' shapes)."""
+    build, kind, opts = make_fuzz_problem(seed)
+    ref = _extract(
+        build().execute(fastmath=False, cache=False, **opts), kind)
+    got = _extract(
+        build().execute(codegen="native", fastmath=False, cache=False,
+                        **opts), kind)
+    _assert_same(got, ref, kind)
+
+
 @pytest.mark.parametrize("seed", FAST_SEEDS)
 def test_fuzz_pass_subsets_fast(seed):
     _sweep(seed)
@@ -174,6 +188,27 @@ def test_fuzz_pass_subsets_fast(seed):
 @pytest.mark.parametrize("seed", SLOW_SEEDS)
 def test_fuzz_pass_subsets_slow(seed):
     _sweep(seed)
+
+
+@pytest.fixture()
+def _native_leg(monkeypatch):
+    from repro.backend.native import native_available
+
+    if not native_available():
+        # No numba on this host: run the emitted loop nests as plain
+        # Python so the native emitter is still differentially covered.
+        monkeypatch.setenv("REPRO_NATIVE_JIT", "python")
+
+
+@pytest.mark.parametrize("seed", FAST_SEEDS)
+def test_fuzz_native_backend_fast(seed, _native_leg):
+    _sweep_native(seed)
+
+
+@pytest.mark.slow
+@pytest.mark.parametrize("seed", SLOW_SEEDS)
+def test_fuzz_native_backend_slow(seed, _native_leg):
+    _sweep_native(seed)
 
 
 def test_generator_is_deterministic():
