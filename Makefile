@@ -1,6 +1,6 @@
 PYTHON ?= python
 
-.PHONY: install test test-fast test-ir bench bench-ir bench-micro bench-bound bench-native bench-parallel examples results clean
+.PHONY: install test test-fast test-ir bench bench-ir bench-micro bench-bound bench-native bench-parallel bench-shard examples results clean
 
 install:
 	$(PYTHON) -m pip install -e . || $(PYTHON) setup.py develop
@@ -54,6 +54,16 @@ bench-native-full:
 
 bench-parallel:
 	$(PYTHON) benchmarks/bench_parallel_scaling.py --smoke
+
+# Sharded reference layout vs the unsharded process executor on the
+# Table IV k-NN / KDE configurations (full run sweeps N up to 1e6 and
+# asserts the >= 1.8x geomean gate on >= 4-core hosts; --smoke only
+# exercises the sharded path at tiny sizes).
+bench-shard:
+	$(PYTHON) benchmarks/bench_shard_scaling.py --smoke
+
+bench-shard-full:
+	$(PYTHON) benchmarks/bench_shard_scaling.py
 
 examples:
 	for f in examples/*.py; do echo "== $$f =="; $(PYTHON) $$f; done

@@ -1,0 +1,160 @@
+"""Sharded reference-set scale-out benchmark (million-point Table IV).
+
+Times the Table IV k-NN and KDE configurations at reference sizes
+N ∈ {1e5, 5e5, 1e6} under the process executor, with and without the
+sharded reference layout (``shards="auto"``), and writes the rows into
+``benchmarks/results/BENCH_shard.json``.
+
+What the numbers should show: with a replicated tree the process
+executor partitions *queries*, so every worker pays the full reference
+tree; with the sharded layout each worker traverses a reference subtree
+a fraction of the size, tree build parallelises across shards, and the
+cross-shard bound broadcast kills shards whose root promise cannot beat
+the global worst bound.  The acceptance gate — sharded ≥ 1.8× over the
+unsharded process executor (geomean over knn + KDE) at N = 1e6 — is
+only meaningful on a host with ≥ 4 usable cores; smaller hosts (this is
+affinity-aware, see ``default_workers``) record the numbers honestly
+and skip the gate, mirroring ``bench_parallel_scaling``.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/bench_shard_scaling.py [--smoke]
+"""
+
+from __future__ import annotations
+
+import argparse
+import math
+import os
+import sys
+import time
+
+import numpy as np
+
+sys.path.insert(0, os.path.dirname(os.path.abspath(__file__)))
+
+from harness import format_table, update_bench_json  # noqa: E402
+from repro.backend.cache import clear_caches  # noqa: E402
+from repro.parallel import default_workers, shutdown_pools  # noqa: E402
+from repro.problems import kde, knn  # noqa: E402
+
+OUT_JSON = "BENCH_shard.json"
+FIGURE = "table4-shard"
+
+#: Reference-set sizes for the full sweep (paper-scale Table IV rows).
+FULL_SIZES = (100_000, 500_000, 1_000_000)
+SMOKE_SIZES = (5_000, 12_000)
+NQ_FRACTION = 0.02  # queries per reference point (2e4 queries at 1e6)
+
+#: sharded must beat unsharded-process by this factor (geomean over the
+#: knn + KDE rows at the largest N), enforced only on >= 4-core hosts.
+GATE_SPEEDUP = 1.8
+GATE_WORKERS = 4
+
+
+def _make_data(n: int, seed: int = 0) -> tuple[np.ndarray, np.ndarray]:
+    """Clustered 3-D reference set + a query set near one cluster —
+    the layout where cross-shard pruning has something to kill."""
+    rng = np.random.default_rng(seed)
+    centers = rng.uniform(-40.0, 40.0, size=(8, 3))
+    counts = np.full(8, n // 8)
+    counts[: n % 8] += 1
+    parts = [c + rng.standard_normal((m, 3)) for c, m in zip(centers, counts)]
+    R = np.ascontiguousarray(np.concatenate(parts))
+    nq = max(64, int(n * NQ_FRACTION))
+    Q = np.ascontiguousarray(centers[0] + rng.standard_normal((nq, 3)))
+    return Q, R
+
+
+def _configs(Q: np.ndarray, R: np.ndarray):
+    bw = 0.5
+    return [
+        ("knn", lambda o: knn(Q, R, k=5, **o)),
+        ("kde", lambda o: kde(Q, R, bandwidth=bw, tau=1e-3, **o)),
+    ]
+
+
+def _measure(run, options: dict, repeats: int) -> float:
+    run(options)  # warm: compile + tree/shard caches, pools, shm blocks
+    best = float("inf")
+    for _ in range(repeats):
+        t0 = time.perf_counter()
+        run(options)
+        best = min(best, time.perf_counter() - t0)
+    return best
+
+
+def main(argv=None) -> int:
+    ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    ap.add_argument("--smoke", action="store_true",
+                    help="tiny sizes / single repeat / no gate (CI smoke)")
+    ap.add_argument("--repeats", type=int, default=None,
+                    help="timed repeats per configuration (best-of)")
+    args = ap.parse_args(argv)
+    repeats = args.repeats or (1 if args.smoke else 3)
+    sizes = SMOKE_SIZES if args.smoke else FULL_SIZES
+
+    cores = default_workers()
+    base = {"parallel": True, "executor": "process", "workers": cores}
+    # Smoke sizes sit below the "auto" threshold (AUTO_SHARD_MIN_POINTS),
+    # so force a shard count there to still exercise the sharded path.
+    shards = "auto" if not args.smoke else max(2, cores)
+    rows = []
+    for n in sizes:
+        Q, R = _make_data(n)
+        for label, run in _configs(Q, R):
+            clear_caches()
+            plain = _measure(run, dict(base), repeats)
+            clear_caches()
+            sharded = _measure(run, dict(base, shards=shards), repeats)
+            speedup = plain / sharded if sharded > 0 else float("inf")
+            rows.append({"config": label, "n": n, "nq": len(Q),
+                         "workers": cores,
+                         "unsharded_s": plain, "sharded_s": sharded,
+                         "speedup": round(speedup, 3)})
+            print(f"  {label:>4} N={n:>9,} unsharded {plain:.4f}s "
+                  f"sharded {sharded:.4f}s ({speedup:.2f}x)",
+                  file=sys.stderr)
+
+    n_top = sizes[-1]
+    top = [r["speedup"] for r in rows if r["n"] == n_top]
+    geomean = math.exp(sum(math.log(max(s, 1e-12)) for s in top) / len(top))
+    enforced = cores >= GATE_WORKERS and not args.smoke
+
+    path = update_bench_json(
+        OUT_JSON, FIGURE, rows,
+        meta={"smoke": args.smoke, "repeats": repeats,
+              "host_workers": cores,
+              "gate": {"speedup": GATE_SPEEDUP, "workers": GATE_WORKERS,
+                       "at_n": n_top, "geomean": round(geomean, 3),
+                       "enforced": enforced}})
+    print(f"[written to {path}]", file=sys.stderr)
+
+    print(format_table(
+        "Sharded reference layout — speedup over unsharded process pool",
+        ["config", "N", "speedup"],
+        [[r["config"], f"{r['n']:,}", r["speedup"]] for r in rows]
+        + [[f"(host cores: {cores})", "", ""]],
+    ), file=sys.stderr)
+
+    shutdown_pools()
+
+    # Acceptance gate: on a >= 4-core host, sharding must be >= 1.8x
+    # geomean over knn + KDE at the largest N.
+    if enforced:
+        if geomean < GATE_SPEEDUP:
+            print(f"[FAIL] sharded-over-unsharded geomean at N={n_top:,}: "
+                  f"{geomean:.3f} (need >= {GATE_SPEEDUP})", file=sys.stderr)
+            return 1
+        print(f"[gate passed: geomean {geomean:.3f} >= {GATE_SPEEDUP}]",
+              file=sys.stderr)
+    else:
+        why = ("smoke run" if args.smoke
+               else f"host has {cores} usable core(s); needs >= "
+                    f"{GATE_WORKERS}")
+        print(f"[gate skipped: {why}]", file=sys.stderr)
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

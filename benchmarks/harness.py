@@ -120,11 +120,33 @@ def emit(name: str, text: str) -> None:
     print(f"\n{text}\n[written to {path}]", file=sys.stderr)
 
 
+def host_meta() -> dict:
+    """Host facts that contextualise any timing row: parallel speedups
+    are meaningless without knowing how many cores the run actually had,
+    and native-backend rows without knowing whether numba was present."""
+    try:
+        affinity = len(os.sched_getaffinity(0))
+    except (AttributeError, OSError):
+        affinity = None
+    try:
+        import numba  # noqa: F401
+        has_numba = True
+    except ImportError:
+        has_numba = False
+    return {
+        "cpu_count": os.cpu_count(),
+        "affinity": affinity,
+        "numba": has_numba,
+        "numpy": np.__version__,
+    }
+
+
 def update_bench_json(filename: str, figure: str, rows: list[dict],
                       meta: dict | None = None) -> str:
     """Merge ``rows`` into a machine-readable results file, replacing any
     previous rows for the same ``figure`` (so the fig2 and fig3 ablations
-    can share ``BENCH_ir.json`` without clobbering each other)."""
+    can share ``BENCH_ir.json`` without clobbering each other).  Every
+    write stamps :func:`host_meta` under ``meta["host"]``."""
     os.makedirs(RESULTS_DIR, exist_ok=True)
     path = os.path.join(RESULTS_DIR, filename)
     payload = {"meta": {}, "rows": []}
@@ -134,8 +156,9 @@ def update_bench_json(filename: str, figure: str, rows: list[dict],
     payload["rows"] = [r for r in payload.get("rows", [])
                        if r.get("figure") != figure]
     payload["rows"].extend(dict(r, figure=figure) for r in rows)
+    payload.setdefault("meta", {})["host"] = host_meta()
     if meta:
-        payload.setdefault("meta", {}).update(meta)
+        payload["meta"].update(meta)
     with open(path, "w") as fh:
         json.dump(payload, fh, indent=2)
         fh.write("\n")

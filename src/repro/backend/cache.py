@@ -46,8 +46,8 @@ from ..trees import build_tree
 
 __all__ = [
     "LRUCache", "MISSING", "UncacheableParamError", "array_fingerprint",
-    "freeze", "cached_build_tree", "program_cache", "tree_cache",
-    "clear_caches", "cache_stats",
+    "freeze", "cached_build_tree", "cached_build_subset_tree",
+    "program_cache", "tree_cache", "clear_caches", "cache_stats",
 ]
 
 #: Sentinel distinguishing "key absent" from "cached value is None" in
@@ -160,7 +160,10 @@ class LRUCache:
 #: v4: pluggable codegen backends — the key carries the resolved
 #: codegen backend name, so a native artifact never collides with a
 #: NumPy one.
-ARTIFACT_SCHEMA = 4
+#: v5: sharded reference layout — the key carries the resolved shard
+#: count, and shard artifacts hold per-shard trees/bindings that an
+#: unsharded artifact of the same program must never alias.
+ARTIFACT_SCHEMA = 5
 
 #: Compiled-artifact cache (see :mod:`repro.backend.jit`).
 program_cache = LRUCache(maxsize=32)
@@ -189,6 +192,46 @@ def cached_build_tree(
     contribute({"cache.tree.miss": 1})
     tree = build_tree(kind, points, leaf_size=leaf_size, weights=weights,
                       split=split)
+    tree_cache.put(key, tree)
+    return tree
+
+
+def cached_build_subset_tree(
+    kind: str,
+    points: np.ndarray,
+    idx: np.ndarray,
+    leaf_size: int,
+    weights: np.ndarray | None,
+    split: str,
+    base_key: tuple,
+    shard: tuple[int, int],
+    enabled: bool = True,
+):
+    """:func:`repro.trees.build_subset_tree` behind the cache.
+
+    Unlike :func:`cached_build_tree`, the key is *derived*, not content
+    hashed: ``base_key`` is the parent dataset's (already memoized)
+    fingerprint tuple and ``shard`` is ``(shard_index, shard_count)``.
+    The shard planner is deterministic, so (parent data, planner
+    parameters, shard position) identifies the subset exactly — and the
+    hit path never gathers the shard rows, let alone re-hashes them,
+    which is the point: an O(n) hash per shard per execute() would eat
+    the build-parallelism win the shard layout exists for.
+    """
+    from ..trees import build_subset_tree
+
+    if not enabled:
+        return build_subset_tree(kind, points, idx, leaf_size=leaf_size,
+                                 weights=weights, split=split)
+    key = ("shard-tree", kind, int(leaf_size), split, base_key,
+           (int(shard[0]), int(shard[1])))
+    tree = tree_cache.get(key, MISSING)
+    if tree is not MISSING:
+        contribute({"cache.tree.hit": 1})
+        return tree
+    contribute({"cache.tree.miss": 1})
+    tree = build_subset_tree(kind, points, idx, leaf_size=leaf_size,
+                             weights=weights, split=split)
     tree_cache.put(key, tree)
     return tree
 

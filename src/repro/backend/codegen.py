@@ -154,6 +154,15 @@ class CodegenSpec:
     same_tree: bool = False
     exclude_self: bool = False
     is_indicator: bool = False
+    #: self-exclusion by *identity remap* instead of position: the
+    #: reference side is a shard of the query dataset with its own tree
+    #: permutation, so "same point" can no longer be detected as "same
+    #: position".  The bound array ``RSELF`` maps each reference-tree
+    #: position to the query-tree position of the same original point
+    #: (−1-free by construction; every shard point exists in the query
+    #: tree).  Set by the shard compiler (:mod:`repro.parallel.shard`);
+    #: mutually exclusive with the positional ``same_tree`` exclusion.
+    self_map: bool = False
 
 
 @dataclass
@@ -278,7 +287,12 @@ def _base_case_source(spec: CodegenSpec) -> str:
         "    v = _pairwise(qs, qe, rs, re)",
     ]
     b = lines.append
-    if spec.same_tree and spec.exclude_self:
+    if spec.self_map:
+        # Sharded reference: a self pair sits at any (query position,
+        # reference position) with RSELF[r] == q — mask by identity.
+        b("    v = np.where(np.arange(qs, qe)[:, None] == "
+          f"RSELF[rs:re][None, :], {_exclusion_value(op)}, v)")
+    elif spec.same_tree and spec.exclude_self:
         b("    if qs == rs:")
         b(f"        np.fill_diagonal(v, {_exclusion_value(op)})")
 
@@ -426,7 +440,17 @@ def _inside_action_lines(spec: CodegenSpec, rule: RuleSpec) -> list[str]:
     if rule.inside_action in ("count_per_query", "count_product"):
         b("    s = qstart[qi]; e = qend[qi]")
         b("    acc[s:e] += rweight[ri]")
-        if spec.same_tree and spec.exclude_self:
+        if spec.self_map:
+            # A self pair is (query position RSELF[r]) × (reference
+            # position r); RSELF values are unique, so a plain
+            # fancy-indexed subtract is duplicate-free.
+            b("    sp = RSELF[rstart[ri]:rend[ri]]")
+            b("    m = (sp >= s) & (sp < e)")
+            if spec.weighted:
+                b("    acc[sp[m]] -= rw[rstart[ri]:rend[ri]][m]")
+            else:
+                b("    acc[sp[m]] -= 1.0")
+        elif spec.same_tree and spec.exclude_self:
             b("    lo = max(s, rstart[ri]); hi = min(e, rend[ri])")
             b("    if lo < hi:")
             if spec.weighted:
@@ -436,13 +460,18 @@ def _inside_action_lines(spec: CodegenSpec, rule: RuleSpec) -> list[str]:
     elif rule.inside_action == "append_all":
         b("    s = qstart[qi]; e = qend[qi]")
         b("    idxs = np.arange(rstart[ri], rend[ri])")
-        b("    for i in range(s, e):")
-        if spec.same_tree and spec.exclude_self:
+        if spec.self_map:
+            b("    sp = RSELF[rstart[ri]:rend[ri]]")
+            b("    for i in range(s, e):")
+            b("        out_lists[i].append(idxs[sp != i])")
+        elif spec.same_tree and spec.exclude_self:
+            b("    for i in range(s, e):")
             b("        if rstart[ri] <= i < rend[ri]:")
             b("            out_lists[i].append(idxs[idxs != i])")
             b("        else:")
             b("            out_lists[i].append(idxs)")
         else:
+            b("    for i in range(s, e):")
             b("        out_lists[i].append(idxs)")
     else:  # pragma: no cover
         raise CompileError(f"unknown inside action {rule.inside_action!r}")
@@ -674,7 +703,10 @@ def _base_case_group_source(spec: CodegenSpec) -> str | None:
     lines = ["def base_case_group(qs, qe, ridx):"]
     lines += _pairwise_gather_lines(spec)
     b = lines.append
-    if spec.same_tree and spec.exclude_self:
+    if spec.self_map:
+        b("    v = np.where(np.arange(qs, qe)[:, None] == "
+          f"RSELF[ridx][None, :], {_exclusion_value(op)}, v)")
+    elif spec.same_tree and spec.exclude_self:
         b("    v = np.where(np.arange(qs, qe)[:, None] == ridx[None, :], "
           f"{_exclusion_value(op)}, v)")
 
@@ -762,7 +794,9 @@ def bind_kernels(source: str, code, bindings: dict) -> GeneratedKernels:
     ``rend``/``rcentroid``/``rweight``/``rdiam2``), state arrays
     (``best``/``best_idx``/``acc``/``out_lists``/``dense``/``qbound``),
     weights
-    ``rw``, and scalars ``K``/``H``/``TAU``/``THETA2``.
+    ``rw``, scalars ``K``/``H``/``TAU``/``THETA2``, and — for sharded
+    programs emitted with ``spec.self_map`` — the reference→query
+    identity remap ``RSELF``.
     """
     namespace = {"np": np, "finvsqrt": fast_inverse_sqrt}
     namespace.update(bindings)

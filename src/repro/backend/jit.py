@@ -105,6 +105,14 @@ class CompileOptions:
     #: the ``REPRO_VERIFY_IR`` environment variable (the test suites set
     #: it; benchmarks leave it off).
     verify_ir: bool | None = None
+    #: sharded reference layout (:mod:`repro.parallel.shard`): partition
+    #: the reference set into this many spatial shards, build one tree
+    #: per shard, replicate the query tree, and combine per-shard
+    #: partial results through the operator's reduction algebra.
+    #: ``'auto'`` shards large reference sets one-per-worker; tree mode
+    #: only (brute/interp ignore it).  When the option is not passed,
+    #: the ``REPRO_SHARDS`` environment variable overrides the default.
+    shards: int | str = 1
 
     @classmethod
     def from_dict(cls, options: dict) -> "CompileOptions":
@@ -153,6 +161,24 @@ class CompileOptions:
             raise SpecificationError(
                 f"unknown executor {opts.executor!r}; "
                 "expected 'auto', 'thread' or 'process'"
+            )
+        if "shards" not in options:
+            env = os.environ.get("REPRO_SHARDS", "").strip()
+            if env:
+                opts.shards = env
+        if isinstance(opts.shards, str) and opts.shards != "auto":
+            try:
+                opts.shards = int(opts.shards)
+            except ValueError:
+                raise SpecificationError(
+                    f"shards must be an integer or 'auto', "
+                    f"got {opts.shards!r}"
+                ) from None
+        if opts.shards != "auto" and (
+                not isinstance(opts.shards, int) or opts.shards < 1):
+            raise SpecificationError(
+                f"shards must be a positive integer or 'auto', "
+                f"got {opts.shards!r}"
             )
         return opts
 
@@ -256,7 +282,9 @@ class CompiledProgram:
         if self.mode == "tree":
             self.stats = self._run_tree()
             qperm = self.qtree.perm
-            rperm = self.rtree.perm
+            # Sharded runs have no single reference tree; the combine
+            # step already mapped indices to original reference ids.
+            rperm = self.rtree.perm if self.rtree is not None else None
         elif self.mode == "brute":
             self.stats = self._run_brute()
             qperm = np.arange(self.state.nq)
@@ -296,10 +324,14 @@ class CompiledProgram:
         }
         if "bounded" in self.extras:
             summary["bounded"] = dict(self.extras["bounded"])
+        if "shard" in self.extras:
+            summary["shard"] = dict(self.extras["shard"])
         nq = self.state.nq
         nr = getattr(self.rtree, "n", None)
         if nr is None:
             nr = len(self.rdata) if self.rdata is not None else None
+        if nr is None:
+            nr = self.extras.get("nr")  # sharded: no single rtree
         if nr:
             summary["traversal"]["exact_pair_fraction"] = (
                 st.base_case_pairs / (nq * nr)
@@ -385,6 +417,25 @@ class CompiledProgram:
 
     def _dispatch_tree(self, engine: str) -> TraversalStats:
         kk = self.kernels
+        shard_exec = self.extras.get("shard_exec")
+        if shard_exec is not None:
+            from ..parallel.shard import run_sharded
+
+            executor = _resolve_executor(self.options.executor, engine)
+            if self.options.parallel:
+                self.extras["executor"] = executor
+            stats, shard_info = run_sharded(
+                self.qtree, shard_exec, self.state, engine,
+                parallel=self.options.parallel, executor=executor,
+                workers=self.options.workers,
+                min_tasks=self.options.min_tasks,
+                token=self.extras.get("program_token"),
+                q_bindings=self.extras.get("static_bindings"),
+                source=kk.source,
+                codegen_backend=self.extras.get("codegen", "numpy"),
+            )
+            self.extras["shard"] = shard_info
+            return stats
         if self.options.parallel:
             workers = self.options.workers or default_workers()
             executor = _resolve_executor(self.options.executor, engine)
@@ -523,6 +574,11 @@ class _Artifact:
     exclude_self: bool
     #: apply the monotone kernel map at finalisation (section IV-F)
     defer_monotone: bool
+    #: sharded reference layout: per-shard trees, orig-id maps and
+    #: r-side bindings (:class:`repro.parallel.shard.ShardPack`); when
+    #: set, ``rtree`` is None and ``static_bindings`` holds only the
+    #: query-side arrays and scalars
+    shard_pack: object | None = None
 
 
 def _func_key(func) -> object:
@@ -570,7 +626,7 @@ def _program_key(layers: list[Layer], opts: CompileOptions) -> tuple:
         opts.criterion,
         opts.theta, opts.fastmath, opts.layout, opts.split,
         tuple(sorted(opts.disable_passes)), bool(opts.verify_ir),
-        same_data, exclude_self,
+        same_data, exclude_self, opts.shards,
     )
 
 
@@ -595,6 +651,17 @@ def compile_expr(pexpr, options: dict) -> CompiledProgram:
     # fallen-back native run legitimately shares the NumPy entry.
     opts.codegen = resolve_codegen_backend(
         opts.codegen, layers[0].storage.n, layers[1].storage.n)
+    # Likewise resolve shards='auto' to a concrete count before keying:
+    # a sharded artifact (per-shard trees + bindings) must never collide
+    # with an unsharded one.  Sharding is a tree-mode layout; the brute
+    # and interp backends run over the unpartitioned reference set.
+    if opts.backend in ("brute", "interp"):
+        opts.shards = 1
+    else:
+        from ..parallel.shard import resolve_shard_count
+
+        opts.shards = resolve_shard_count(
+            opts.shards, layers[1].storage.n, opts.workers)
 
     cacheable = (
         opts.cache
@@ -716,13 +783,19 @@ def _compile_pipeline(pexpr, opts: CompileOptions) -> tuple[_Artifact, dict]:
     if defer_monotone:
         g_ir = SymRef("t")
 
+    # Sharded reference layout: the reference side becomes per-shard
+    # trees (never the query tree, so same_tree kernels can't apply) and
+    # self-pair exclusion switches to the RSELF position remap.
+    nshards = int(opts.shards) if mode == "tree" else 1
+    sharded = nshards > 1
     spec = CodegenSpec(
         dim=dim, layout=layout, base=kernel.base, g_ir=g_ir,
         monotone=kernel.monotone(), outer_op=outer.op, inner_op=inner.op,
         k=inner.k, rule=rule if mode == "tree" else None,
         weighted=rstorage.weights is not None,
-        same_tree=same_data, exclude_self=exclude_self,
+        same_tree=same_data and not sharded, exclude_self=exclude_self,
         is_indicator=kernel.is_indicator,
+        self_map=sharded and same_data and exclude_self,
     )
 
     static_bindings: dict = {
@@ -735,6 +808,7 @@ def _compile_pipeline(pexpr, opts: CompileOptions) -> tuple[_Artifact, dict]:
 
     qtree = rtree = None
     qdata = rdata = None
+    shard_pack = None
     if mode == "tree":
         kind = opts.tree
         if kind == "octree" and dim > 3:
@@ -749,29 +823,56 @@ def _compile_pipeline(pexpr, opts: CompileOptions) -> tuple[_Artifact, dict]:
             qtree = cached_build_tree(kind, qpoints, leaf,
                                       qstorage.weights, opts.split,
                                       enabled=opts.cache)
-            rtree = qtree if same_data else cached_build_tree(
-                kind, rpoints, leaf, rstorage.weights, opts.split,
-                enabled=opts.cache,
-            )
+            if not sharded:
+                rtree = qtree if same_data else cached_build_tree(
+                    kind, rpoints, leaf, rstorage.weights, opts.split,
+                    enabled=opts.cache,
+                )
         timings["tree_build"] = time.perf_counter() - t0
-        rweight = (
-            rtree.wsum if rtree.weights is not None
-            else (rtree.end - rtree.start).astype(np.float64)
-        )
-        rcentroid = (
-            rtree.wcentroid if rtree.weights is not None else rtree.centroid
-        )
         static_bindings.update(
             QCOL=qtree.points_col, QROW=qtree.points,
-            RCOL=rtree.points_col, RROW=rtree.points,
-            QN2=qtree.sqnorms(), RN2=rtree.sqnorms(),
-            qlo=qtree.lo, qhi=qtree.hi, rlo=rtree.lo, rhi=rtree.hi,
+            QN2=qtree.sqnorms(),
+            qlo=qtree.lo, qhi=qtree.hi,
             qstart=qtree.start, qend=qtree.end,
-            rstart=rtree.start, rend=rtree.end,
-            rcentroid=rcentroid, rweight=rweight,
-            rdiam2=rtree.diameter ** 2,
-            rw=rtree.weights,
         )
+        if sharded:
+            # Reference side: one tree per spatial shard, built in
+            # parallel through the derived-key tree cache; the r-side
+            # bindings live in the pack, one set per shard.
+            from ..parallel.shard import build_shard_pack
+
+            inv_qperm = None
+            if spec.self_map:
+                inv_qperm = np.empty(nq, dtype=np.int64)
+                inv_qperm[qtree.perm] = np.arange(nq, dtype=np.int64)
+            base_fp = (
+                rstorage.fingerprint("data") if rpoints is rstorage.data
+                else array_fingerprint(rpoints)
+            )
+            t0 = time.perf_counter()
+            shard_pack = build_shard_pack(
+                kind, rpoints, rstorage.weights, leaf, opts.split,
+                nshards, (base_fp, rstorage.fingerprint("weights")),
+                inv_qperm=inv_qperm, cache_enabled=opts.cache,
+            )
+            timings["shard_build"] = time.perf_counter() - t0
+        else:
+            rweight = (
+                rtree.wsum if rtree.weights is not None
+                else (rtree.end - rtree.start).astype(np.float64)
+            )
+            rcentroid = (
+                rtree.wcentroid if rtree.weights is not None
+                else rtree.centroid
+            )
+            static_bindings.update(
+                RCOL=rtree.points_col, RROW=rtree.points,
+                RN2=rtree.sqnorms(), rlo=rtree.lo, rhi=rtree.hi,
+                rstart=rtree.start, rend=rtree.end,
+                rcentroid=rcentroid, rweight=rweight,
+                rdiam2=rtree.diameter ** 2,
+                rw=rtree.weights,
+            )
     else:
         qdata, rdata = qpoints, rpoints
         static_bindings.update(
@@ -794,6 +895,7 @@ def _compile_pipeline(pexpr, opts: CompileOptions) -> tuple[_Artifact, dict]:
         static_bindings=static_bindings, qtree=qtree, rtree=rtree,
         qdata=qdata, rdata=rdata, nq=nq, nr=nr, same_data=same_data,
         exclude_self=exclude_self, defer_monotone=defer_monotone,
+        shard_pack=shard_pack,
     )
     return art, timings
 
@@ -819,12 +921,26 @@ def _instantiate(art: _Artifact, layers: list[Layer], opts: CompileOptions,
         qtree=art.qtree, rtree=art.rtree, qdata=art.qdata, rdata=art.rdata,
         extras={"same_data": art.same_data}, timings=dict(timings),
     )
-    bindings = dict(art.static_bindings)
-    bindings.update(state.arrays)
-    if state.lists is not None:
-        bindings["out_lists"] = state.lists
-    backend_obj = get_backend(art.codegen_backend)
-    program.kernels = backend_obj.bind(art.source, art.code, bindings)
+    if art.shard_pack is not None:
+        # Sharded layout: per-shard states + kernel binds; the shard-0
+        # kernels stand in as program.kernels for engine routing and
+        # generated_source() introspection.
+        from ..parallel.shard import build_shard_execution
+
+        shard_exec = build_shard_execution(
+            art.shard_pack, art.source, art.code, art.codegen_backend,
+            art.static_bindings, outer.op, inner.op, inner.k, art.nq,
+        )
+        program.kernels = shard_exec.kernels[0]
+        program.extras["shard_exec"] = shard_exec
+        program.extras["nr"] = art.nr
+    else:
+        bindings = dict(art.static_bindings)
+        bindings.update(state.arrays)
+        if state.lists is not None:
+            bindings["out_lists"] = state.lists
+        backend_obj = get_backend(art.codegen_backend)
+        program.kernels = backend_obj.bind(art.source, art.code, bindings)
     program.extras["codegen"] = art.codegen_backend
 
     if art.mode == "tree":

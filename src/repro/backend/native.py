@@ -202,6 +202,12 @@ def native_supports(spec: CodegenSpec) -> str | None:
     the reason the program must stay on the NumPy kernels."""
     if spec.inner_op not in _NATIVE_OPS:
         return f"inner operator {spec.inner_op.name} has no scalar template"
+    if spec.self_map:
+        # Sharded self-exclusion rewrites every update template around
+        # the RSELF identity remap; the scalar loop nests have no such
+        # variant yet, so sharded exclude-self programs stay on the
+        # NumPy kernels (counted fallback, like any unsupported form).
+        return "sharded self-exclusion remap has no scalar template"
     try:
         emit_scalar_expr(spec.g_ir, {"t": "t"})
     except CompileError as exc:

@@ -161,6 +161,14 @@ def _cmd_stats(args) -> int:
                 f"deferred-prunes={bb.get('deferred_prunes', 0)} "
                 f"pending-peak={bb.get('pending_peak', 0)}"
             )
+        if s.get("shard"):
+            sh = s["shard"]
+            print(
+                f"  shard:     count={sh.get('count', 0)} "
+                f"rounds={sh.get('rounds', 0)} "
+                f"pruned={sh.get('pruned', 0)} "
+                f"tasks-pruned={sh.get('tasks_pruned', 0)}"
+            )
         print(f"  IR passes: {_fmt_timings(s['pass_timings_ms'])}")
         print(f"  compile:   {_fmt_timings(s['compile_timings_ms'])}")
         print(f"  run:       {s['run_ms']:.3f} ms")

@@ -94,8 +94,10 @@ class PortalExpr:
         Options (all keyword-only) include ``backend`` ('vectorized',
         'interp' or 'brute'), ``tree`` ('kd', 'ball', 'octree'),
         ``leaf_size``, ``tau`` (approximation threshold), ``parallel``,
-        ``workers`` and ``fastmath``.  See
-        :class:`repro.backend.jit.CompileOptions`.
+        ``workers``, ``shards`` (``'auto'`` or a count — partition the
+        reference set into spatial shards with one tree each and combine
+        per-shard results; see :mod:`repro.parallel.shard`) and
+        ``fastmath``.  See :class:`repro.backend.jit.CompileOptions`.
         """
         program = self.compile(**options)
         self._output = program.run()
@@ -125,8 +127,11 @@ class PortalExpr:
         """Observability summary of the last compile/run (see
         ``docs/observability.md``): traversal counters with prune and
         approximation rates, per-IR-pass timings, per-compile-stage
-        timings, and the run wall-clock.  Requires :meth:`compile` (the
-        traversal counters are zero until :meth:`execute`)."""
+        timings, and the run wall-clock.  Sharded runs add a ``"shard"``
+        block — shard count, broadcast rounds, ``pruned`` /
+        ``tasks_pruned`` kill counts and per-shard traversal stats.
+        Requires :meth:`compile` (the traversal counters are zero until
+        :meth:`execute`)."""
         return self.program.stats_summary()
 
     def generated_source(self) -> str:

@@ -37,14 +37,26 @@ __all__ = [
 
 
 def default_workers() -> int:
-    """Worker count: the cores *this process may run on*.
+    """Worker count: ``$REPRO_WORKERS`` override, else the cores *this
+    process may run on*.
 
-    ``os.sched_getaffinity`` respects cgroup CPU sets and ``taskset``
-    restrictions (container CI, shared batch hosts), where
-    ``os.cpu_count()`` reports the whole machine and oversubscribes the
-    pool.  Falls back to ``cpu_count()`` on platforms without affinity
-    support (macOS, Windows).
+    The environment override (documented alongside ``REPRO_EXECUTOR``
+    and ``REPRO_MP_START``) pins the pool size for reproducible shard
+    and benchmark runs on shared CI hosts, where the affinity mask can
+    differ run to run.  Without it, ``os.sched_getaffinity`` respects
+    cgroup CPU sets and ``taskset`` restrictions (container CI, shared
+    batch hosts), where ``os.cpu_count()`` reports the whole machine and
+    oversubscribes the pool.  Falls back to ``cpu_count()`` on platforms
+    without affinity support (macOS, Windows).
     """
+    env = os.environ.get("REPRO_WORKERS", "").strip()
+    if env:
+        try:
+            return max(1, int(env))
+        except ValueError:
+            raise ValueError(
+                f"REPRO_WORKERS must be an integer, got {env!r}"
+            ) from None
     try:
         return max(1, len(os.sched_getaffinity(0)))
     except (AttributeError, OSError):

@@ -1,0 +1,602 @@
+"""Sharded reference layout: per-shard trees, replicated queries.
+
+The scale-out inversion of the process executor's data layout.  The
+scheduler path (:mod:`repro.parallel.scheduler` /
+:mod:`repro.parallel.process_backend`) keeps **one replicated reference
+tree** and partitions the *query* tree across tasks — which means every
+worker holds (a view of) the full reference set, and reference-set size
+is bounded by what one tree build can hold.  This module inverts that:
+
+* :func:`plan_shards` partitions the reference set into ``P`` spatial
+  shards by recursive median cuts (largest part first, widest-spread
+  dimension, computed from per-dimension 1-D column gathers so the full
+  ``(n, d)`` matrix is never re-materialised);
+* one :class:`~repro.trees.node.ArrayTree` is built **per shard** (in
+  parallel, through the derived-key tree cache) — no concatenated copy
+  of the full reference set ever exists;
+* the *query* tree is replicated: every shard's traversal runs the same
+  query tree against its own small reference tree, and a per-problem
+  **combine step** derived from the inner operator's algebra
+  (:func:`combine_shard_states`) merges the per-shard partial states —
+  elementwise Σ/Π for arithmetic reductions, elementwise min/max for
+  comparative ones, a k-way merge on (value, index) for the ``K*``
+  family, chunk concatenation for unions.
+
+Correctness rests on operator decomposability (paper section II-C): a
+decomposable reduction over the reference set equals the reduction of
+per-shard reductions over any partition, and the spatial partition is a
+partition.  Self-pair exclusion survives the layout change through the
+``RSELF`` remap emitted under ``CodegenSpec.self_map`` (the shard tree is
+*never* the query tree, so the unsharded diagonal test cannot apply).
+
+Cross-shard pruning — the perf centerpiece for bound rules (k-NN,
+Hausdorff): each shard only tightens its ``qbound`` from its *own*
+points, so a shard holding distant points keeps traversing long after
+the combined answer is settled.  Between bounded-batched epochs the
+coordinator pauses every shard (``max_epochs``), min-reduces the signed
+per-query bounds into a **global bound**, and broadcasts it back as the
+engine's ``extern_bound``.  Shards whose root-level promise key cannot
+beat the worst global bound are killed wholesale (``shard.pruned``);
+in process mode individual paused tasks are killed against their query
+slice's bound (``shard.tasks_pruned``).  The broadcast only removes
+dominated work — any candidate it prunes is beaten by a candidate
+retained on another shard — so the combined output is exact.
+
+Observability: ``shard.runs``, ``shard.builds``, ``shard.pruned``,
+``shard.tasks_pruned``, ``shard.rounds`` counters plus ``shard.run`` /
+``shard.tree_build`` / ``shard.shm_publish`` / ``shard.phase`` spans,
+and ``PortalExpr.stats()["shard"]`` carries per-shard traversal stats.
+"""
+
+from __future__ import annotations
+
+import itertools
+import os
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..dsl.ops import MIN_LIKE, PortalOp, op_info
+from ..observe import contribute, span
+from ..traversal import (
+    TraversalStats, batched_dual_tree_traversal,
+    bounded_batched_dual_tree_traversal, dual_tree_traversal,
+)
+from . import shm
+from .executor import default_workers, run_process_tasks, run_tasks
+from .process_backend import _split_bindings, _tree_structure
+from .scheduler import TASKS_PER_WORKER, expand_frontier
+from .worker import run_task
+
+__all__ = [
+    "AUTO_SHARD_MIN_POINTS", "SEED_EPOCHS", "resolve_shard_count",
+    "plan_shards", "ShardPack", "ShardExecution", "build_shard_pack",
+    "build_shard_execution", "combine_shard_states", "run_sharded",
+]
+
+#: ``shards='auto'`` targets at least this many reference points per
+#: shard: below it, per-shard tree builds and the combine step cost more
+#: than the parallelism returns (measured on the Table IV scaling runs).
+AUTO_SHARD_MIN_POINTS = 200_000
+
+#: Epochs every shard runs before the first cross-shard bound broadcast.
+#: Enough for the engine's ramp (64 → 4096 doubling) to run real base
+#: cases and produce finite bounds, small enough that a dominated shard
+#: is killed before touching the bulk of its pool.
+SEED_EPOCHS = 12
+
+_ephemeral_seq = itertools.count()
+_ROOT = np.zeros(1, dtype=np.int64)
+
+
+def resolve_shard_count(shards, nr: int, workers: int | None = None) -> int:
+    """Resolve the ``shards`` execute() option to a concrete count.
+
+    ``'auto'`` picks ``min(workers, nr // AUTO_SHARD_MIN_POINTS)`` — one
+    shard per worker, but never shards small reference sets where the
+    per-shard overhead dominates.  Explicit counts are clamped to the
+    reference-set size.
+    """
+    if shards in (None, 1):
+        return 1
+    nr = int(nr)
+    if shards == "auto":
+        cap = max(1, nr // AUTO_SHARD_MIN_POINTS)
+        return max(1, min(workers or default_workers(), cap, nr))
+    count = int(shards)
+    if count < 1:
+        raise ValueError(f"shards must be >= 1, got {count}")
+    return max(1, min(count, nr))
+
+
+def plan_shards(points: np.ndarray, nshards: int) -> list[np.ndarray]:
+    """Partition ``points`` into ``nshards`` spatially compact index sets.
+
+    Top-of-kd-tree median cuts: repeatedly split the largest part at the
+    median of its widest-spread dimension until ``nshards`` parts exist.
+    Each spread/median is computed from a 1-D gather of one coordinate
+    column (``points[idx, d]``) — the full ``(len(idx), d)`` row gather
+    is left to the per-shard tree build, so planning never materialises
+    a second copy of the dataset.  Deterministic for a given input; the
+    returned index arrays are ascending and tile ``[0, n)`` exactly.
+    """
+    n = len(points)
+    parts: list[np.ndarray] = [np.arange(n, dtype=np.int64)]
+    while len(parts) < nshards:
+        j = max(range(len(parts)), key=lambda i: len(parts[i]))
+        idx = parts[j]
+        if len(idx) < 2:  # pragma: no cover - resolve_shard_count clamps
+            break
+        spreads = [
+            float(points[idx, d].max() - points[idx, d].min())
+            for d in range(points.shape[1])
+        ]
+        col = points[idx, int(np.argmax(spreads))]
+        half = len(idx) // 2
+        sel = np.argpartition(col, half)
+        parts[j:j + 1] = [np.sort(idx[sel[:half]]), np.sort(idx[sel[half:]])]
+    return parts
+
+
+@dataclass
+class ShardPack:
+    """Cacheable per-shard products of one compile: trees, the
+    shard-position → original-reference-id maps, and the reference-side
+    static kernel bindings (including ``RSELF`` for self-map programs)."""
+
+    count: int
+    trees: list
+    orig: list[np.ndarray]
+    bindings: list[dict]
+
+
+@dataclass
+class ShardExecution:
+    """Per-instantiation runnable state: one fresh full-``nq``
+    :class:`~repro.backend.state.State` and one bound kernel set per
+    shard (states are never shared across programs)."""
+
+    pack: ShardPack
+    states: list
+    kernels: list
+
+
+def build_shard_pack(
+    kind: str,
+    rpoints: np.ndarray,
+    rweights: np.ndarray | None,
+    leaf_size: int,
+    split: str,
+    nshards: int,
+    base_key: tuple,
+    inv_qperm: np.ndarray | None = None,
+    cache_enabled: bool = True,
+) -> ShardPack:
+    """Plan the shards and build one tree per shard, in parallel.
+
+    ``base_key`` is the parent dataset's memoized fingerprint tuple —
+    the derived tree-cache key (see
+    :func:`repro.backend.cache.cached_build_subset_tree`) means repeated
+    compiles over the same data rebuild nothing.  ``inv_qperm`` (original
+    id → query-tree position) is supplied for self-map programs and
+    yields each shard's ``RSELF`` binding.
+    """
+    from ..backend.cache import cached_build_subset_tree
+
+    parts = plan_shards(rpoints, nshards)
+    nshards = len(parts)
+    with span("shard.tree_build", shards=nshards, tree=kind):
+        trees = run_tasks([
+            (lambda p=p, i=i: cached_build_subset_tree(
+                kind, rpoints, p, leaf_size, rweights, split,
+                base_key, (i, nshards), enabled=cache_enabled))
+            for i, p in enumerate(parts)
+        ])
+    origs: list[np.ndarray] = []
+    bindings: list[dict] = []
+    for i, (tree, part) in enumerate(zip(trees, parts)):
+        orig = np.ascontiguousarray(part[tree.perm])
+        rweight = (
+            tree.wsum if tree.weights is not None
+            else (tree.end - tree.start).astype(np.float64)
+        )
+        rcentroid = tree.wcentroid if tree.weights is not None else tree.centroid
+        b = dict(
+            RCOL=tree.points_col, RROW=tree.points, RN2=tree.sqnorms(),
+            rlo=tree.lo, rhi=tree.hi, rstart=tree.start, rend=tree.end,
+            rcentroid=rcentroid, rweight=rweight,
+            rdiam2=tree.diameter ** 2, rw=tree.weights,
+        )
+        if inv_qperm is not None:
+            b["RSELF"] = np.ascontiguousarray(inv_qperm[orig])
+        origs.append(orig)
+        bindings.append(b)
+    contribute({"shard.builds": nshards})
+    return ShardPack(count=nshards, trees=trees, orig=origs, bindings=bindings)
+
+
+def build_shard_execution(
+    pack: ShardPack,
+    source: str,
+    code,
+    codegen_backend: str,
+    q_bindings: dict,
+    outer_op,
+    inner_op,
+    k: int | None,
+    nq: int,
+) -> ShardExecution:
+    """Allocate fresh per-shard states and bind the generated kernels
+    against (query-side bindings + this shard's reference bindings +
+    this shard's accumulators)."""
+    from ..backend.backends import get_backend
+    from ..backend.state import allocate_state
+
+    backend = get_backend(codegen_backend)
+    states, kernels = [], []
+    for i in range(pack.count):
+        st = allocate_state(outer_op, inner_op, k, nq, int(pack.trees[i].n))
+        bindings = dict(q_bindings)
+        bindings.update(pack.bindings[i])
+        bindings.update(st.arrays)
+        if st.lists is not None:
+            bindings["out_lists"] = st.lists
+        kernels.append(backend.bind(source, code, bindings))
+        states.append(st)
+    return ShardExecution(pack=pack, states=states, kernels=kernels)
+
+
+# ---------------------------------------------------------------------------
+# combine step
+# ---------------------------------------------------------------------------
+
+def combine_shard_states(shard_exec: ShardExecution, final_state) -> None:
+    """Merge per-shard partial states into ``final_state`` using the
+    inner operator's reduction algebra.
+
+    Shard ``best_idx`` entries are shard-tree positions; they are mapped
+    to *original* reference ids here (through each shard's ``orig``
+    array), so finalisation runs with ``rperm=None``.  Ties — equal
+    values on different shards — resolve to the lowest shard index
+    (stable sorts / first-hit argmin), which is deterministic but may
+    legitimately differ from the unsharded traversal-order tie-break.
+    """
+    states = shard_exec.states
+    pack = shard_exec.pack
+    op = final_state.inner_op
+    info = op_info(op)
+    k = final_state.k
+
+    if op is PortalOp.SUM:
+        final_state.arrays["acc"][:] = np.sum(
+            [st.arrays["acc"] for st in states], axis=0)
+    elif op is PortalOp.PROD:
+        final_state.arrays["acc"][:] = np.prod(
+            [st.arrays["acc"] for st in states], axis=0)
+    elif op in (PortalOp.MIN, PortalOp.MAX):
+        red = np.minimum if op is PortalOp.MIN else np.maximum
+        final_state.arrays["best"][:] = red.reduce(
+            np.stack([st.arrays["best"] for st in states]))
+    elif op in (PortalOp.ARGMIN, PortalOp.ARGMAX):
+        vals = np.stack([st.arrays["best"] for st in states])  # (P, nq)
+        sel = (np.argmin(vals, axis=0) if op is PortalOp.ARGMIN
+               else np.argmax(vals, axis=0))
+        cols = np.arange(vals.shape[1])
+        final_state.arrays["best"][:] = vals[sel, cols]
+        idxs = np.stack([st.arrays["best_idx"] for st in states])
+        chosen = idxs[sel, cols]
+        mapped = np.full_like(chosen, -1)
+        for s in range(pack.count):
+            m = (sel == s) & (chosen >= 0)
+            mapped[m] = pack.orig[s][chosen[m]]
+        final_state.arrays["best_idx"][:] = mapped
+    elif info.requires_k:  # KMIN / KMAX / KARGMIN / KARGMAX
+        vals = np.concatenate([st.arrays["best"] for st in states], axis=1)
+        sign = 1.0 if op in MIN_LIKE else -1.0
+        order = np.argsort(sign * vals, axis=1, kind="stable")[:, :k]
+        final_state.arrays["best"][:] = np.take_along_axis(vals, order,
+                                                           axis=1)
+        if info.returns_index:
+            mapped_cols = []
+            for s, st in enumerate(states):
+                idx = st.arrays["best_idx"]
+                out = np.full_like(idx, -1)
+                m = idx >= 0
+                out[m] = pack.orig[s][idx[m]]
+                mapped_cols.append(out)
+            idxs = np.concatenate(mapped_cols, axis=1)
+            final_state.arrays["best_idx"][:] = np.take_along_axis(
+                idxs, order, axis=1)
+    elif op in (PortalOp.UNION, PortalOp.UNIONARG):
+        for qi in range(final_state.nq):
+            merged = final_state.lists[qi]
+            merged.clear()
+            for s, st in enumerate(states):
+                for chunk in st.lists[qi]:
+                    if op is PortalOp.UNIONARG:
+                        chunk = pack.orig[s][
+                            np.asarray(chunk, dtype=np.int64)]
+                    merged.append(chunk)
+    else:  # pragma: no cover - FORALL never reaches tree mode
+        raise ValueError(f"cannot combine shards for operator {op.name}")
+
+    if "qbound" in final_state.arrays:
+        # Purely observational after the combine; the signed convention
+        # makes min the right reduction for both bound-rule kinds.
+        final_state.arrays["qbound"][:] = np.minimum.reduce(
+            [st.arrays["qbound"] for st in states])
+
+
+# ---------------------------------------------------------------------------
+# execution
+# ---------------------------------------------------------------------------
+
+def _root_key(kernels, q_root: int = 0) -> float:
+    """Signed promise key of (``q_root`` × shard root) — the most
+    optimistic value this shard could still contribute under that query
+    subtree.  Geometry only; state-independent."""
+    q = np.array([q_root], dtype=np.int64)
+    return float(np.asarray(kernels.bound_key_batch(q, _ROOT)).reshape(-1)[0])
+
+
+def _merge_result(state, res: dict) -> None:
+    s, e = res["s"], res["e"]
+    for name, chunk in res["arrays"].items():
+        state.arrays[name][s:e] = chunk
+    if res["lists"] is not None:
+        state.lists[s:e] = res["lists"]
+
+
+def run_sharded(
+    qtree,
+    shard_exec: ShardExecution,
+    final_state,
+    engine: str,
+    *,
+    parallel: bool = False,
+    executor: str = "thread",
+    workers: int | None = None,
+    min_tasks: int | None = None,
+    token: str | None = None,
+    q_bindings: dict | None = None,
+    source: str = "",
+    codegen_backend: str = "numpy",
+) -> tuple[TraversalStats, dict]:
+    """Run one compiled program across its reference shards and combine.
+
+    Returns ``(merged TraversalStats, shard_info)`` where ``shard_info``
+    carries the broadcast counters and per-shard stats surfaced through
+    ``stats()["shard"]``.  Thread/serial execution runs one traversal
+    per shard in-process (accumulating into per-shard state directly);
+    process execution fans (shard × query-subtree) payloads to the
+    worker pool through per-shard shared-memory blocks.
+    """
+    P = shard_exec.pack.count
+    info: dict = {"count": P, "rounds": 1, "pruned": 0, "tasks_pruned": 0}
+    workers_n = workers or default_workers()
+    use_process = parallel and executor == "process" and workers_n > 1
+    with span("shard.run", shards=P, engine=engine,
+              executor="process" if use_process else "thread"):
+        if use_process:
+            per_shard = _run_process(
+                qtree, shard_exec, engine, workers_n, min_tasks, token,
+                q_bindings or {}, source, codegen_backend, info)
+        else:
+            per_shard = _run_inline(
+                qtree, shard_exec, engine,
+                workers_n if parallel else 1, info)
+
+    combine_shard_states(shard_exec, final_state)
+    total = TraversalStats()
+    for st in per_shard:
+        total.merge(st)
+    if not use_process:
+        # Process workers contribute traversal counters via their
+        # shipped registries; in-process traversals ran with caller-owned
+        # stats objects, so contribute the merged totals once here.
+        total.contribute()
+    info["per_shard"] = [st.as_dict() for st in per_shard]
+    contribute({
+        "shard.runs": 1,
+        "shard.pruned": info["pruned"],
+        "shard.tasks_pruned": info["tasks_pruned"],
+        "shard.rounds": info["rounds"],
+    })
+    return total, info
+
+
+def _run_inline(qtree, shard_exec, engine, pool_workers, info):
+    """Serial/thread path: one traversal per shard against its own state
+    (shards are the unit of thread parallelism — the layout inversion)."""
+    pack, states, kernels = (shard_exec.pack, shard_exec.states,
+                             shard_exec.kernels)
+    P = pack.count
+    stats_list = [TraversalStats() for _ in range(P)]
+
+    if engine != "bounded-batched":
+        def make(i):
+            kk = kernels[i]
+            def run():
+                if engine == "batched":
+                    batched_dual_tree_traversal(
+                        qtree, pack.trees[i], kk.classify_batch,
+                        kk.apply_action, kk.base_case,
+                        pair_min_dist_batch=kk.pair_min_dist_batch,
+                        stats=stats_list[i])
+                else:
+                    dual_tree_traversal(
+                        qtree, pack.trees[i], kk.prune_or_approx,
+                        kk.base_case, pair_min_dist=kk.pair_min_dist,
+                        stats=stats_list[i])
+            return run
+        run_tasks([make(i) for i in range(P)], workers=pool_workers)
+        return stats_list
+
+    # Bounded engine: epoch-bounded rounds with a cross-shard bound
+    # broadcast at each barrier.  Every round resumes the shards still
+    # pending under the latest global bound and a growing epoch budget
+    # (seed rounds are narrow so dominated shards are killed before
+    # touching the bulk of their pools; later rounds widen so the
+    # barrier overhead amortises).  A shard whose root promise key
+    # cannot beat the *worst* global bound over all queries is killed
+    # wholesale — a query whose bound is still ``+inf`` somewhere keeps
+    # every shard alive, since any shard might hold its neighbours.
+    pauses = [dict() for _ in range(P)]
+    pending: list = [None] * P
+    extern = None
+    budget = SEED_EPOCHS
+    alive = list(range(P))
+    while alive:
+        def make(i):
+            kk = kernels[i]
+            resume = pending[i]
+            def run():
+                pauses[i].clear()
+                bounded_batched_dual_tree_traversal(
+                    qtree, pack.trees[i], kk.bound_key_batch,
+                    kk.classify_bound_batch, kk.base_case_group,
+                    states[i].arrays["qbound"], stats=stats_list[i],
+                    max_epochs=budget, resume=resume,
+                    extern_bound=extern, pause_out=pauses[i])
+            return run
+
+        with span("shard.phase", phase=info["rounds"], tasks=len(alive)):
+            run_tasks([make(i) for i in alive], workers=pool_workers)
+
+        still = [i for i in alive
+                 if pauses[i].get("pending") is not None]
+        if not still:
+            break
+        for i in still:
+            pending[i] = pauses[i]["pending"]
+        info["rounds"] += 1
+        extern = np.minimum.reduce([st.arrays["qbound"] for st in states])
+        gmax = float(np.max(extern))
+        alive = []
+        for i in still:
+            if _root_key(kernels[i]) > gmax:
+                info["pruned"] += 1
+            else:
+                alive.append(i)
+        budget *= 4
+    return stats_list
+
+
+def _run_process(qtree, shard_exec, engine, workers_n, min_tasks, token,
+                 q_bindings, source, codegen_backend, info):
+    """Process path: publish one query-side block plus one block per
+    shard, fan (shard × query-subtree) tasks out, broadcast bounds
+    between phases, merge partial slices back into per-shard states."""
+    pack, states, kernels = (shard_exec.pack, shard_exec.states,
+                             shard_exec.kernels)
+    P = pack.count
+    ephemeral = token is None
+    base = token or f"ephemeral-shard-{os.getpid()}-{next(_ephemeral_seq)}"
+    published: list[str] = []
+
+    q_arrays, q_scalars, _ = _split_bindings(q_bindings)
+    q_arrays.update(_tree_structure(qtree, "q"))
+
+    try:
+        with span("shard.shm_publish", shards=P):
+            q_token = f"{base}::q"
+            q_name, q_manifest = shm.publish_arrays(q_token, q_arrays)
+            published.append(q_token)
+            r_blocks = []
+            for i in range(P):
+                r_arrays, r_scalars, _ = _split_bindings(pack.bindings[i])
+                r_arrays.update(_tree_structure(pack.trees[i], "r"))
+                r_token = f"{base}::r{i}"
+                r_name, r_manifest = shm.publish_arrays(r_token, r_arrays)
+                published.append(r_token)
+                r_blocks.append((r_name, r_manifest, r_scalars))
+
+        tasks_target = min_tasks or workers_n * TASKS_PER_WORKER
+        frontier = [int(q) for q in
+                    expand_frontier(qtree, max(1, -(-tasks_target // P)))]
+
+        commons = []
+        for i in range(P):
+            merged = dict(q_bindings)
+            merged.update(pack.bindings[i])
+            none_names = [name for name, value in merged.items()
+                          if value is None]
+            scalars = dict(q_scalars)
+            scalars.update(r_blocks[i][2])
+            commons.append({
+                "token": f"{base}::s{i}",
+                "shm_name": q_name,
+                "manifest": q_manifest,
+                "r_block": (r_blocks[i][0], r_blocks[i][1]),
+                "source": source,
+                "scalars": scalars,
+                "none_names": none_names,
+                "state_spec": (states[i].outer_op, states[i].inner_op,
+                               states[i].k, states[i].nq,
+                               int(pack.trees[i].n)),
+                "same_tree": False,
+                "engine": engine,
+                "codegen_backend": codegen_backend,
+            })
+
+        bounded = engine == "bounded-batched"
+        phase1 = []
+        for i in range(P):
+            for q in frontier:
+                payload = dict(commons[i], q_root=q)
+                if bounded:
+                    payload["max_epochs"] = SEED_EPOCHS
+                phase1.append((i, q, payload))
+
+        with span("shard.phase", phase=1, tasks=len(phase1)):
+            results = run_process_tasks(
+                run_task, [p for _, _, p in phase1], workers=workers_n)
+
+        per_shard_stats = [TraversalStats() for _ in range(P)]
+        task_results: dict[tuple[int, int], dict] = {}
+        for (i, q, _), res in zip(phase1, results):
+            task_results[(i, q)] = res
+            _merge_result(states[i], res)
+            per_shard_stats[i].merge(res["stats"])
+            contribute(res["counters"])
+
+        pending = [key for key, res in task_results.items()
+                   if res.get("pending") is not None]
+        if bounded and pending:
+            info["rounds"] = 2
+            gbound = np.minimum.reduce(
+                [st.arrays["qbound"] for st in states])
+            gmax = float(np.max(gbound))
+            killed_shards = set()
+            for i in {key[0] for key in pending}:
+                if _root_key(kernels[i]) > gmax:
+                    killed_shards.add(i)
+                    info["pruned"] += 1
+            phase2 = []
+            for (i, q) in pending:
+                if i in killed_shards:
+                    continue
+                res = task_results[(i, q)]
+                s, e = res["s"], res["e"]
+                if _root_key(kernels[i], q_root=q) > float(
+                        np.max(gbound[s:e])):
+                    info["tasks_pruned"] += 1
+                    continue
+                phase2.append((i, q, dict(
+                    commons[i], q_root=q, resume=res["pending"],
+                    state_arrays=res["arrays"], state_lists=res["lists"],
+                    extern=np.ascontiguousarray(gbound[s:e]))))
+            if phase2:
+                with span("shard.phase", phase=2, tasks=len(phase2)):
+                    results2 = run_process_tasks(
+                        run_task, [p for _, _, p in phase2],
+                        workers=workers_n)
+                for (i, q, _), res in zip(phase2, results2):
+                    _merge_result(states[i], res)
+                    per_shard_stats[i].merge(res["stats"])
+                    contribute(res["counters"])
+    finally:
+        if ephemeral:
+            for t in published:
+                shm.release_block(t)
+    return per_shard_stats

@@ -42,8 +42,12 @@ _ALIGN = 64
 
 #: Max blocks kept published.  Sized with ``tree_cache`` in mind: a block
 #: holds one program's dataset + trees, and the bench/test workloads
-#: cycle through a handful of datasets.
-MAX_BLOCKS = 8
+#: cycle through a handful of datasets.  The sharded layout publishes one
+#: query block plus one block *per shard* under a single program (tokens
+#: ``{token}::q`` / ``{token}::r{i}``), so the bound accommodates a
+#: couple of concurrently-live sharded programs at the default shard
+#: counts without thrashing.
+MAX_BLOCKS = 24
 
 
 class SharedBlock:

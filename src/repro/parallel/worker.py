@@ -109,6 +109,7 @@ class _WorkerProgram:
     kernels: GeneratedKernels
     qview: TreeView
     rview: TreeView
+    rhandle: object = None
 
     def close(self) -> None:
         # Drop the views before the mapping: ndarrays over shm.buf keep
@@ -116,14 +117,20 @@ class _WorkerProgram:
         self.views = {}
         self.qview = self.rview = None  # type: ignore[assignment]
         self.kernels = None  # type: ignore[assignment]
-        try:
-            self.handle.close()
-        except BufferError:
-            pass
+        for handle in (self.handle, self.rhandle):
+            if handle is None:
+                continue
+            try:
+                handle.close()
+            except BufferError:
+                pass
 
 
 _PROGRAMS: OrderedDict[str, _WorkerProgram] = OrderedDict()
-_MAX_PROGRAMS = 8
+# Sized for sharded programs, where every shard is its own worker
+# program (token "{token}::s{i}"): a warm worker can hold all shards of
+# a couple of programs without evicting between epochs.
+_MAX_PROGRAMS = 16
 
 
 def _program(payload: dict) -> _WorkerProgram:
@@ -135,6 +142,14 @@ def _program(payload: dict) -> _WorkerProgram:
 
     handle, views = shm.attach_arrays(payload["shm_name"],
                                       payload["manifest"])
+    rhandle = None
+    r_block = payload.get("r_block")
+    if r_block is not None:
+        # Sharded layout: the reference side (shard tree + columns +
+        # RSELF) lives in its own per-shard block, published separately
+        # from the query-side block every shard reuses.
+        rhandle, rviews = shm.attach_arrays(r_block[0], r_block[1])
+        views = {**views, **rviews}
     outer_op, inner_op, k, nq, nr = payload["state_spec"]
     state = allocate_state(outer_op, inner_op, k, nq, nr)
     bindings: dict = dict(views)
@@ -154,7 +169,8 @@ def _program(payload: dict) -> _WorkerProgram:
     rview = qview if payload["same_tree"] else TreeView(views, "r")
 
     prog = _WorkerProgram(handle=handle, views=views, state=state,
-                          kernels=kernels, qview=qview, rview=rview)
+                          kernels=kernels, qview=qview, rview=rview,
+                          rhandle=rhandle)
     _PROGRAMS[token] = prog
     while len(_PROGRAMS) > _MAX_PROGRAMS:
         _, old = _PROGRAMS.popitem(last=False)
@@ -175,13 +191,35 @@ def run_task(payload: dict) -> dict:
         q_root = int(payload["q_root"])
         s = int(prog.qview.start[q_root])
         e = int(prog.qview.end[q_root])
-        reset_state_range(state, s, e)
+        resume = payload.get("resume")
+        if resume is None:
+            reset_state_range(state, s, e)
+        else:
+            # Phase-2 resume of a paused bounded traversal: pool workers
+            # have no task affinity, so the parent ships the paused
+            # accumulator slices back and we restore them verbatim.
+            for name, arr in payload.get("state_arrays", {}).items():
+                state.arrays[name][s:e] = arr
+            if state.lists is not None:
+                restored = payload.get("state_lists")
+                if restored is not None:
+                    state.lists[s:e] = [list(x) for x in restored]
 
+        pause: dict = {}
         if payload["engine"] == "bounded-batched":
+            extern = payload.get("extern")
+            extern_full = None
+            if extern is not None:
+                # The engine indexes the extern bound by absolute query
+                # position; the payload only carries this task's slice.
+                extern_full = np.full(len(state.arrays["qbound"]), np.inf)
+                extern_full[s:e] = extern
             stats = bounded_batched_dual_tree_traversal(
                 prog.qview, prog.rview, kk.bound_key_batch,
                 kk.classify_bound_batch, kk.base_case_group,
                 state.arrays["qbound"], q_root=q_root,
+                max_epochs=payload.get("max_epochs"), resume=resume,
+                extern_bound=extern_full, pause_out=pause,
             )
         elif payload["engine"] == "batched":
             stats = batched_dual_tree_traversal(
@@ -203,4 +241,5 @@ def run_task(payload: dict) -> dict:
         "arrays": {name: np.ascontiguousarray(arr[s:e])
                    for name, arr in state.arrays.items()},
         "lists": None if state.lists is None else state.lists[s:e],
+        "pending": pause.get("pending"),
     }

@@ -115,6 +115,10 @@ def bounded_batched_dual_tree_traversal(
     q_root: int = 0,
     r_root: int = 0,
     stats: TraversalStats | None = None,
+    max_epochs: int | None = None,
+    resume: tuple | None = None,
+    extern_bound: np.ndarray | None = None,
+    pause_out: dict | None = None,
 ) -> TraversalStats:
     """Traverse the (query, reference) tree pair in bound-aware epochs.
 
@@ -122,6 +126,22 @@ def bounded_batched_dual_tree_traversal(
     program state (``+inf`` identity); it is updated in place by
     ``base_case_group`` and re-read here at every node-bound refresh, so
     concurrent tasks over disjoint query subtrees share one array.
+
+    The epoch hooks serve the cross-shard bound broadcast of
+    :mod:`repro.parallel.shard`:
+
+    * ``max_epochs`` caps the number of epochs this call runs.  A
+      traversal stopped with pairs still pending stores its pending pool
+      in ``pause_out["pending"]`` (an opaque tuple) and can be continued
+      later by passing that tuple back as ``resume``.
+    * ``extern_bound`` is an externally supplied signed per-query bound
+      array (e.g. the global bound min-reduced across shards).  It is
+      combined with ``qbound`` as ``min(qbound, extern_bound)`` at every
+      node-bound refresh — never written into ``qbound`` itself, because
+      ``base_case_group`` overwrites ``qbound`` from the local best
+      arrays after each merge.  An external bound only ever *removes*
+      dominated work: any candidate it prunes is beaten by a candidate
+      retained elsewhere, so the combined cross-shard result is exact.
     """
     owns_stats = stats is None
     stats = stats or TraversalStats()
@@ -137,18 +157,41 @@ def bounded_batched_dual_tree_traversal(
     # refresh (nothing prunes against an untouched query subtree).
     node_bound = np.full(len(qstart), np.inf)
 
-    pq = np.array([q_root], dtype=np.int64)
-    pr = np.array([r_root], dtype=np.int64)
-    pkey = np.asarray(bound_key_batch(pq, pr), dtype=np.float64).reshape(1)
-    pborn = np.zeros(1, dtype=np.int64)
+    def _effective_bound():
+        if extern_bound is None:
+            return qbound
+        return np.minimum(qbound, extern_bound)
+
+    def _refresh_node_bounds():
+        eff = _effective_bound()
+        node_bound[lsort] = np.maximum.reduceat(eff, lstarts)
+        for ids, kids, segs in plan:
+            node_bound[ids] = np.maximum.reduceat(node_bound[kids], segs)
+
+    if resume is not None:
+        pq, pr, pkey, pborn, cur_size = resume
+        pq = np.asarray(pq, dtype=np.int64)
+        pr = np.asarray(pr, dtype=np.int64)
+        pkey = np.asarray(pkey, dtype=np.float64)
+        pborn = np.asarray(pborn, dtype=np.int64)
+        cur_size = min(int(cur_size), epoch_size)
+    else:
+        pq = np.array([q_root], dtype=np.int64)
+        pr = np.array([r_root], dtype=np.int64)
+        pkey = np.asarray(bound_key_batch(pq, pr), dtype=np.float64).reshape(1)
+        pborn = np.zeros(1, dtype=np.int64)
+        cur_size = min(epoch_size, RAMP_START)
+    if resume is not None or extern_bound is not None:
+        # Resumed/externally-bounded calls start from real bounds, not
+        # the +inf snapshot: the pool may be classifiable immediately.
+        _refresh_node_bounds()
 
     epochs = 0
     deferred = 0
     refreshes = 0
     pending_peak = 0
-    cur_size = min(epoch_size, RAMP_START)
     with span("traversal.bounded", epoch_size=epoch_size) as sp:
-        while pq.size:
+        while pq.size and (max_epochs is None or epochs < max_epochs):
             pending_peak = max(pending_peak, int(pq.size))
             epochs += 1
             if pq.size > cur_size:
@@ -205,9 +248,7 @@ def bounded_batched_dual_tree_traversal(
                 # reduceat over the contiguous leaf partition, internal
                 # bounds bottom-up per level.
                 refreshes += 1
-                node_bound[lsort] = np.maximum.reduceat(qbound, lstarts)
-                for ids, kids, segs in plan:
-                    node_bound[ids] = np.maximum.reduceat(node_bound[kids], segs)
+                _refresh_node_bounds()
                 # Widen only once base cases have fed the snapshot: the
                 # ramp exists to get real bounds in place before the bulk
                 # of the leaf pairs is classified.
@@ -234,6 +275,16 @@ def bounded_batched_dual_tree_traversal(
                     [pborn, np.full(total, epochs, dtype=np.int64)]
                 )
         sp.note(epochs=epochs, pending_peak=pending_peak)
+
+    if pq.size:
+        # max_epochs stopped us with work pending: hand the pool back so
+        # the caller can continue via ``resume`` after the barrier.
+        if pause_out is None:  # pragma: no cover - caller contract
+            raise ValueError(
+                "bounded traversal hit max_epochs with pairs pending but "
+                "no pause_out was supplied"
+            )
+        pause_out["pending"] = (pq, pr, pkey, pborn, cur_size)
 
     contribute({
         "bounded.epochs": epochs,

@@ -17,6 +17,7 @@ from .octree import Octree, build_octree
 __all__ = [
     "ArrayTree", "TreeNode", "KDTree", "Octree", "BallTree",
     "build_kdtree", "build_octree", "build_balltree", "build_tree",
+    "build_subset_tree",
 ]
 
 _BUILDERS = {
@@ -48,3 +49,27 @@ def build_tree(
         return builder(points, leaf_size=leaf_size, weights=weights,
                        split=split)
     return builder(points, leaf_size=leaf_size, weights=weights)
+
+
+def build_subset_tree(
+    kind: str,
+    points: np.ndarray,
+    idx: np.ndarray,
+    leaf_size: int = 32,
+    weights: np.ndarray | None = None,
+    split: str = "median",
+) -> ArrayTree:
+    """Build a tree over ``points[idx]`` — the shard-local build of the
+    sharded reference layout (:mod:`repro.parallel.shard`).
+
+    Only the selected rows are ever materialised (one gather of the
+    subset, never a reordered copy of the full dataset), which is what
+    keeps the P-shard build path out-of-core with respect to the full
+    reference set.  The returned tree's ``perm`` indexes *within the
+    subset*; callers map back to original ids via ``idx[tree.perm]``.
+    """
+    idx = np.asarray(idx, dtype=np.int64)
+    sub = np.ascontiguousarray(points[idx])
+    wsub = None if weights is None else np.ascontiguousarray(weights[idx])
+    return build_tree(kind, sub, leaf_size=leaf_size, weights=wsub,
+                      split=split)
