@@ -1,6 +1,6 @@
 PYTHON ?= python
 
-.PHONY: install test test-fast test-ir bench bench-ir bench-micro bench-bound bench-native bench-parallel bench-shard examples results clean
+.PHONY: install test test-fast test-mutation test-ir bench bench-ir bench-micro bench-bound bench-native bench-parallel bench-shard bench-incremental examples results clean
 
 install:
 	$(PYTHON) -m pip install -e . || $(PYTHON) setup.py develop
@@ -13,6 +13,16 @@ test-fast:
 
 test-verbose:
 	$(PYTHON) -m pytest tests/ -v
+
+# Incremental-tree mutation suites: tree-level refit invariants plus the
+# mutation -> cache-coherence differential matrix (fast portion only;
+# the executor x engine matrix is marked slow and runs in CI under
+# REPRO_EXECUTOR=process).
+test-mutation:
+	$(PYTHON) -m pytest tests/trees/test_incremental.py tests/backend/test_mutation_cache.py -m "not slow"
+
+test-mutation-slow:
+	$(PYTHON) -m pytest tests/trees/test_incremental.py tests/backend/test_mutation_cache.py
 
 # IR optimiser suites (passes, verifier, goldens, round-trip, fuzzer)
 # with the structural verifier forced on after every pass.
@@ -64,6 +74,16 @@ bench-shard:
 
 bench-shard-full:
 	$(PYTHON) benchmarks/bench_shard_scaling.py
+
+# Incremental tree refit vs full rebuild at update fractions
+# 0.1% / 1% / 10% of the Table IV k-NN / KDE configurations (full run
+# asserts the >= 3x refit-over-rebuild gate at the 1% fraction; --smoke
+# only checks correctness through the cache's refit path).
+bench-incremental:
+	$(PYTHON) benchmarks/bench_incremental_tree.py --smoke
+
+bench-incremental-full:
+	$(PYTHON) benchmarks/bench_incremental_tree.py
 
 examples:
 	for f in examples/*.py; do echo "== $$f =="; $(PYTHON) $$f; done

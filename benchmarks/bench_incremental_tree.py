@@ -1,0 +1,226 @@
+"""Incremental tree refit vs full rebuild (live-data Table IV configs).
+
+For update fractions f ∈ {0.1%, 1%, 10%} of a Table IV-style clustered
+reference set, times bringing an existing tree up to date through the
+mutation API (``snapshot()`` + ``update_batch`` — the path the tree
+cache's ``cache.tree.refit`` hit takes) against building a fresh tree
+over the mutated dataset, for the k-NN (unweighted kd) and KDE (weighted
+kd) configurations.  Rows land in
+``benchmarks/results/BENCH_incremental.json``.
+
+What the numbers should show: a refit touches only the dirty leaves and
+their ancestor chain — O(f·n + dirty-ancestors) — while a rebuild pays
+the full O(n log n) sort-and-split, so small update fractions win big
+and the advantage narrows as f grows (at 10% a sizeable slice of the
+leaves is dirty and subtree rebuilds start to trigger).  The acceptance
+gate — refit ≥ 3× faster than a full rebuild at f = 1% (geomean over
+the knn + KDE configs) — is enforced on full runs only.
+
+Every row also records an end-to-end correctness check through the
+execution caches: after mutating the ``Storage``, the next ``knn()`` /
+``kde()`` must hit the incremental path (``cache.tree.refit == 1``) and
+match a from-scratch ``cache=False`` run (bitwise for k-NN's exact
+selection, rtol 1e-12 for KDE's reassociated sums).
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/bench_incremental_tree.py [--smoke]
+"""
+
+from __future__ import annotations
+
+import argparse
+import math
+import os
+import sys
+import time
+
+import numpy as np
+
+sys.path.insert(0, os.path.dirname(os.path.abspath(__file__)))
+
+from harness import format_table, update_bench_json  # noqa: E402
+from repro.backend.cache import clear_caches  # noqa: E402
+from repro.dsl import Storage  # noqa: E402
+from repro.observe import collect  # noqa: E402
+from repro.parallel import shutdown_pools  # noqa: E402
+from repro.problems import kde, knn  # noqa: E402
+from repro.trees import build_tree  # noqa: E402
+
+OUT_JSON = "BENCH_incremental.json"
+FIGURE = "table4-incremental"
+
+FULL_N = 200_000
+SMOKE_N = 5_000
+FRACTIONS = (0.001, 0.01, 0.1)
+LEAF_SIZE = 32
+
+#: refit must beat a full rebuild by this factor at the 1% fraction
+#: (geomean over the knn + KDE configs), enforced on full runs only.
+GATE_SPEEDUP = 3.0
+GATE_FRACTION = 0.01
+
+
+def _make_data(n: int, seed: int = 0):
+    rng = np.random.default_rng(seed)
+    centers = rng.uniform(-40.0, 40.0, size=(8, 3))
+    counts = np.full(8, n // 8)
+    counts[: n % 8] += 1
+    parts = [c + rng.standard_normal((m, 3))
+             for c, m in zip(centers, counts)]
+    R = np.ascontiguousarray(np.concatenate(parts))
+    nq = max(64, n // 50)
+    Q = np.ascontiguousarray(centers[0] + rng.standard_normal((nq, 3)))
+    return Q, R, rng
+
+
+def _mutation(rng, R: np.ndarray, frac: float):
+    """A drift-style update batch: f·n points nudged within their
+    neighbourhood (the live-data case refit exists for)."""
+    m = max(1, int(len(R) * frac))
+    idx = rng.choice(len(R), m, replace=False)
+    pts = R[idx] + 0.05 * rng.standard_normal((m, 3))
+    return idx, pts
+
+
+def _time_refit(tree, idx, pts, repeats: int):
+    """Best-of seconds for snapshot + update_batch (each repeat starts
+    from a fresh snapshot, exactly like the cache's refit path)."""
+    best, counters = float("inf"), {}
+    for _ in range(repeats):
+        t0 = time.perf_counter()
+        with collect() as c:
+            clone = tree.snapshot()
+            clone.update_batch(idx, pts)
+        best = min(best, time.perf_counter() - t0)
+        counters = c.as_dict()
+    return best, clone, counters
+
+
+def _time_rebuild(kind, mutated, weights, repeats: int):
+    best = float("inf")
+    for _ in range(repeats):
+        t0 = time.perf_counter()
+        fresh = build_tree(kind, mutated, leaf_size=LEAF_SIZE,
+                           weights=weights)
+        best = min(best, time.perf_counter() - t0)
+    return best, fresh
+
+
+def _e2e_check(Q, R, w, rng, frac: float) -> dict:
+    """Mutate through the Storage API and verify the execution caches
+    serve the refit tree with results matching a from-scratch run."""
+    clear_caches()
+    qs = Storage(Q, name="query")
+    rs = Storage(R.copy(), name="reference",
+                 weights=None if w is None else w.copy())
+    knn(qs, rs, k=5)
+    kde(qs, rs, bandwidth=0.5, tau=0.0)
+    idx, pts = _mutation(rng, rs.data, frac)
+    rs.update_batch(idx, pts)
+    with collect() as c:
+        vk, _ = knn(qs, rs, k=5)
+        vd = kde(qs, rs, bandwidth=0.5, tau=0.0)
+    refits = c.get("cache.tree.refit")
+    fresh = Storage(rs.data.copy(),
+                    weights=None if w is None else rs.weights.copy())
+    vk2, _ = knn(qs, fresh, k=5, cache=False)
+    vd2 = kde(qs, fresh, bandwidth=0.5, tau=0.0, cache=False)
+    return {
+        "cache_refits": refits,
+        "knn_bitwise": bool(np.array_equal(np.asarray(vk),
+                                           np.asarray(vk2))),
+        "kde_close": bool(np.allclose(vd, vd2, rtol=1e-12, atol=0.0)),
+    }
+
+
+def main(argv=None) -> int:
+    ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    ap.add_argument("--smoke", action="store_true",
+                    help="tiny size / single repeat / no gate (CI smoke)")
+    ap.add_argument("--repeats", type=int, default=None,
+                    help="timed repeats per configuration (best-of)")
+    args = ap.parse_args(argv)
+    repeats = args.repeats or (1 if args.smoke else 3)
+    n = SMOKE_N if args.smoke else FULL_N
+
+    Q, R, rng = _make_data(n)
+    w = np.random.default_rng(7).uniform(0.5, 2.0, n)
+    configs = [("knn", None), ("kde", w)]
+
+    rows = []
+    for label, weights in configs:
+        tree = build_tree("kd", R, leaf_size=LEAF_SIZE, weights=weights)
+        for frac in FRACTIONS:
+            idx, pts = _mutation(rng, R, frac)
+            refit_s, clone, counters = _time_refit(tree, idx, pts, repeats)
+            mutated = R.copy()
+            mutated[idx] = pts
+            rebuild_s, fresh = _time_rebuild("kd", mutated, weights,
+                                             repeats)
+            assert clone.n == fresh.n
+            speedup = rebuild_s / refit_s if refit_s > 0 else float("inf")
+            check = _e2e_check(Q, R, weights, rng, frac)
+            rows.append({
+                "config": label, "n": n, "fraction": frac,
+                "updated": len(idx),
+                "refit_s": refit_s, "rebuild_s": rebuild_s,
+                "speedup": round(speedup, 3),
+                "refit_nodes": counters.get("tree.refit.nodes", 0),
+                "subtree_rebuilds": counters.get("tree.rebuild.subtree", 0),
+                **check,
+            })
+            print(f"  {label:>4} N={n:>9,} f={frac:>6.1%} "
+                  f"refit {refit_s * 1e3:8.2f}ms "
+                  f"rebuild {rebuild_s * 1e3:8.2f}ms ({speedup:6.1f}x) "
+                  f"knn_bitwise={check['knn_bitwise']} "
+                  f"kde_close={check['kde_close']}", file=sys.stderr)
+
+    gate_rows = [r for r in rows if r["fraction"] == GATE_FRACTION]
+    geomean = math.exp(sum(math.log(max(r["speedup"], 1e-12))
+                           for r in gate_rows) / len(gate_rows))
+    enforced = not args.smoke
+
+    path = update_bench_json(
+        OUT_JSON, FIGURE, rows,
+        meta={"smoke": args.smoke, "repeats": repeats,
+              "leaf_size": LEAF_SIZE,
+              "gate": {"speedup": GATE_SPEEDUP,
+                       "at_fraction": GATE_FRACTION,
+                       "geomean": round(geomean, 3),
+                       "enforced": enforced}})
+    print(f"[written to {path}]", file=sys.stderr)
+
+    print(format_table(
+        "Incremental tree refit vs full rebuild",
+        ["config", "fraction", "refit_ms", "rebuild_ms", "speedup"],
+        [[r["config"], f"{r['fraction']:.1%}",
+          round(r["refit_s"] * 1e3, 2), round(r["rebuild_s"] * 1e3, 2),
+          r["speedup"]] for r in rows],
+    ), file=sys.stderr)
+
+    shutdown_pools()
+
+    bad = [r for r in rows
+           if not (r["knn_bitwise"] and r["kde_close"]
+                   and r["cache_refits"] >= 1)]
+    if bad:
+        print(f"[FAIL] correctness check failed for "
+              f"{[(r['config'], r['fraction']) for r in bad]}",
+              file=sys.stderr)
+        return 1
+    if enforced:
+        if geomean < GATE_SPEEDUP:
+            print(f"[FAIL] refit-over-rebuild geomean at "
+                  f"f={GATE_FRACTION:.0%}: {geomean:.3f} "
+                  f"(need >= {GATE_SPEEDUP})", file=sys.stderr)
+            return 1
+        print(f"[gate passed: geomean {geomean:.3f} >= {GATE_SPEEDUP}]",
+              file=sys.stderr)
+    else:
+        print("[gate skipped: smoke run]", file=sys.stderr)
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

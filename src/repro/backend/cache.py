@@ -144,6 +144,11 @@ class LRUCache:
             while len(self._data) > self.maxsize:
                 self._data.popitem(last=False)
 
+    def pop(self, key, default=None):
+        """Remove and return the cached value (``default`` when absent)."""
+        with self._lock:
+            return self._data.pop(key, default)
+
     def clear(self) -> None:
         with self._lock:
             self._data.clear()
@@ -163,7 +168,11 @@ class LRUCache:
 #: v5: sharded reference layout — the key carries the resolved shard
 #: count, and shard artifacts hold per-shard trees/bindings that an
 #: unsharded artifact of the same program must never alias.
-ARTIFACT_SCHEMA = 5
+#: v6: incremental trees — mutated datasets re-key through the same
+#: fingerprint scheme, but artifacts now reference trees that may have
+#: been produced by the refit path; the bump keeps any hot-reloading
+#: process from pairing a new-layout tree with an old artifact.
+ARTIFACT_SCHEMA = 6
 
 #: Compiled-artifact cache (see :mod:`repro.backend.jit`).
 program_cache = LRUCache(maxsize=32)
@@ -178,22 +187,77 @@ def cached_build_tree(
     weights: np.ndarray | None,
     split: str,
     enabled: bool = True,
+    storage=None,
 ):
-    """:func:`repro.trees.build_tree` behind the content-addressed cache."""
+    """:func:`repro.trees.build_tree` behind the content-addressed cache.
+
+    When ``storage`` is the :class:`~repro.dsl.storage.Storage` whose own
+    ``data`` array is being indexed (the compiler passes it exactly
+    then), a content-key miss first tries the **incremental path**: if a
+    live tree was built over an earlier version of the same Storage and
+    the Storage's mutation log covers the gap, the old tree is
+    snapshotted and the deltas are replayed through the ``ArrayTree``
+    mutation API (``cache.tree.refit``) — orders of magnitude cheaper
+    than a from-scratch build for small update fractions.  The refit
+    clone is cached under the *new* content key; the old entry stays
+    valid for the old key (snapshots never mutate their source).
+    """
     if not enabled:
         return build_tree(kind, points, leaf_size=leaf_size,
                           weights=weights, split=split)
-    key = ("tree", kind, int(leaf_size), split,
-           array_fingerprint(points), array_fingerprint(weights))
+    own_data = storage is not None and points is storage.data
+    pts_fp = (storage.fingerprint("data") if own_data
+              else array_fingerprint(points))
+    w_fp = (storage.fingerprint("weights")
+            if own_data and weights is storage.weights
+            else array_fingerprint(weights))
+    key = ("tree", kind, int(leaf_size), split, pts_fp, w_fp)
     tree = tree_cache.get(key, MISSING)
     if tree is not MISSING:
         contribute({"cache.tree.hit": 1})
+        if own_data:
+            storage._live_trees[(kind, int(leaf_size), split)] = (
+                storage.version, tree)
         return tree
-    contribute({"cache.tree.miss": 1})
-    tree = build_tree(kind, points, leaf_size=leaf_size, weights=weights,
-                      split=split)
+    tree = _refit_live_tree(storage, kind, leaf_size, split) if own_data \
+        else None
+    if tree is not None:
+        contribute({"cache.tree.refit": 1})
+    else:
+        contribute({"cache.tree.miss": 1})
+        tree = build_tree(kind, points, leaf_size=leaf_size, weights=weights,
+                          split=split)
     tree_cache.put(key, tree)
+    if own_data:
+        storage._live_trees[(kind, int(leaf_size), split)] = (
+            storage.version, tree)
     return tree
+
+
+def _refit_live_tree(storage, kind: str, leaf_size: int, split: str):
+    """Bring a previously-built live tree up to the Storage head by
+    replaying the mutation log onto a snapshot; ``None`` when there is no
+    usable live tree (never built, chain broken, or replay failed)."""
+    entry = storage._live_trees.get((kind, int(leaf_size), split))
+    if entry is None:
+        return None
+    built_version, tree = entry
+    deltas = storage.deltas_since(built_version)
+    if not deltas:  # None (broken chain) or [] (same version: not a miss)
+        return None
+    clone = tree.snapshot()
+    try:
+        for d in deltas:
+            if d.kind == "update":
+                clone.update_batch(d.idx, d.points, d.weights)
+            elif d.kind == "insert":
+                clone.insert_batch(d.points, d.weights)
+            else:
+                clone.delete_batch(d.idx)
+    except Exception:  # pragma: no cover - refit must never poison a build
+        contribute({"cache.tree.refit_failed": 1})
+        return None
+    return clone
 
 
 def cached_build_subset_tree(

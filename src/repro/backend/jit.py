@@ -307,6 +307,11 @@ class CompiledProgram:
             "traversal_engine": self.extras.get("engine"),
             "executor": self.extras.get("executor"),
             "cache": self.extras.get("cache"),
+            # The concrete shard count this program resolved ('auto' and
+            # the REPRO_WORKERS/REPRO_SHARDS env overrides are resolved
+            # per execute(), before the cache key is computed).
+            "shards": self.extras.get("shards"),
+            "tree_version": getattr(self.qtree, "version", None),
             "traversal": dict(
                 st.as_dict(),
                 prune_rate=st.prune_rate,
@@ -820,13 +825,17 @@ def _compile_pipeline(pexpr, opts: CompileOptions) -> tuple[_Artifact, dict]:
         leaf = opts.leaf_size or 64
         t0 = time.perf_counter()
         with span("compile.tree_build", tree=kind, leaf_size=leaf):
+            # Passing the Storage alongside its own data array arms the
+            # incremental path: on a fingerprint miss after a logged
+            # mutation, the cache refits the previous live tree instead
+            # of rebuilding (cached_build_tree checks the identity).
             qtree = cached_build_tree(kind, qpoints, leaf,
                                       qstorage.weights, opts.split,
-                                      enabled=opts.cache)
+                                      enabled=opts.cache, storage=qstorage)
             if not sharded:
                 rtree = qtree if same_data else cached_build_tree(
                     kind, rpoints, leaf, rstorage.weights, opts.split,
-                    enabled=opts.cache,
+                    enabled=opts.cache, storage=rstorage,
                 )
         timings["tree_build"] = time.perf_counter() - t0
         static_bindings.update(
@@ -914,11 +923,21 @@ def _instantiate(art: _Artifact, layers: list[Layer], opts: CompileOptions,
         captured_g = art.kernel.g
         state.value_transform = lambda v: captured_g.evaluate({"t": v})
 
+    # Versioned snapshot semantics: the program pins a consistent view of
+    # the (possibly live) trees at instantiation time.  Snapshots are
+    # shallow — mutation rebinds arrays rather than writing into them —
+    # so an in-flight or retained program keeps reading the version it
+    # compiled against even if the cached tree is refit later.
+    qtree, rtree = art.qtree, art.rtree
+    if qtree is not None:
+        qtree = qtree.snapshot()
+        rtree = qtree if art.rtree is art.qtree else (
+            None if art.rtree is None else art.rtree.snapshot())
     program = CompiledProgram(
         options=opts, layers=layers, kernel=art.kernel,
         classification=art.classification, rule=art.rule,
         pass_manager=art.pass_manager, mode=art.mode, state=state,
-        qtree=art.qtree, rtree=art.rtree, qdata=art.qdata, rdata=art.rdata,
+        qtree=qtree, rtree=rtree, qdata=art.qdata, rdata=art.rdata,
         extras={"same_data": art.same_data}, timings=dict(timings),
     )
     if art.shard_pack is not None:
@@ -963,11 +982,21 @@ def _instantiate(art: _Artifact, layers: list[Layer], opts: CompileOptions,
         # state) bindings go to shared memory, the token keys the
         # publication so repeated runs republish nothing.
         program.extras["static_bindings"] = art.static_bindings
-        program.extras["program_token"] = (
+        token = (
             None if key is None
             else hashlib.blake2b(repr(key).encode(),
                                  digest_size=16).hexdigest()
         )
+        program.extras["program_token"] = token
+        program.extras["shards"] = opts.shards
+        if token is not None:
+            # Let the Storages evict exactly these shm publications (and
+            # their ::q/::r{i} shard derivatives) when they mutate — a
+            # warm process pool must never be served stale columns.
+            for layer in layers:
+                st = getattr(layer, "storage", None)
+                if st is not None and hasattr(st, "note_shm_token"):
+                    st.note_shm_token(token)
     if cache_state is not None:
         program.extras["cache"] = cache_state
     return program

@@ -24,6 +24,7 @@ from __future__ import annotations
 
 import csv
 import os
+from dataclasses import dataclass
 from typing import Sequence
 
 import numpy as np
@@ -31,7 +32,30 @@ import numpy as np
 from ..backend.layout import Layout, choose_layout
 from .errors import StorageError
 
-__all__ = ["Storage"]
+__all__ = ["Storage", "StorageDelta", "MUTATION_LOG_MAX"]
+
+#: Bound on the per-Storage mutation log.  A live tree further than this
+#: many mutations behind the Storage head can no longer be refit and
+#: falls back to a full rebuild — the log exists to make the *recent*
+#: past cheap, not to be a journal.
+MUTATION_LOG_MAX = 32
+
+
+@dataclass(frozen=True)
+class StorageDelta:
+    """One recorded mutation: enough to replay it onto a live tree.
+
+    ``version`` is the Storage version *after* the mutation, so a tree
+    built at version ``v`` is brought current by replaying every delta
+    with ``version > v`` (they are consecutive whenever the log chain is
+    intact — a bare :meth:`Storage.mark_mutated` breaks it on purpose).
+    """
+
+    version: int
+    kind: str  # 'insert' | 'delete' | 'update'
+    idx: np.ndarray | None
+    points: np.ndarray | None
+    weights: np.ndarray | None
 
 
 class Storage:
@@ -78,6 +102,14 @@ class Storage:
         self._cleared = False
         self._version = 0
         self._fp_cache: dict[str, tuple] = {}
+        #: Recent mutations (bounded), replayable onto live trees.
+        self._mutation_log: list[StorageDelta] = []
+        #: Live trees built over this Storage's data by the tree cache:
+        #: ``(kind, leaf_size, split) -> (built_version, tree)``.
+        self._live_trees: dict[tuple, tuple] = {}
+        #: Shared-memory tokens under which this Storage's columns are
+        #: currently published (evicted on mutation).
+        self._shm_tokens: set[str] = set()
         self.name = name or "storage"
         self.weights = None if weights is None else _check_vec(
             weights, self.n, "weights", float
@@ -131,12 +163,155 @@ class Storage:
         """Declare that this Storage's arrays were written in place.
 
         Invalidates the memoized content fingerprints (and the lazily
-        materialised column-major view), so the next ``execute()``
-        re-fingerprints and correctly misses the execution caches.
+        materialised column-major view) so the next ``execute()``
+        re-fingerprints and correctly misses the execution caches, evicts
+        any shared-memory blocks still published under this Storage's
+        old tokens (a warm process pool must never read stale columns),
+        and — because an arbitrary in-place write cannot be replayed —
+        breaks the mutation-log chain, so live trees fall back to a full
+        rebuild instead of an unsound refit.
         """
+        self._bump_version()
+        self._mutation_log.clear()
+        self._live_trees.clear()
+
+    def _bump_version(self) -> None:
         self._version += 1
         self._colmajor = None
         self._fp_cache.clear()
+        self._evict_stale_shm()
+
+    def _evict_stale_shm(self) -> None:
+        if not self._shm_tokens:
+            return
+        tokens = tuple(self._shm_tokens)
+        self._shm_tokens.clear()
+        from ..parallel import shm
+
+        shm.evict_stale_blocks(tokens)
+
+    def note_shm_token(self, token: str | None) -> None:
+        """Record that this Storage's columns are published to shared
+        memory under ``token`` (called by the compiler when it hands a
+        program to the process executor), so a later mutation can evict
+        exactly those blocks."""
+        if token:
+            self._shm_tokens.add(token)
+
+    # -- mutation API -----------------------------------------------------------
+    def insert_batch(self, points, weights=None, labels=None) -> np.ndarray:
+        """Append points; returns their (stable) new row indices.
+
+        A weighted Storage defaults missing ``weights`` to 1; an
+        unweighted one rejects them.  The mutation is copy-on-write (the
+        previous ``data`` array is never written into), recorded in the
+        mutation log so live trees refit instead of rebuilding.
+        """
+        self._check_alive()
+        pts = np.asarray(points, dtype=np.float64).reshape(-1, self.dim)
+        m = pts.shape[0]
+        if m == 0:
+            return np.empty(0, dtype=np.int64)
+        if not np.all(np.isfinite(pts)):
+            raise StorageError("insert_batch points contain NaN or infinity")
+        w = None
+        if self.weights is not None:
+            w = (np.ones(m) if weights is None
+                 else np.broadcast_to(
+                     np.asarray(weights, dtype=np.float64), (m,)).copy())
+            if not np.all(np.isfinite(w)):
+                raise StorageError("insert_batch weights must be finite")
+        elif weights is not None:
+            raise StorageError("Storage carries no weights; cannot insert them")
+        lab = None
+        if self.labels is not None:
+            if labels is None:
+                raise StorageError("Storage carries labels; provide them")
+            lab = np.broadcast_to(
+                np.asarray(labels, dtype=np.int64), (m,)).copy()
+        elif labels is not None:
+            raise StorageError("Storage carries no labels; cannot insert them")
+        ids = np.arange(self.n, self.n + m, dtype=np.int64)
+        self._data = np.ascontiguousarray(np.concatenate([self._data, pts]))
+        if w is not None:
+            self.weights = np.concatenate([self.weights, w])
+        if lab is not None:
+            self.labels = np.concatenate([self.labels, lab])
+        self._record(StorageDelta(self._version + 1, "insert", ids.copy(),
+                                  pts.copy(), w))
+        return ids
+
+    def delete_batch(self, idx) -> None:
+        """Delete rows by index; surviving rows compact downwards (the
+        semantics of ``np.delete``).  Copy-on-write and logged."""
+        self._check_alive()
+        idx = np.unique(np.atleast_1d(np.asarray(idx, dtype=np.int64)))
+        if idx.size == 0:
+            return
+        if idx.size and (idx[0] < 0 or idx[-1] >= self.n):
+            raise StorageError(f"delete_batch index out of range 0..{self.n - 1}")
+        if idx.size >= self.n:
+            raise StorageError("cannot delete every row of a Storage")
+        self._data = np.ascontiguousarray(np.delete(self._data, idx, axis=0))
+        if self.weights is not None:
+            self.weights = np.delete(self.weights, idx)
+        if self.labels is not None:
+            self.labels = np.delete(self.labels, idx)
+        self._record(StorageDelta(self._version + 1, "delete", idx,
+                                  None, None))
+
+    def update_batch(self, idx, points=None, weights=None) -> None:
+        """Overwrite coordinates and/or weights of existing rows.
+        Copy-on-write and logged."""
+        self._check_alive()
+        idx = np.atleast_1d(np.asarray(idx, dtype=np.int64))
+        if idx.size == 0:
+            return
+        if points is None and weights is None:
+            raise StorageError("update_batch needs points and/or weights")
+        if idx.min() < 0 or idx.max() >= self.n:
+            raise StorageError(f"update_batch index out of range 0..{self.n - 1}")
+        pts = None
+        if points is not None:
+            pts = np.asarray(points, dtype=np.float64).reshape(
+                idx.size, self.dim)
+            if not np.all(np.isfinite(pts)):
+                raise StorageError("update_batch points contain NaN or infinity")
+            data = self._data.copy()
+            data[idx] = pts
+            self._data = data
+        w = None
+        if weights is not None:
+            if self.weights is None:
+                raise StorageError(
+                    "Storage carries no weights; cannot update them")
+            w = np.broadcast_to(
+                np.asarray(weights, dtype=np.float64), (idx.size,)).copy()
+            if not np.all(np.isfinite(w)):
+                raise StorageError("update_batch weights must be finite")
+            neww = self.weights.copy()
+            neww[idx] = w
+            self.weights = neww
+        self._record(StorageDelta(self._version + 1, "update", idx.copy(),
+                                  None if pts is None else pts.copy(), w))
+
+    def _record(self, delta: StorageDelta) -> None:
+        self._bump_version()
+        assert delta.version == self._version
+        self._mutation_log.append(delta)
+        del self._mutation_log[:-MUTATION_LOG_MAX]
+
+    def deltas_since(self, version: int) -> list[StorageDelta] | None:
+        """The consecutive mutation chain from ``version`` to the current
+        head, oldest first — or ``None`` when the chain is broken (log
+        overflow, or an unreplayable :meth:`mark_mutated`)."""
+        if version == self._version:
+            return []
+        chain = [d for d in self._mutation_log if d.version > version]
+        expected = list(range(version + 1, self._version + 1))
+        if [d.version for d in chain] != expected:
+            return None
+        return chain
 
     def fingerprint(self, which: str = "data") -> tuple | None:
         """Memoized content fingerprint of ``data`` or ``weights``.
@@ -174,6 +349,9 @@ class Storage:
         self._colmajor = None
         self.weights = None
         self.labels = None
+        self._mutation_log.clear()
+        self._live_trees.clear()
+        self._evict_stale_shm()
         self._cleared = True
 
     def _check_alive(self) -> None:

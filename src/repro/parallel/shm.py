@@ -32,7 +32,7 @@ import numpy as np
 from ..observe import contribute
 
 __all__ = [
-    "publish_arrays", "attach_arrays", "release_block",
+    "publish_arrays", "attach_arrays", "release_block", "evict_stale_blocks",
     "release_shared_blocks", "shared_block_stats",
 ]
 
@@ -88,17 +88,39 @@ class SharedBlock:
             dst[...] = arr
         self.manifest = manifest
         self.nbytes = max(total, 1)
+        # The publishing process owns the segment's lifetime; only the
+        # owner may unlink.  close() used to be callable twice through
+        # two paths at interpreter shutdown (LRU eviction / explicit
+        # release racing the atexit hook), where the second unlink()
+        # raised — the flag pair makes it idempotent and owner-guarded.
+        self._owner = True
+        self._closed = False
+        self._close_lock = threading.Lock()
 
     @property
     def name(self) -> str:
         return self.shm.name
 
     def close(self) -> None:
-        """Close and unlink the segment (owner side)."""
+        """Close (and, for the owner, unlink) the segment.  Idempotent
+        and tolerant of a segment already gone — a worker still attached
+        or a concurrent release must never raise, least of all from the
+        ``atexit`` hook."""
+        with self._close_lock:
+            if self._closed:
+                return
+            self._closed = True
         try:
             self.shm.close()
+        except (OSError, ValueError):  # pragma: no cover - shutdown race
+            pass
+        if not self._owner:
+            return
+        try:
             self.shm.unlink()
         except FileNotFoundError:
+            pass
+        except OSError:  # pragma: no cover - platform shutdown quirks
             pass
 
 
@@ -155,6 +177,33 @@ def release_block(token: str) -> None:
         block.close()
 
 
+def evict_stale_blocks(tokens) -> int:
+    """Unpublish every block keyed by one of ``tokens`` or by a derived
+    shard token (``{token}::q`` / ``{token}::r{i}``).
+
+    The mutation-staleness hook: ``publish_arrays`` is idempotent per
+    token and workers cache attachments per token, so after an in-place
+    dataset mutation the old token's blocks would keep serving the
+    pre-mutation columns to a warm process pool.  ``Storage`` calls this
+    from its version bump; evictions are counted under
+    ``shm.stale_evicted``.  Returns the number of blocks dropped.
+    """
+    prefixes = tuple(t for t in tokens if t)
+    if not prefixes:
+        return 0
+    exact = set(prefixes)
+    with _blocks_lock:
+        victims = [t for t in _blocks
+                   if t in exact or any(t.startswith(p + "::")
+                                        for p in prefixes)]
+        blocks = [_blocks.pop(t) for t in victims]
+    for block in blocks:
+        block.close()
+    if blocks:
+        contribute({"shm.stale_evicted": len(blocks)})
+    return len(blocks)
+
+
 def release_shared_blocks() -> None:
     """Unpublish everything (cache-clear hook and ``atexit``)."""
     with _blocks_lock:
@@ -164,7 +213,16 @@ def release_shared_blocks() -> None:
         block.close()
 
 
-atexit.register(release_shared_blocks)
+def _atexit_release() -> None:
+    # Interpreter shutdown must never raise from here, even racing a
+    # concurrent eviction or a worker mid-detach.
+    try:
+        release_shared_blocks()
+    except Exception:  # pragma: no cover - shutdown only
+        pass
+
+
+atexit.register(_atexit_release)
 
 
 def shared_block_stats() -> dict:

@@ -46,9 +46,14 @@ def build_tree(
             f"unknown tree kind {kind!r}; choose from {sorted(_BUILDERS)}"
         ) from None
     if kind == "kd":
-        return builder(points, leaf_size=leaf_size, weights=weights,
+        tree = builder(points, leaf_size=leaf_size, weights=weights,
                        split=split)
-    return builder(points, leaf_size=leaf_size, weights=weights)
+    else:
+        tree = builder(points, leaf_size=leaf_size, weights=weights)
+    # Remember the strategy so incremental mutations rebuild degraded
+    # subtrees the same way the original build partitioned them.
+    tree.split = split
+    return tree
 
 
 def build_subset_tree(

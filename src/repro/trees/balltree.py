@@ -25,6 +25,39 @@ class BallTree(ArrayTree):
     #: Per-node bounding-sphere radius, filled by :func:`build_balltree`.
     radius: np.ndarray
 
+    #: Refit and the partial-rebuild graft carry the radius along.
+    _extra_node_arrays = ("radius",)
+
+    def _refit_extra(self, dirty_ids):
+        """Repair bounding-sphere radii for the dirty nodes, deepest
+        first: leaves exactly from their point slices, internal nodes
+        conservatively as ``max(dist(centroid, child centroid) + child
+        radius)`` — an over-estimate keeps every bound valid without
+        touching the (clean) descendant slices."""
+        radius = self.radius.copy()
+        order = dirty_ids[np.argsort(self.levels()[dirty_ids],
+                                     kind="stable")][::-1]
+        for i in order:
+            i = int(i)
+            kids = self.children(i)
+            if len(kids) == 0:
+                s, e = self.slice(i)
+                if e > s:
+                    diff = self.points[s:e] - self.centroid[i]
+                    radius[i] = float(
+                        np.sqrt((diff * diff).sum(axis=1).max()))
+                else:
+                    radius[i] = 0.0
+            else:
+                r = 0.0
+                for c in kids:
+                    c = int(c)
+                    dc = float(np.sqrt(
+                        ((self.centroid[i] - self.centroid[c]) ** 2).sum()))
+                    r = max(r, dc + float(radius[c]))
+                radius[i] = r
+        self.radius = radius
+
     def min_dist(self, base, i, other, j):
         if isinstance(other, BallTree):
             return geometry.sphere_min_dist(

@@ -20,11 +20,30 @@ Barnes-Hut's ComputeApprox).
 
 from __future__ import annotations
 
+import copy
+import threading
+
 import numpy as np
 
+from ..observe import contribute
 from . import geometry
 
-__all__ = ["ArrayTree", "TreeNode", "tree_levels", "level_propagation"]
+__all__ = ["ArrayTree", "TreeNode", "tree_levels", "level_propagation",
+           "REBUILD_LEAF_FACTOR", "REBUILD_DIAMETER_FACTOR"]
+
+#: A leaf whose occupancy exceeds ``factor * leaf_size`` after inserts is
+#: re-split (subtree rebuild of the leaf).
+REBUILD_LEAF_FACTOR = 2.0
+#: A node whose refit (tight) widest-dimension span exceeds ``factor *``
+#: its span at build time is re-partitioned — moved points have spread
+#: the box enough that pruning quality degrades.
+REBUILD_DIAMETER_FACTOR = 2.0
+
+#: Lazily-built caches that depend only on the children topology.
+_TOPOLOGY_CACHES = ("_level_arr", "_level_plan_cache", "_expansion_csr",
+                    "_parent_arr")
+#: Lazily-built caches that depend on the point permutation / leaf tiling.
+_PERM_CACHES = ("_inv_perm", "_pos_leaf")
 
 
 def tree_levels(child_offset: np.ndarray, child_list: np.ndarray) -> np.ndarray:
@@ -87,9 +106,26 @@ def level_propagation(
 
 
 class ArrayTree:
-    """Common storage and query API for kd-trees, octrees and ball trees."""
+    """Common storage and query API for kd-trees, octrees and ball trees.
+
+    Trees are *live*: :meth:`insert_batch`, :meth:`delete_batch` and
+    :meth:`update_batch` mutate the tree in place with a lazy subtree
+    refit (dirty leaves are repaired exactly, ancestors bottom-up through
+    the cached :func:`level_propagation` plan) plus an amortized partial
+    rebuild of any subtree whose leaf occupancy or bound volume degrades
+    past a threshold.  Every mutation bumps the monotone :attr:`version`
+    and rebinds — never writes into — the node/point arrays, so a
+    :meth:`snapshot` taken before the mutation keeps a consistent view
+    for in-flight traversals (including paused bounded-batched epochs and
+    process workers attached to published shm columns).
+    """
 
     kind = "array"
+
+    #: Names of subclass-specific per-node arrays that refit and the
+    #: partial-rebuild graft must carry along (e.g. the ball tree's
+    #: ``radius``).
+    _extra_node_arrays: tuple[str, ...] = ()
 
     def __init__(
         self,
@@ -143,6 +179,11 @@ class ArrayTree:
                           where=self.wsum[:, None] != 0),
                 self.centroid,
             )
+
+        self.split = "median"  # kd split strategy; set by build_tree()
+        self.version = 0
+        self._pristine_diam = self.diameter
+        self._mutation_lock = threading.RLock()
 
     def _node_sums(self, values: np.ndarray) -> np.ndarray:
         """Per-node sums of a per-point array over each ``[start, end)``
@@ -242,6 +283,507 @@ class ArrayTree:
             cached = np.einsum("ij,ij->i", self.points, self.points)
             self._sqnorms = cached
         return cached
+
+    # -- mutation: lazy refit + amortized partial rebuild -----------------------
+    def inv_perm(self) -> np.ndarray:
+        """Original id → permuted position; computed once, cached."""
+        cached = getattr(self, "_inv_perm", None)
+        if cached is None:
+            cached = np.empty(self.n, dtype=np.int64)
+            cached[self.perm] = np.arange(self.n, dtype=np.int64)
+            self._inv_perm = cached
+        return cached
+
+    def leaf_of_position(self) -> np.ndarray:
+        """Permuted position → owning leaf node id; cached."""
+        cached = getattr(self, "_pos_leaf", None)
+        if cached is None:
+            leaves = np.flatnonzero(self.is_leaf_arr)
+            lsort = leaves[np.argsort(self.start[leaves], kind="stable")]
+            cached = np.repeat(lsort, (self.end - self.start)[lsort])
+            self._pos_leaf = cached
+        return cached
+
+    def parents(self) -> np.ndarray:
+        """Per-node parent id (-1 for the root); cached."""
+        cached = getattr(self, "_parent_arr", None)
+        if cached is None:
+            counts = self.child_offset[1:] - self.child_offset[:-1]
+            cached = np.full(self.n_nodes, -1, dtype=np.int64)
+            cached[self.child_list] = np.repeat(
+                np.arange(self.n_nodes, dtype=np.int64), counts)
+            self._parent_arr = cached
+        return cached
+
+    def _drop_caches(self, names) -> None:
+        for name in names:
+            if hasattr(self, name):
+                delattr(self, name)
+
+    def snapshot(self) -> "ArrayTree":
+        """A consistent shallow view of the tree at its current version.
+
+        Mutations rebind arrays instead of writing into them, so the
+        snapshot's arrays never change under it: in-flight traversals
+        (paused bounded-batched epochs, process workers attached to shm
+        views of these arrays) read the version they started with.  The
+        snapshot itself is independently mutable — mutating it leaves
+        the source tree untouched, which is how the cache refit path
+        derives a new cache entry without corrupting the old one.
+        """
+        with self._mutation_lock:
+            clone = copy.copy(self)
+            clone._mutation_lock = threading.RLock()
+            return clone
+
+    def _set_points(self, new_points: np.ndarray) -> None:
+        self.points = np.ascontiguousarray(new_points)
+        self.points_col = np.ascontiguousarray(self.points.T)
+        self._drop_caches(("_sqnorms",))
+
+    def update_batch(self, idx, points=None, weights=None) -> int:
+        """Move existing points (original ids ``idx``) to new coordinates
+        and/or weights; returns the new tree :attr:`version`.
+
+        The owning leaves are repaired exactly (tight boxes, centroids,
+        mass data) and the change propagates bottom-up through the dirty
+        ancestors only.  Any node whose refit span degraded past
+        :data:`REBUILD_DIAMETER_FACTOR` is re-partitioned via a subtree
+        rebuild (``tree.rebuild.*`` counters).
+        """
+        with self._mutation_lock:
+            idx = np.atleast_1d(np.asarray(idx, dtype=np.int64))
+            if idx.size == 0:
+                return self.version
+            if points is None and weights is None:
+                raise ValueError("update_batch needs points and/or weights")
+            pos = self.inv_perm()[idx]
+            dirty_leaves = np.unique(self.leaf_of_position()[pos])
+            if points is not None:
+                pts = np.asarray(points, dtype=np.float64).reshape(
+                    idx.size, self.dim)
+                new_points = self.points.copy()
+                new_points[pos] = pts
+                self._set_points(new_points)
+            if weights is not None:
+                if self.weights is None:
+                    raise ValueError(
+                        "tree carries no weights; cannot update them")
+                w = np.broadcast_to(
+                    np.asarray(weights, dtype=np.float64), (idx.size,))
+                neww = self.weights.copy()
+                neww[pos] = w
+                self.weights = neww
+            dirty = self._refit(dirty_leaves)
+            contribute({"tree.refit.count": 1,
+                        "tree.refit.points": int(idx.size),
+                        "tree.refit.nodes": int(dirty.size)})
+            if points is not None:
+                self._maybe_rebuild(dirty)
+            self.version += 1
+            return self.version
+
+    def insert_batch(self, points, weights=None) -> np.ndarray:
+        """Insert new points; returns their original ids (appended to the
+        original index space: ``old_n .. old_n + m``).
+
+        Each point is routed root→leaf to the child minimising the
+        point-box distance and appended to that leaf's slice; dirty
+        leaves and ancestors are refit, and any leaf whose occupancy
+        exceeds :data:`REBUILD_LEAF_FACTOR` × ``leaf_size`` is re-split.
+        """
+        with self._mutation_lock:
+            pts = np.asarray(points, dtype=np.float64).reshape(-1, self.dim)
+            m = pts.shape[0]
+            if m == 0:
+                return np.empty(0, dtype=np.int64)
+            if not np.all(np.isfinite(pts)):
+                raise ValueError("insert_batch points must be finite")
+            if self.weights is not None:
+                w = (np.ones(m) if weights is None else np.broadcast_to(
+                    np.asarray(weights, dtype=np.float64), (m,)))
+            elif weights is not None:
+                raise ValueError("tree carries no weights; cannot insert them")
+            old_n = self.n
+            new_ids = np.arange(old_n, old_n + m, dtype=np.int64)
+            leaf = self._route_to_leaves(pts)
+            posin = self.end[leaf]
+            order = np.argsort(posin, kind="stable")
+            self._set_points(
+                np.insert(self.points, posin[order], pts[order], axis=0))
+            self.perm = np.insert(self.perm, posin[order], new_ids[order])
+            if self.weights is not None:
+                self.weights = np.insert(self.weights, posin[order], w[order])
+            # Offset shift: C[p] = number of inserts at positions <= p.
+            # Every insert position is the end of some leaf inside a node
+            # iff that position is in (start, end], so both bounds shift
+            # by the inclusive prefix count.
+            C = np.cumsum(np.bincount(posin, minlength=old_n + 1))
+            self.start = self.start + C[self.start]
+            self.end = self.end + C[self.end]
+            self._drop_caches(_PERM_CACHES)
+            dirty = self._refit(np.unique(leaf))
+            contribute({"tree.refit.count": 1, "tree.refit.points": int(m),
+                        "tree.refit.nodes": int(dirty.size)})
+            self._maybe_rebuild(dirty, occupancy=True)
+            self.version += 1
+            return new_ids
+
+    def delete_batch(self, idx) -> int:
+        """Delete points by original id; returns the new :attr:`version`.
+
+        Surviving original ids are compacted (shifted down past the
+        deleted ids), matching ``np.delete`` on the original-order
+        dataset.  A leaf left empty forces a subtree rebuild of its
+        nearest non-empty ancestor — the structure never keeps empty
+        leaves.
+        """
+        with self._mutation_lock:
+            idx = np.unique(np.atleast_1d(np.asarray(idx, dtype=np.int64)))
+            if idx.size == 0:
+                return self.version
+            if idx.size >= self.n:
+                raise ValueError("cannot delete every point in the tree")
+            pos = np.sort(self.inv_perm()[idx])
+            dirty_leaves = np.unique(self.leaf_of_position()[pos])
+            # D[p] = number of deleted positions < p.
+            D = np.concatenate(
+                [[0], np.cumsum(np.bincount(pos, minlength=self.n))])
+            self._set_points(np.delete(self.points, pos, axis=0))
+            new_perm = np.delete(self.perm, pos)
+            self.perm = new_perm - np.searchsorted(idx, new_perm, side="left")
+            if self.weights is not None:
+                self.weights = np.delete(self.weights, pos)
+            self.start = self.start - D[self.start]
+            self.end = self.end - D[self.end]
+            self._drop_caches(_PERM_CACHES)
+            dirty = self._refit(dirty_leaves)
+            contribute({"tree.refit.count": 1,
+                        "tree.refit.points": int(idx.size),
+                        "tree.refit.nodes": int(dirty.size)})
+            counts = self.end - self.start
+            forced = []
+            par = self.parents()
+            for s in dirty_leaves[counts[dirty_leaves] == 0]:
+                t = int(s)
+                while t >= 0 and counts[t] == 0:
+                    t = int(par[t])
+                forced.append(max(t, 0))
+            self._maybe_rebuild(dirty, forced=forced)
+            self.version += 1
+            return self.version
+
+    def _route_to_leaves(self, pts: np.ndarray) -> np.ndarray:
+        """Root→leaf routing: per level, each point descends into the
+        child with the smallest point-box distance (vectorised over the
+        batch; ties go to the lowest child id)."""
+        cur = np.zeros(pts.shape[0], dtype=np.int64)
+        while True:
+            active = np.flatnonzero(~self.is_leaf_arr[cur])
+            if active.size == 0:
+                return cur
+            nodes = cur[active]
+            cnt = self.child_offset[nodes + 1] - self.child_offset[nodes]
+            best = np.full(active.size, -1, dtype=np.int64)
+            bestd = np.full(active.size, np.inf)
+            X = pts[active]
+            for j in range(int(cnt.max())):
+                has = cnt > j
+                cand = self.child_list[self.child_offset[nodes[has]] + j]
+                gap = np.maximum(
+                    np.maximum(self.lo[cand] - X[has], X[has] - self.hi[cand]),
+                    0.0)
+                d = np.einsum("ij,ij->i", gap, gap)
+                hidx = np.flatnonzero(has)
+                better = d < bestd[hidx]
+                bestd[hidx[better]] = d[better]
+                best[hidx[better]] = cand[better]
+            cur[active] = best
+
+    def _refit(self, dirty_leaves: np.ndarray) -> np.ndarray:
+        """Repair ``lo/hi/centroid/wsum/wcentroid/center/diameter`` for the
+        dirty leaves (exactly, from their point slices) and their
+        ancestors (bottom-up through the cached level plan, touching only
+        levels/segments that contain a dirty child).  Arrays are copied
+        and rebound — snapshots keep the old view.  Returns every dirty
+        node id."""
+        dl = np.unique(np.asarray(dirty_leaves, dtype=np.int64))
+        if dl.size == 0:
+            return dl
+        counts_all = self.end - self.start
+        nonempty = dl[counts_all[dl] > 0]
+        empty = dl[counts_all[dl] == 0]
+
+        lo = self.lo.copy()
+        hi = self.hi.copy()
+        centroid = self.centroid.copy()
+        weighted = self.weights is not None
+        if weighted:
+            wsum = self.wsum.copy()
+            wcentroid = self.wcentroid.copy()
+        flat = None
+        if nonempty.size:
+            cnt = counts_all[nonempty]
+            seg = np.cumsum(cnt) - cnt
+            flat = np.repeat(self.start[nonempty], cnt) + (
+                np.arange(int(cnt.sum())) - np.repeat(seg, cnt))
+            P = self.points[flat]
+            lo[nonempty] = np.minimum.reduceat(P, seg, axis=0)
+            hi[nonempty] = np.maximum.reduceat(P, seg, axis=0)
+            centroid[nonempty] = (
+                np.add.reduceat(P, seg, axis=0) / cnt[:, None])
+            if weighted:
+                wf = self.weights[flat]
+                ws = np.add.reduceat(wf, seg)
+                wps = np.add.reduceat(wf[:, None] * P, seg, axis=0)
+                wsum[nonempty] = ws
+                wcentroid[nonempty] = np.where(
+                    ws[:, None] > 0,
+                    np.divide(wps, ws[:, None], out=np.zeros_like(wps),
+                              where=ws[:, None] != 0),
+                    centroid[nonempty])
+        if empty.size:
+            # Sentinels: +inf/-inf boxes vanish under min/max, zero
+            # centroids weighted by zero counts vanish under sums.  An
+            # empty leaf only survives until the forced rebuild below.
+            lo[empty] = np.inf
+            hi[empty] = -np.inf
+            centroid[empty] = 0.0
+            if weighted:
+                wsum[empty] = 0.0
+                wcentroid[empty] = 0.0
+
+        dirty_mask = np.zeros(self.n_nodes, dtype=bool)
+        dirty_mask[dl] = True
+        counts_f = counts_all.astype(np.float64)
+        for ids, kids, seg in self._level_plan():
+            kid_dirty = dirty_mask[kids]
+            if not kid_dirty.any():
+                continue
+            par_dirty = np.logical_or.reduceat(kid_dirty, seg)
+            sel = np.flatnonzero(par_dirty)
+            if sel.size == 0:
+                continue
+            cnt_p = np.diff(np.append(seg, kids.size))[sel]
+            kidx = np.repeat(seg[sel], cnt_p) + (
+                np.arange(int(cnt_p.sum()))
+                - np.repeat(np.cumsum(cnt_p) - cnt_p, cnt_p))
+            kk = kids[kidx]
+            sseg = np.cumsum(cnt_p) - cnt_p
+            ids2 = ids[sel]
+            lo[ids2] = np.minimum.reduceat(lo[kk], sseg, axis=0)
+            hi[ids2] = np.maximum.reduceat(hi[kk], sseg, axis=0)
+            csum = np.add.reduceat(
+                centroid[kk] * counts_f[kk, None], sseg, axis=0)
+            pcnt = counts_f[ids2]
+            centroid[ids2] = np.divide(
+                csum, pcnt[:, None], out=np.zeros_like(csum),
+                where=pcnt[:, None] > 0)
+            if weighted:
+                ws = np.add.reduceat(wsum[kk], sseg)
+                wps = np.add.reduceat(
+                    wcentroid[kk] * wsum[kk, None], sseg, axis=0)
+                wsum[ids2] = ws
+                wcentroid[ids2] = np.where(
+                    ws[:, None] > 0,
+                    np.divide(wps, ws[:, None], out=np.zeros_like(wps),
+                              where=ws[:, None] != 0),
+                    centroid[ids2])
+            dirty_mask[ids2] = True
+
+        dirty_ids = np.flatnonzero(dirty_mask)
+        center = self.center.copy()
+        diam = self.diameter.copy()
+        with np.errstate(invalid="ignore"):
+            span = hi[dirty_ids] - lo[dirty_ids]
+            finite = np.isfinite(span).all(axis=1)
+            center[dirty_ids] = np.where(
+                finite[:, None], 0.5 * (lo[dirty_ids] + hi[dirty_ids]), 0.0)
+            diam[dirty_ids] = np.where(finite, span.max(axis=1), 0.0)
+
+        self.lo, self.hi = lo, hi
+        self.center, self.diameter = center, diam
+        self.centroid = centroid
+        if weighted:
+            self.wsum, self.wcentroid = wsum, wcentroid
+        self._refit_extra(dirty_ids)
+        return dirty_ids
+
+    def _refit_extra(self, dirty_ids: np.ndarray) -> None:
+        """Subclass hook: repair :attr:`_extra_node_arrays` for the dirty
+        nodes (called after the shared metrics are rebound)."""
+
+    def _maybe_rebuild(self, dirty_ids: np.ndarray, occupancy: bool = False,
+                       forced=()) -> int:
+        """Amortized partial rebuild of degraded subtrees.
+
+        Candidates: nodes whose tight span outgrew their build-time span
+        (update path), leaves past the occupancy bound (insert path) and
+        the ``forced`` roots (empty leaves on the delete path).  Only the
+        topmost candidates rebuild; a degraded root falls back to a full
+        rebuild (counted separately)."""
+        cand = [int(s) for s in forced]
+        if dirty_ids.size:
+            slack = 1e-9 * (float(self.diameter[0]) + 1.0)
+            deg = dirty_ids[self.diameter[dirty_ids] >
+                            REBUILD_DIAMETER_FACTOR
+                            * self._pristine_diam[dirty_ids] + slack]
+            par = self.parents()
+            for s in deg:
+                s = int(s)
+                if self.is_leaf_arr[s]:
+                    # A leaf's tight box is already optimal; the useful
+                    # re-partition happens one level up.
+                    s = int(par[s]) if par[s] >= 0 else s
+                cand.append(s)
+            if occupancy:
+                counts = self.end - self.start
+                bound = int(REBUILD_LEAF_FACTOR * self.leaf_size)
+                over = dirty_ids[self.is_leaf_arr[dirty_ids]
+                                 & (counts[dirty_ids] > bound)]
+                cand.extend(int(x) for x in over)
+        if not cand:
+            return 0
+        roots = self._maximal_roots(sorted(set(cand)))
+        if 0 in roots:
+            self._full_rebuild()
+            return 1
+        self._rebuild_subtrees(roots)
+        return len(roots)
+
+    def _maximal_roots(self, cand) -> list[int]:
+        """Filter a candidate set down to nodes with no candidate ancestor."""
+        cset = np.zeros(self.n_nodes, dtype=bool)
+        cset[list(cand)] = True
+        par = self.parents()
+        keep = []
+        for s in cand:
+            p = int(par[int(s)])
+            while p >= 0 and not cset[p]:
+                p = int(par[p])
+            if p < 0:
+                keep.append(int(s))
+        return keep
+
+    def _rebuild_subtrees(self, roots) -> None:
+        """Graft-and-renumber: rebuild each root's subtree from its (still
+        contiguous) point slice and splice it back in.
+
+        Subtree node ids are *not* contiguous in the original numbering
+        (the builder interleaves siblings), so surviving nodes are
+        compacted first (preserving relative order, hence the
+        parent-before-child invariant) and each fresh subtree is appended
+        after them."""
+        from . import build_tree
+
+        roots = [int(s) for s in roots]
+        dead = np.zeros(self.n_nodes, dtype=bool)
+        for s in roots:
+            frontier = np.array([s], dtype=np.int64)
+            while frontier.size:
+                dead[frontier] = True
+                cnt = (self.child_offset[frontier + 1]
+                       - self.child_offset[frontier])
+                total = int(cnt.sum())
+                if total == 0:
+                    break
+                starts = np.repeat(self.child_offset[frontier], cnt)
+                within = np.arange(total) - np.repeat(
+                    np.cumsum(cnt) - cnt, cnt)
+                frontier = self.child_list[starts + within]
+        keep = np.flatnonzero(~dead)
+        remap = np.full(self.n_nodes, -1, dtype=np.int64)
+        remap[keep] = np.arange(keep.size)
+
+        new_points = self.points.copy()
+        new_weights = None if self.weights is None else self.weights.copy()
+        new_perm = self.perm.copy()
+        subs = []
+        base = int(keep.size)
+        for s in roots:
+            a, b = int(self.start[s]), int(self.end[s])
+            w = None if self.weights is None else self.weights[a:b]
+            sub = build_tree(self.kind, self.points[a:b],
+                             leaf_size=self.leaf_size, weights=w,
+                             split=self.split)
+            remap[s] = base
+            subs.append((a, base, sub))
+            base += sub.n_nodes
+            new_points[a:b] = sub.points
+            if new_weights is not None:
+                new_weights[a:b] = sub.weights
+            new_perm[a:b] = self.perm[a:b][sub.perm]
+
+        counts_old = self.child_offset[1:] - self.child_offset[:-1]
+        kcnt = counts_old[keep]
+        starts = np.repeat(self.child_offset[keep], kcnt)
+        within = np.arange(int(kcnt.sum())) - np.repeat(
+            np.cumsum(kcnt) - kcnt, kcnt)
+        kept_children = remap[self.child_list[starts + within]]
+
+        def merge(attr, offsets=None):
+            old = getattr(self, attr)[keep]
+            parts = [old]
+            for i, (a, b0, sub) in enumerate(subs):
+                val = getattr(sub, attr)
+                parts.append(val + offsets[i] if offsets is not None else val)
+            return np.concatenate(parts)
+
+        start_offsets = [a for a, _, _ in subs]
+        new_counts = np.concatenate(
+            [kcnt] + [sub.child_offset[1:] - sub.child_offset[:-1]
+                      for _, _, sub in subs])
+        self.child_list = np.concatenate(
+            [kept_children] + [sub.child_list + b0 for _, b0, sub in subs])
+        self.child_offset = np.concatenate([[0], np.cumsum(new_counts)])
+        self.is_leaf_arr = new_counts == 0
+        self.start = merge("start", start_offsets)
+        self.end = merge("end", start_offsets)
+        self.lo = merge("lo")
+        self.hi = merge("hi")
+        self.center = merge("center")
+        self.diameter = merge("diameter")
+        self.centroid = merge("centroid")
+        if new_weights is not None:
+            self.wsum = merge("wsum")
+            self.wcentroid = merge("wcentroid")
+        for attr in self._extra_node_arrays:
+            setattr(self, attr, merge(attr))
+        self._pristine_diam = np.concatenate(
+            [self._pristine_diam[keep]] + [sub.diameter for _, _, sub in subs])
+        self.n_nodes = int(self.child_offset.size - 1)
+        self._set_points(new_points)
+        self.perm = new_perm
+        self.weights = new_weights
+        self._drop_caches(_TOPOLOGY_CACHES + _PERM_CACHES)
+        contribute({"tree.rebuild.subtree": len(roots),
+                    "tree.rebuild.nodes": int(dead.sum())})
+
+    def _full_rebuild(self) -> None:
+        """Safety valve: rebuild the whole tree from the original-order
+        dataset and adopt the fresh structure in place (same object, new
+        arrays — snapshots keep the old view)."""
+        from . import build_tree
+
+        orig = np.empty_like(self.points)
+        orig[self.perm] = self.points
+        w = None
+        if self.weights is not None:
+            w = np.empty_like(self.weights)
+            w[self.perm] = self.weights
+        fresh = build_tree(self.kind, orig, leaf_size=self.leaf_size,
+                           weights=w, split=self.split)
+        attrs = ["points", "points_col", "perm", "lo", "hi", "start", "end",
+                 "child_offset", "child_list", "is_leaf_arr", "center",
+                 "diameter", "centroid", "n_nodes", "weights"]
+        if fresh.weights is not None:
+            attrs += ["wsum", "wcentroid"]
+        attrs += list(self._extra_node_arrays)
+        for attr in attrs:
+            setattr(self, attr, getattr(fresh, attr))
+        self._pristine_diam = self.diameter
+        self._drop_caches(_TOPOLOGY_CACHES + _PERM_CACHES + ("_sqnorms",))
+        contribute({"tree.rebuild.full": 1})
 
     # -- distance bounds ----------------------------------------------------------
     def min_dist(self, base: str, i: int, other: "ArrayTree", j: int) -> float:

@@ -1,0 +1,409 @@
+"""Mutation → cache coherence: the differential suite for incremental trees.
+
+After each mutation kind (insert / delete / update, with and without
+weights) every cache layer must either *hit with a refit* or *miss
+correctly*:
+
+* the **compile artifact** re-keys (the mutated fingerprint is part of
+  the program key) — one ``cache.compile.miss`` per mutation, hits again
+  afterwards;
+* the **tree cache** serves the refit clone under the new content key
+  (``cache.tree.refit``) while the query-side tree still hits;
+* **shard packs** re-key through the fingerprint-derived ``base_key``;
+* **shared memory** blocks published under the old token are evicted on
+  mutation (``shm.stale_evicted``) so a warm process pool can never read
+  stale columns.
+
+Results over the mutated Storage are compared against a from-scratch
+rebuild: bitwise for selection/count reductions (k-NN values, range
+counts, Hausdorff), tight-tolerance for arithmetic sums (KDE — the refit
+tree legitimately groups leaf accumulations differently), across
+serial / thread / process executors and all three traversal engines.
+"""
+
+import numpy as np
+import pytest
+
+from repro.backend.cache import clear_caches, tree_cache
+from repro.dsl import Storage
+from repro.observe import collect
+from repro.parallel import shm
+from repro.problems import directed_hausdorff, kde, knn, range_count
+
+THREAD = {"parallel": True, "workers": 2, "min_tasks": 8,
+          "executor": "thread"}
+PROCESS = {"parallel": True, "workers": 2, "min_tasks": 8,
+           "executor": "process"}
+EXECUTORS = {"serial": {}, "thread": THREAD, "process": PROCESS}
+
+
+def _data(rng, nq=150, nr=1200, weighted=False):
+    Q = Storage(rng.normal(size=(nq, 3)))
+    w = rng.uniform(0.5, 2.0, nr) if weighted else None
+    R = Storage(rng.normal(size=(nr, 3)), weights=w)
+    return Q, R
+
+
+def _fresh(R):
+    """A from-scratch Storage with the mutated content (no shared log)."""
+    return Storage(R.data.copy(),
+                   weights=None if R.weights is None else R.weights.copy())
+
+
+def _mutate(rng, R, kind):
+    n = R.n
+    if kind == "update":
+        idx = rng.choice(n, max(1, n // 100), replace=False)
+        R.update_batch(idx, rng.normal(size=(idx.size, 3)))
+    elif kind == "update-weights":
+        idx = rng.choice(n, max(1, n // 100), replace=False)
+        R.update_batch(idx, weights=rng.uniform(0.5, 3.0, idx.size))
+    elif kind == "insert":
+        R.insert_batch(rng.normal(size=(n // 50, 3)),
+                       weights=None if R.weights is None
+                       else np.ones(n // 50))
+    elif kind == "delete":
+        R.delete_batch(rng.choice(n, n // 50, replace=False))
+    else:  # mixed
+        idx = rng.choice(n, n // 100, replace=False)
+        R.update_batch(idx, rng.normal(size=(idx.size, 3)))
+        ids = R.insert_batch(rng.normal(size=(20, 3)),
+                             weights=None if R.weights is None
+                             else np.ones(20))
+        R.delete_batch(np.concatenate([idx[: idx.size // 2], ids[:5]]))
+
+
+# The three traversal engines: knn routes to bounded-batched, kde to
+# batched, and traversal='stack' forces the scalar reference engine.
+def run_knn(Q, R, o):
+    v, i = knn(Q, R, k=4, **o)
+    return np.asarray(v)
+
+
+def run_knn_stack(Q, R, o):
+    v, i = knn(Q, R, k=4, traversal="stack", **o)
+    return np.asarray(v)
+
+
+def run_kde(Q, R, o):
+    return np.asarray(kde(Q, R, bandwidth=0.8, tau=0.0, **o))
+
+
+def run_range(Q, R, o):
+    return np.asarray(range_count(Q, R, h=1.4, **o))
+
+
+def run_hausdorff(Q, R, o):
+    return np.asarray(directed_hausdorff(Q, R, **o))
+
+
+PROBLEMS = {
+    "knn": (run_knn, "exact"),
+    "knn-stack": (run_knn_stack, "exact"),
+    "kde": (run_kde, "close"),
+    "range_count": (run_range, "exact"),
+    "hausdorff": (run_hausdorff, "exact"),
+}
+
+MUTATIONS = ["update", "insert", "delete", "mixed"]
+
+
+def _assert_same(mode, a, b):
+    if mode == "exact":
+        assert np.array_equal(a, b)
+    else:
+        np.testing.assert_allclose(a, b, rtol=1e-12, atol=1e-300)
+
+
+@pytest.mark.parametrize("mutation", MUTATIONS)
+@pytest.mark.parametrize("problem", ["knn", "kde"])
+def test_refit_hits_and_matches_rebuild(rng, problem, mutation):
+    """Core loop: warm → mutate → the compile artifact misses once, the
+    r-side tree refits, the q-side tree still hits — and the answer is
+    identical to a from-scratch rebuild."""
+    run, mode = PROBLEMS[problem]
+    Q, R = _data(rng, weighted=problem == "kde")
+    run(Q, R, {})
+    _mutate(rng, R, mutation)
+    with collect() as c:
+        got = run(Q, R, {})
+    assert c.get("cache.compile.miss") == 1
+    assert c.get("cache.tree.refit") == 1, c.as_dict()
+    assert c.get("cache.tree.hit") >= 1  # query side unchanged
+    _assert_same(mode, got, run(Q, _fresh(R), {"cache": False}))
+    # steady state: everything hits again, no further refit
+    with collect() as c:
+        run(Q, R, {})
+    assert c.get("cache.compile.hit") == 1
+    assert c.get("cache.tree.refit") == 0
+
+
+@pytest.mark.parametrize("mutation", ["update-weights"])
+def test_weighted_refit(rng, mutation):
+    run, mode = PROBLEMS["kde"]
+    Q, R = _data(rng, weighted=True)
+    run(Q, R, {})
+    _mutate(rng, R, mutation)
+    with collect() as c:
+        got = run(Q, R, {})
+    assert c.get("cache.tree.refit") == 1, c.as_dict()
+    _assert_same(mode, got, run(Q, _fresh(R), {"cache": False}))
+
+
+@pytest.mark.slow
+@pytest.mark.parametrize("executor", list(EXECUTORS))
+@pytest.mark.parametrize("problem", list(PROBLEMS))
+def test_executor_matrix(rng, problem, executor):
+    """Every engine × executor pair answers identically to a fresh
+    rebuild after a mixed mutation chain."""
+    run, mode = PROBLEMS[problem]
+    opts = dict(EXECUTORS[executor])
+    Q, R = _data(rng)
+    run(Q, R, opts)
+    _mutate(rng, R, "mixed")
+    with collect() as c:
+        got = run(Q, R, opts)
+    assert c.get("cache.tree.refit") == 1, c.as_dict()
+    _assert_same(mode, got, run(Q, _fresh(R), {"cache": False}))
+
+
+def test_shard_pack_rekeys(rng):
+    """Sharded layout: the mutated fingerprint re-keys the derived
+    per-shard tree cache, and the combined answer matches a rebuild."""
+    Q, R = _data(rng, nr=2000)
+    v0 = run_knn(Q, R, {"shards": 2})
+    _mutate(rng, R, "update")
+    with collect() as c:
+        got = run_knn(Q, R, {"shards": 2})
+    # per-shard subset trees are derived-key cached: the new base_key
+    # misses (rebuild per shard); the unsharded q-side tree still hits.
+    assert c.get("cache.compile.miss") == 1
+    assert c.get("cache.tree.miss") >= 2
+    _assert_same("exact", got, run_knn(Q, _fresh(R), {"cache": False}))
+
+
+def test_shm_stale_eviction(rng):
+    """A mutation evicts the old token's published blocks so the next
+    process-pool run republishes fresh columns."""
+    Q, R = _data(rng, nr=2000)
+    run_knn(Q, R, PROCESS)
+    assert shm.shared_block_stats()["blocks"] >= 1
+    with collect() as c:
+        R.update_batch(np.arange(10), rng.normal(size=(10, 3)))
+    assert c.get("shm.stale_evicted") >= 1, c.as_dict()
+    assert shm.shared_block_stats()["blocks"] == 0
+    with collect() as c:
+        got = run_knn(Q, R, PROCESS)
+    assert c.get("shm.publish.miss") >= 1
+    _assert_same("exact", got, run_knn(Q, _fresh(R), {"cache": False}))
+
+
+@pytest.mark.slow
+def test_shm_sharded_stale_eviction(rng):
+    """Sharded publications (token::q / token::r{i}) are evicted by the
+    same prefix-matching hook."""
+    Q, R = _data(rng, nr=2000)
+    run_knn(Q, R, {**PROCESS, "shards": 2})
+    before = shm.shared_block_stats()["blocks"]
+    assert before >= 3  # ::q plus one block per shard
+    with collect() as c:
+        R.delete_batch(np.arange(25))
+    assert c.get("shm.stale_evicted") >= 3, c.as_dict()
+    got = run_knn(Q, R, {**PROCESS, "shards": 2})
+    _assert_same("exact", got, run_knn(Q, _fresh(R), {"cache": False}))
+
+
+def test_mark_mutated_breaks_refit_chain(rng):
+    """An untracked in-place write cannot be replayed: mark_mutated()
+    must force a full rebuild, never an unsound refit."""
+    Q, R = _data(rng)
+    run_knn(Q, R, {})
+    R.data[0] += 0.25
+    R.mark_mutated()
+    with collect() as c:
+        got = run_knn(Q, R, {})
+    assert c.get("cache.tree.refit") == 0
+    assert c.get("cache.tree.miss") >= 1
+    _assert_same("exact", got, run_knn(Q, _fresh(R), {"cache": False}))
+
+
+def test_log_overflow_falls_back(rng):
+    """More mutations than the bounded log keeps → full rebuild."""
+    from repro.dsl.storage import MUTATION_LOG_MAX
+
+    Q, R = _data(rng, nr=400)
+    run_knn(Q, R, {})
+    for _ in range(MUTATION_LOG_MAX + 2):
+        R.update_batch([0], rng.normal(size=(1, 3)))
+    with collect() as c:
+        got = run_knn(Q, R, {})
+    assert c.get("cache.tree.refit") == 0
+    assert c.get("cache.tree.miss") >= 1
+    _assert_same("exact", got, run_knn(Q, _fresh(R), {"cache": False}))
+
+
+def test_old_cache_entry_stays_valid(rng):
+    """The refit clone is cached under the *new* key; the pre-mutation
+    entry keeps answering for the old content (snapshots never mutate
+    their source)."""
+    rng2 = np.random.default_rng(99)
+    Q, R = _data(rng2)
+    old_content = Storage(R.data.copy())
+    v_old = run_knn(Q, R, {})
+    R.update_batch(np.arange(12), rng2.normal(size=(12, 3)))
+    run_knn(Q, R, {})  # refit happens here
+    with collect() as c:
+        v_again = run_knn(Q, old_content, {})
+    # the whole old artifact (trees included) is still keyed and intact
+    assert c.get("cache.compile.hit") == 1
+    assert c.get("cache.tree.refit") == 0
+    assert np.array_equal(v_old, v_again)
+
+
+def test_storage_mutation_validation(rng):
+    R = Storage(rng.normal(size=(50, 3)))
+    from repro.dsl.errors import StorageError
+
+    with pytest.raises(StorageError):
+        R.delete_batch(np.arange(50))
+    with pytest.raises(StorageError):
+        R.delete_batch([60])
+    with pytest.raises(StorageError):
+        R.update_batch([0])  # neither points nor weights
+    with pytest.raises(StorageError):
+        R.update_batch([0], weights=[1.0])  # unweighted storage
+    with pytest.raises(StorageError):
+        R.insert_batch([[np.nan, 0, 0]])
+    Rw = Storage(rng.normal(size=(50, 3)), weights=np.ones(50))
+    ids = Rw.insert_batch(rng.normal(size=(3, 3)))  # weights default to 1
+    assert np.array_equal(ids, [50, 51, 52])
+    assert np.allclose(Rw.weights[-3:], 1.0)
+
+
+def test_deltas_since_chain(rng):
+    R = Storage(rng.normal(size=(40, 3)))
+    assert R.deltas_since(0) == []
+    R.update_batch([1], rng.normal(size=(1, 3)))
+    R.insert_batch(rng.normal(size=(2, 3)))
+    chain = R.deltas_since(0)
+    assert [d.kind for d in chain] == ["update", "insert"]
+    assert R.deltas_since(1)[0].kind == "insert"
+    R.mark_mutated()
+    assert R.deltas_since(0) is None
+    assert R.deltas_since(R.version) == []
+
+
+# ---------------------------------------------------------------------------
+# shards='auto' env resolution (satellite: no compile-time drift)
+# ---------------------------------------------------------------------------
+
+class TestShardEnvResolution:
+    def test_repro_shards_re_resolved_per_execute(self, rng, monkeypatch):
+        """Changing REPRO_SHARDS between calls in one process must key a
+        new plan, not reuse the old one."""
+        Q, R = _data(rng, nr=2000)
+        monkeypatch.setenv("REPRO_SHARDS", "2")
+        from repro.dsl import PortalExpr, PortalFunc, PortalOp
+
+        def stats_for():
+            expr = PortalExpr("env-shards")
+            expr.addLayer(PortalOp.FORALL, Q)
+            expr.addLayer((PortalOp.KARGMIN, 4), R, PortalFunc.EUCLIDEAN)
+            out = expr.execute()
+            return expr.stats(), np.asarray(out.values)
+
+        s1, v1 = stats_for()
+        assert s1["shards"] == 2
+        monkeypatch.setenv("REPRO_SHARDS", "3")
+        s2, v2 = stats_for()
+        assert s2["shards"] == 3
+        assert np.array_equal(v1, v2)
+        monkeypatch.delenv("REPRO_SHARDS")
+        s3, _ = stats_for()
+        assert s3["shards"] == 1  # below the auto threshold
+
+    def test_repro_workers_drives_auto_resolution(self, rng, monkeypatch):
+        """shards='auto' resolves against the worker count *at execute
+        time*; an env change between calls recompiles for the new
+        count."""
+        from repro.parallel.shard import AUTO_SHARD_MIN_POINTS, \
+            resolve_shard_count
+
+        nr = AUTO_SHARD_MIN_POINTS * 4
+        monkeypatch.setenv("REPRO_WORKERS", "2")
+        assert resolve_shard_count("auto", nr, None) == 2
+        monkeypatch.setenv("REPRO_WORKERS", "4")
+        assert resolve_shard_count("auto", nr, None) == 4
+
+    def test_resolved_count_is_cache_keyed(self, rng, monkeypatch):
+        """Same program, different resolved shard count → program cache
+        misses (a plan for another worker count is never reused)."""
+        Q, R = _data(rng, nr=2000)
+        monkeypatch.setenv("REPRO_SHARDS", "2")
+        with collect() as c:
+            run_knn(Q, R, {})
+        assert c.get("cache.compile.miss") == 1
+        monkeypatch.setenv("REPRO_SHARDS", "3")
+        with collect() as c:
+            run_knn(Q, R, {})
+        assert c.get("cache.compile.miss") == 1
+        monkeypatch.setenv("REPRO_SHARDS", "2")
+        with collect() as c:
+            run_knn(Q, R, {})
+        assert c.get("cache.compile.hit") == 1  # 2-shard plan still cached
+
+
+# ---------------------------------------------------------------------------
+# shm double-release (satellite: atexit never raises)
+# ---------------------------------------------------------------------------
+
+class TestShmRelease:
+    def test_close_is_idempotent(self):
+        block = shm.SharedBlock({"a": np.arange(8, dtype=np.float64)})
+        block.close()
+        block.close()  # second close (the old double-release) is a no-op
+
+    def test_release_paths_race_safely(self):
+        tok = "test-double-release"
+        shm.publish_arrays(tok, {"a": np.arange(4, dtype=np.float64)})
+        with shm._blocks_lock:
+            block = shm._blocks.get(tok)
+        shm.release_block(tok)
+        # the atexit-style sweep sees nothing, and a stray reference
+        # closing again must not raise
+        shm.release_shared_blocks()
+        block.close()
+        shm._atexit_release()
+
+    def test_non_owner_never_unlinks(self):
+        block = shm.SharedBlock({"a": np.arange(4, dtype=np.float64)})
+        name = block.name
+        handle, views = shm.attach_arrays(name, block.manifest)
+        try:
+            attacher = shm.SharedBlock.__new__(shm.SharedBlock)
+            attacher.shm = handle
+            attacher.manifest = block.manifest
+            attacher.nbytes = block.nbytes
+            attacher._owner = False
+            attacher._closed = False
+            import threading
+
+            attacher._close_lock = threading.Lock()
+            attacher.close()  # closes its handle but must not unlink
+            # the owner's segment is still intact: re-attach works
+            handle2, _ = shm.attach_arrays(name, block.manifest)
+            handle2.close()
+        finally:
+            block.close()
+
+    def test_evict_stale_blocks_prefix_matching(self):
+        base = "tok-evict-test"
+        for t in (base, base + "::q", base + "::r0", base + "::r1",
+                  "other-token"):
+            shm.publish_arrays(t, {"a": np.arange(4, dtype=np.float64)})
+        with collect() as c:
+            n = shm.evict_stale_blocks((base,))
+        assert n == 4
+        assert c.get("shm.stale_evicted") == 4
+        assert shm.shared_block_stats()["blocks"] == 1
+        shm.release_block("other-token")
