@@ -1,6 +1,6 @@
 PYTHON ?= python
 
-.PHONY: install test test-fast test-mutation test-ir bench bench-ir bench-micro bench-bound bench-native bench-parallel bench-shard bench-incremental examples results clean
+.PHONY: install test test-fast test-serve test-mutation test-ir bench bench-ir bench-micro bench-bound bench-native bench-parallel bench-shard bench-incremental bench-serve bench-serve-full examples results clean
 
 install:
 	$(PYTHON) -m pip install -e . || $(PYTHON) setup.py develop
@@ -13,6 +13,12 @@ test-fast:
 
 test-verbose:
 	$(PYTHON) -m pytest tests/ -v
+
+# Query-serving layer: coalescing differential suite, admission /
+# cancellation races, and the JSON/TCP frontend protocol.  The cache
+# provider is disabled so parallel CI legs never share stale state.
+test-serve:
+	$(PYTHON) -m pytest -p no:cacheprovider -q tests/serve
 
 # Incremental-tree mutation suites: tree-level refit invariants plus the
 # mutation -> cache-coherence differential matrix (fast portion only;
@@ -84,6 +90,16 @@ bench-incremental:
 
 bench-incremental-full:
 	$(PYTHON) benchmarks/bench_incremental_tree.py
+
+# Serving-layer closed-loop load: coalesced vs uncoalesced admission
+# on the Table IV k-NN / KDE configurations (full run sweeps 64
+# clients and asserts the >= 5x coalescing-throughput gate; --smoke
+# only proves the load generator and counters still work).
+bench-serve:
+	$(PYTHON) benchmarks/bench_serve.py --smoke
+
+bench-serve-full:
+	$(PYTHON) benchmarks/bench_serve.py
 
 examples:
 	for f in examples/*.py; do echo "== $$f =="; $(PYTHON) $$f; done

@@ -1,0 +1,224 @@
+"""Serving-layer load benchmark: cross-request coalescing under traffic.
+
+A closed-loop multi-client load generator drives one
+:class:`repro.serve.PortalService` in-process: each client is an asyncio
+task submitting single-query requests back-to-back (a new request the
+moment the previous answer arrives) against the Table IV k-NN and KDE
+configurations on the Census dataset.  The sweep crosses client counts
+{1, 8, 64} with two admission configs — **coalesced** (``batch_max=256``,
+2 ms linger) and **uncoalesced** (``batch_max=1``, every request is its
+own compile + traversal) — and records p50/p99 latency, throughput, and
+the realised mean batch size from the ``serve.*`` counters.
+
+What the numbers should show: at 1 client the two configs are the same
+machine (every batch has one query — coalescing costs nothing when
+there's no company).  At 64 single-query clients the coalescer folds
+~a full client cohort into each stacked traversal, amortising the
+per-batch compile/dispatch overhead the uncoalesced config pays 64
+times, so throughput scales while p99 stays bounded by one batch's
+execution.  The acceptance gate asserts coalesced throughput at 64
+clients ≥ 5× uncoalesced (geomean over knn + KDE).
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/bench_serve.py [--smoke]
+"""
+
+from __future__ import annotations
+
+import argparse
+import asyncio
+import math
+import os
+import sys
+
+import numpy as np
+
+sys.path.insert(0, os.path.dirname(os.path.abspath(__file__)))
+
+from harness import (  # noqa: E402
+    dataset, format_table, split_qr, update_bench_json,
+)
+from repro.dsl import PortalExpr, PortalFunc, PortalOp, Storage  # noqa: E402
+from repro.serve import AdmissionConfig, PortalService  # noqa: E402
+
+OUT_JSON = "BENCH_serve.json"
+FIGURE = "serve-load"
+DATASET = "Census"
+
+FULL_CLIENTS = (1, 8, 64)
+SMOKE_CLIENTS = (1, 8)
+FULL_DURATION_S = 2.0
+SMOKE_DURATION_S = 0.35
+
+#: the two admission configurations under test (batch-cap sweep)
+MODES = {
+    "coalesced": dict(batch_max=256, linger_us=2000),
+    "uncoalesced": dict(batch_max=1, linger_us=0),
+}
+MAX_QUEUE = 100_000  # never shed in this benchmark: we measure latency
+
+#: coalesced qps must beat uncoalesced by this factor at the largest
+#: client count (geomean over the two problems)
+GATE_SPEEDUP = 5.0
+GATE_CLIENTS = 64
+
+
+def _problems():
+    X = dataset(DATASET)
+    Q, R = split_qr(X)
+    bw = float(np.median(X.std(axis=0))) + 1e-9  # Table IV's scale rule
+
+    def knn_template():
+        e = PortalExpr("knn")
+        e.addLayer(PortalOp.FORALL, Storage(Q[:1], name="query"))
+        e.addLayer((PortalOp.KARGMIN, 5), Storage(R, name="reference"),
+                   PortalFunc.EUCLIDEAN)
+        return e
+
+    def kde_template():
+        e = PortalExpr("kde")
+        e.addLayer(PortalOp.FORALL, Storage(Q[:1], name="query"))
+        e.addLayer(PortalOp.SUM, Storage(R, name="reference"),
+                   PortalFunc.GAUSSIAN, bandwidth=bw)
+        return e
+
+    return Q, [("knn", knn_template, {}),
+               ("kde", kde_template, {"tau": 1e-3})]
+
+
+async def _closed_loop(service, hid, Q, clients: int,
+                       duration_s: float) -> dict:
+    """Run ``clients`` closed-loop single-query clients for
+    ``duration_s``; returns latency/throughput facts."""
+    loop = asyncio.get_running_loop()
+    latencies: list[float] = []
+    t_start = loop.time()
+    t_stop = t_start + duration_s
+
+    async def client(cid: int) -> None:
+        i = cid
+        while loop.time() < t_stop:
+            t0 = loop.time()
+            await service.query(hid, Q[i % len(Q)][None, :])
+            latencies.append(loop.time() - t0)
+            i += clients
+
+    await asyncio.gather(*[client(c) for c in range(clients)])
+    elapsed = loop.time() - t_start
+    lat = np.asarray(latencies, dtype=np.float64)
+    return {
+        "requests": int(lat.size),
+        "qps": float(lat.size / elapsed),
+        "p50_ms": float(np.percentile(lat, 50) * 1e3),
+        "p99_ms": float(np.percentile(lat, 99) * 1e3),
+    }
+
+
+def _measure(template, opts, Q, clients: int, admission: dict,
+             duration_s: float) -> dict:
+    async def go():
+        service = PortalService()
+        try:
+            hid = await service.register(
+                template(), options=opts,
+                admission=AdmissionConfig(max_queue=MAX_QUEUE, **admission))
+            # warm the closed loop itself (pool threads, first compiles)
+            await _closed_loop(service, hid, Q, clients,
+                               min(0.2, duration_s))
+            service.counters.clear()
+            facts = await _closed_loop(service, hid, Q, clients, duration_s)
+            c = service.counters.as_dict()
+            batches = max(1, int(c.get("serve.batches", 0)))
+            facts["batches"] = int(c.get("serve.batches", 0))
+            facts["mean_batch"] = c.get("serve.batch_queries", 0) / batches
+            return facts
+        finally:
+            await service.close()
+
+    return asyncio.run(go())
+
+
+def main(argv=None) -> int:
+    ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    ap.add_argument("--smoke", action="store_true",
+                    help="short sweep, no gate (CI: the load generator "
+                         "itself can't rot)")
+    ap.add_argument("--duration", type=float, default=None,
+                    help="seconds per measured configuration")
+    args = ap.parse_args(argv)
+
+    clients_sweep = SMOKE_CLIENTS if args.smoke else FULL_CLIENTS
+    duration = args.duration or (SMOKE_DURATION_S if args.smoke
+                                 else FULL_DURATION_S)
+
+    Q, problems = _problems()
+    rows = []
+    qps = {}  # (problem, mode, clients) -> qps
+    for problem, template, opts in problems:
+        for mode, admission in MODES.items():
+            for clients in clients_sweep:
+                facts = _measure(template, opts, Q, clients, admission,
+                                 duration)
+                qps[(problem, mode, clients)] = facts["qps"]
+                rows.append({
+                    "problem": problem,
+                    "dataset": DATASET,
+                    "mode": mode,
+                    "clients": clients,
+                    **{k: (round(v, 3) if isinstance(v, float) else v)
+                       for k, v in facts.items()},
+                })
+
+    headers = ["problem", "mode", "clients", "qps", "p50 (ms)", "p99 (ms)",
+               "mean batch"]
+    table_rows = [[r["problem"], r["mode"], r["clients"], r["qps"],
+                   r["p50_ms"], r["p99_ms"], r["mean_batch"]]
+                  for r in rows]
+    print(format_table("Serving-layer closed-loop load "
+                       f"({DATASET}, {duration:.2f}s per config)",
+                       headers, table_rows))
+
+    gate_clients = max(clients_sweep)
+    speedups = {
+        p: qps[(p, "coalesced", gate_clients)]
+        / max(qps[(p, "uncoalesced", gate_clients)], 1e-12)
+        for p, _, _ in problems
+    }
+    geomean = math.exp(sum(math.log(s) for s in speedups.values())
+                       / len(speedups))
+    for p, s in speedups.items():
+        print(f"coalescing speedup @ {gate_clients} clients [{p}]: "
+              f"{s:.2f}x")
+    note = " — smoke run, not enforced" if args.smoke else ""
+    print(f"geomean: {geomean:.2f}x (gate: >= {GATE_SPEEDUP}x at "
+          f"{GATE_CLIENTS} clients{note})")
+
+    enforced = not args.smoke and gate_clients >= GATE_CLIENTS
+    path = update_bench_json(
+        OUT_JSON, FIGURE, rows,
+        meta={"serve": {
+            "dataset": DATASET,
+            "clients": list(clients_sweep),
+            "duration_s": duration,
+            "admission": {m: dict(a, max_queue=MAX_QUEUE)
+                          for m, a in MODES.items()},
+            "gate": {"speedup": GATE_SPEEDUP, "clients": GATE_CLIENTS,
+                     "enforced": enforced,
+                     "observed_geomean": round(geomean, 2),
+                     "observed": {p: round(s, 2)
+                                  for p, s in speedups.items()}},
+            "smoke": args.smoke,
+        }})
+    print(f"[rows written to {path}]")
+
+    if enforced:
+        assert geomean >= GATE_SPEEDUP, (
+            f"coalescing gate FAILED: geomean speedup {geomean:.2f}x "
+            f"< {GATE_SPEEDUP}x at {gate_clients} clients")
+        print("gate PASSED")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

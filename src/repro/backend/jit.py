@@ -10,6 +10,7 @@ from __future__ import annotations
 
 import hashlib
 import os
+import threading
 import time
 from dataclasses import dataclass, field
 from typing import Callable
@@ -245,6 +246,12 @@ class CompiledProgram:
     #: wall-clock seconds per compile stage ('rules', 'lowering',
     #: 'passes', 'tree_build', 'codegen') plus 'run' after run()
     timings: dict = field(default_factory=dict)
+    #: guards the mutable observability state (``timings`` / ``extras`` /
+    #: ``stats``) against :meth:`stats_summary` snapshotting it while a
+    #: concurrent :meth:`run` is mid-update (the serving layer reads
+    #: stats from one thread while executes run on others)
+    _stats_lock: threading.Lock = field(
+        default_factory=threading.Lock, repr=False, compare=False)
 
     # -- introspection ---------------------------------------------------------
     def ir_dump(self, stage: str = "final") -> str:
@@ -263,7 +270,8 @@ class CompiledProgram:
         t0 = time.perf_counter()
         with span("run", mode=self.mode):
             out = self._run()
-        self.timings["run"] = time.perf_counter() - t0
+        with self._stats_lock:
+            self.timings["run"] = time.perf_counter() - t0
         return out
 
     def _run(self) -> Output:
@@ -297,49 +305,64 @@ class CompiledProgram:
     def stats_summary(self) -> dict:
         """Observability summary: traversal counters with prune/approx
         rates, per-IR-pass timings and per-compile-stage timings (the
-        numbers behind ``repro.cli stats`` and ``PortalExpr.stats()``)."""
-        st = self.stats or TraversalStats()
+        numbers behind ``repro.cli stats`` and ``PortalExpr.stats()``).
+
+        Safe to call while another thread is executing this program: the
+        mutable state (``timings`` / ``extras`` / traversal counters) is
+        snapshotted under the program's stats lock, so the summary is a
+        consistent point-in-time view and never tears a dict mid-read.
+        """
+        with self._stats_lock:
+            st = self.stats or TraversalStats()
+            st_d = st.as_dict()
+            extras = dict(self.extras)
+            timings = dict(self.timings)
+            pass_timings = dict(self.pass_manager.timings)
+            bounded = (dict(extras["bounded"])
+                       if "bounded" in extras else None)
+            shard = dict(extras["shard"]) if "shard" in extras else None
+        visited = st_d["visited"]
         summary = {
             "mode": self.mode,
             "backend": self.options.backend,
-            "codegen": self.extras.get("codegen"),
+            "codegen": extras.get("codegen"),
             "tree": self.options.tree if self.mode == "tree" else None,
-            "traversal_engine": self.extras.get("engine"),
-            "executor": self.extras.get("executor"),
-            "cache": self.extras.get("cache"),
+            "traversal_engine": extras.get("engine"),
+            "executor": extras.get("executor"),
+            "cache": extras.get("cache"),
             # The concrete shard count this program resolved ('auto' and
             # the REPRO_WORKERS/REPRO_SHARDS env overrides are resolved
             # per execute(), before the cache key is computed).
-            "shards": self.extras.get("shards"),
+            "shards": extras.get("shards"),
             "tree_version": getattr(self.qtree, "version", None),
             "traversal": dict(
-                st.as_dict(),
-                prune_rate=st.prune_rate,
-                approx_rate=st.approx_rate,
+                st_d,
+                prune_rate=st_d["pruned"] / visited if visited else 0.0,
+                approx_rate=(st_d["approximated"] / visited
+                             if visited else 0.0),
             ),
             "pass_timings_ms": {
-                name: dt * 1e3
-                for name, dt in self.pass_manager.timings.items()
+                name: dt * 1e3 for name, dt in pass_timings.items()
             },
             "compile_timings_ms": {
-                name: dt * 1e3 for name, dt in self.timings.items()
+                name: dt * 1e3 for name, dt in timings.items()
                 if name != "run"
             },
-            "run_ms": self.timings.get("run", 0.0) * 1e3,
+            "run_ms": timings.get("run", 0.0) * 1e3,
         }
-        if "bounded" in self.extras:
-            summary["bounded"] = dict(self.extras["bounded"])
-        if "shard" in self.extras:
-            summary["shard"] = dict(self.extras["shard"])
+        if bounded is not None:
+            summary["bounded"] = bounded
+        if shard is not None:
+            summary["shard"] = shard
         nq = self.state.nq
         nr = getattr(self.rtree, "n", None)
         if nr is None:
             nr = len(self.rdata) if self.rdata is not None else None
         if nr is None:
-            nr = self.extras.get("nr")  # sharded: no single rtree
+            nr = extras.get("nr")  # sharded: no single rtree
         if nr:
             summary["traversal"]["exact_pair_fraction"] = (
-                st.base_case_pairs / (nq * nr)
+                st_d["base_case_pairs"] / (nq * nr)
             )
         return summary
 

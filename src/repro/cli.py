@@ -177,6 +177,53 @@ def _cmd_stats(args) -> int:
     return 0
 
 
+def _cmd_serve(args) -> int:
+    """Serve the program's PortalExprs over newline-delimited JSON/TCP
+    (see docs/serving.md for the wire protocol)."""
+    import asyncio
+
+    from .serve import AdmissionConfig, PortalService, ServeFrontend
+
+    prog = _load(args)
+    if not prog.portal_exprs:
+        raise SystemExit("program defines no PortalExpr to serve")
+    options = _options(args)
+    admission = AdmissionConfig(
+        max_queue=args.max_queue, batch_max=args.batch_max,
+        linger_us=args.linger_us, max_concurrent=args.max_concurrent,
+    )
+
+    async def run() -> int:
+        service = PortalService()
+        frontend = ServeFrontend(service, host=args.host, port=args.port)
+        host, port = await frontend.start()
+        for name, pexpr in prog.portal_exprs.items():
+            await service.register(pexpr, options=options,
+                                   admission=admission, name=name)
+            print(f"registered {name!r}", flush=True)
+        print(f"serving on {host}:{port}", flush=True)
+        try:
+            if args.max_seconds is not None:
+                # bounded lifetime: CI smoke / scripted drivers
+                try:
+                    await asyncio.wait_for(frontend.serve_forever(),
+                                           timeout=args.max_seconds)
+                except asyncio.TimeoutError:
+                    pass
+            else:
+                await frontend.serve_forever()
+        except (KeyboardInterrupt, asyncio.CancelledError):
+            pass
+        finally:
+            await frontend.close()
+        return 0
+
+    try:
+        return asyncio.run(run())
+    except KeyboardInterrupt:  # pragma: no cover - interactive
+        return 0
+
+
 def _cmd_explain(args) -> int:
     prog = _load(args)
     for name, pexpr in prog.portal_exprs.items():
@@ -245,6 +292,34 @@ def main(argv: list[str] | None = None) -> int:
     p_st.add_argument("--trace", metavar="FILE",
                       help="also write JSONL span events to FILE")
     p_st.set_defaults(fn=_cmd_stats)
+
+    p_sv = sub.add_parser(
+        "serve",
+        help="serve the program's PortalExprs over JSON/TCP with "
+             "cross-request coalescing",
+    )
+    common(p_sv)
+    p_sv.add_argument("--host", default="127.0.0.1")
+    p_sv.add_argument("--port", type=int, default=0,
+                      help="TCP port (0 = ephemeral, printed on start)")
+    p_sv.add_argument("--max-queue", type=int, default=1024,
+                      dest="max_queue",
+                      help="per-handle admitted-query bound before "
+                           "load-shedding")
+    p_sv.add_argument("--batch-max", type=int, default=256,
+                      dest="batch_max",
+                      help="max queries per coalesced batch "
+                           "(1 disables coalescing)")
+    p_sv.add_argument("--linger-us", type=int, default=2000,
+                      dest="linger_us",
+                      help="open-batch linger before a timer flush (µs)")
+    p_sv.add_argument("--max-concurrent", type=int, default=1,
+                      dest="max_concurrent",
+                      help="concurrent batched executes per handle")
+    p_sv.add_argument("--max-seconds", type=float, default=None,
+                      dest="max_seconds",
+                      help="exit after this many seconds (CI smoke)")
+    p_sv.set_defaults(fn=_cmd_serve)
 
     args = parser.parse_args(argv)
     try:

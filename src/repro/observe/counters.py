@@ -90,6 +90,14 @@ class Counters:
 
 #: The installed registry, or None (the common, zero-overhead case).
 _active: Counters | None = None
+#: Stack of installed registries behind ``_active``.  ``collect`` blocks
+#: may be entered from different threads (the serving layer executes
+#: programs on a worker pool) and therefore exit in any order; the stack
+#: removes *this block's* registry by identity instead of blindly
+#: restoring "the previous" one, so an out-of-order exit can never
+#: resurrect an already-exited registry as the active one.
+_stack: list[Counters] = []
+_stack_lock = threading.Lock()
 
 
 def active_counters() -> Counters | None:
@@ -107,14 +115,28 @@ def contribute(mapping: dict[str, float]) -> None:
 def collect(counters: Counters | None = None):
     """Install a registry for the duration of the block and yield it.
 
-    Nested ``collect`` blocks shadow the outer registry; the previous
-    one is restored on exit.
+    Nested ``collect`` blocks shadow the outer registry; on exit the
+    most recently installed still-open registry becomes active again.
+
+    The registry is process-global, not per-thread: contributions from
+    worker threads land in whichever block is active, which is what the
+    parallel executors rely on.  Concurrent ``collect`` blocks from
+    different threads therefore share attribution while they overlap
+    (counts merge into the innermost open block), but exiting in any
+    order is safe: each block removes exactly its own registry, so a
+    finished block's registry can never remain installed.
     """
     global _active
     registry = counters if counters is not None else Counters()
-    previous = _active
-    _active = registry
+    with _stack_lock:
+        _stack.append(registry)
+        _active = registry
     try:
         yield registry
     finally:
-        _active = previous
+        with _stack_lock:
+            for i in range(len(_stack) - 1, -1, -1):
+                if _stack[i] is registry:
+                    del _stack[i]
+                    break
+            _active = _stack[-1] if _stack else None

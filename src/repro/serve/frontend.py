@@ -1,0 +1,221 @@
+"""Newline-delimited JSON-over-TCP frontend (stdlib asyncio streams).
+
+One JSON object per line in each direction.  Every request may carry an
+``id`` which is echoed in the response; requests on one connection are
+dispatched concurrently (each line becomes a task), so a pipelining
+client's queries coalesce exactly like queries from separate
+connections.
+
+Requests
+--------
+``{"op": "register", "program": "<.portal source>", "data": {...},
+"expr": "name", "options": {...}, "admission": {...}, "name": "hid"}``
+    Parse the program text (``data`` binds ``Storage name(...)``
+    statements to inline row-lists, so no server-side files are
+    needed), pick the named — or sole — PortalExpr, and register it.
+    The template's query Storage is a placeholder; only its
+    dimensionality matters.  → ``{"ok": true, "handle": hid}``
+
+``{"op": "query", "handle": hid, "points": [[...], ...], "k": 5,
+"options": {...}}``
+    → ``{"ok": true, "values": ..., "indices": ..., "rows": n}``
+    (fields present per problem kind).
+
+``{"op": "unregister", "handle": hid}`` · ``{"op": "stats"}`` ·
+``{"op": "health"}``
+    Lifecycle and introspection; ``stats`` surfaces the ``serve.*``
+    counter registry (see docs/observability.md).
+
+Errors come back as ``{"ok": false, "error": {"type": ..., "message":
+..., "retryable": bool}}``; ``type`` is the exception class name
+(``ServiceOverloaded`` is the retryable load-shed signal).
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+
+import numpy as np
+
+from ..dsl.errors import PortalError
+from ..dsl.parser import parse_program
+from .admission import ServeError, ServiceOverloaded
+from .service import PortalService
+
+__all__ = ["ServeFrontend"]
+
+#: Refuse request lines larger than this (64 MiB) instead of buffering
+#: without bound.
+MAX_LINE = 64 * 1024 * 1024
+
+
+class ServeFrontend:
+    """TCP server wrapping a :class:`PortalService`."""
+
+    def __init__(self, service: PortalService, host: str = "127.0.0.1",
+                 port: int = 0):
+        self.service = service
+        self.host = host
+        self.port = port
+        self._server: asyncio.AbstractServer | None = None
+        self._conn_tasks: set[asyncio.Task] = set()
+
+    async def start(self) -> tuple[str, int]:
+        """Bind and start accepting; returns the bound (host, port)."""
+        self._server = await asyncio.start_server(
+            self._on_client, self.host, self.port, limit=MAX_LINE)
+        sock = self._server.sockets[0].getsockname()
+        self.host, self.port = sock[0], sock[1]
+        return self.host, self.port
+
+    async def serve_forever(self) -> None:
+        assert self._server is not None, "call start() first"
+        await self._server.serve_forever()
+
+    async def close(self) -> None:
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+        for t in list(self._conn_tasks):
+            t.cancel()
+        if self._conn_tasks:
+            await asyncio.gather(*self._conn_tasks, return_exceptions=True)
+        await self.service.close()
+
+    # -- connection handling -----------------------------------------------------
+    async def _on_client(self, reader: asyncio.StreamReader,
+                         writer: asyncio.StreamWriter) -> None:
+        wlock = asyncio.Lock()
+        tasks: set[asyncio.Task] = set()
+        try:
+            while True:
+                try:
+                    line = await reader.readline()
+                except (asyncio.LimitOverrunError, ValueError):
+                    await self._send(writer, wlock, _error_payload(
+                        None, ServeError("request line too long")))
+                    break
+                except asyncio.CancelledError:
+                    # Server shutdown while idle on this connection;
+                    # exit normally so the streams wrapper task does
+                    # not end up in cancelled state at loop teardown.
+                    break
+                if not line:
+                    break
+                line = line.strip()
+                if not line:
+                    continue
+                task = asyncio.ensure_future(
+                    self._handle_line(line, writer, wlock))
+                tasks.add(task)
+                self._conn_tasks.add(task)
+                task.add_done_callback(tasks.discard)
+                task.add_done_callback(self._conn_tasks.discard)
+        finally:
+            if tasks:
+                await asyncio.gather(*list(tasks), return_exceptions=True)
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except (ConnectionError, OSError):
+                pass
+
+    async def _handle_line(self, line: bytes, writer, wlock) -> None:
+        rid = None
+        try:
+            req = json.loads(line)
+            if not isinstance(req, dict):
+                raise ServeError("request must be a JSON object")
+            rid = req.get("id")
+            payload = await self._dispatch(req)
+            payload["id"] = rid
+            payload["ok"] = True
+        except asyncio.CancelledError:
+            raise
+        except Exception as exc:
+            payload = _error_payload(rid, exc)
+        await self._send(writer, wlock, payload)
+
+    async def _send(self, writer, wlock, payload: dict) -> None:
+        data = json.dumps(payload).encode() + b"\n"
+        async with wlock:
+            try:
+                writer.write(data)
+                await writer.drain()
+            except (ConnectionError, OSError):
+                pass  # client went away; the work is already done
+
+    # -- dispatch ----------------------------------------------------------------
+    async def _dispatch(self, req: dict) -> dict:
+        op = req.get("op")
+        if op == "health":
+            return dict(self.service.health())
+        if op == "stats":
+            return dict(self.service.stats())
+        if op == "register":
+            return await self._register(req)
+        if op == "query":
+            return await self._query(req)
+        if op == "unregister":
+            await self.service.unregister(_required(req, "handle"))
+            return {}
+        raise ServeError(f"unknown op {op!r}")
+
+    async def _register(self, req: dict) -> dict:
+        source = _required(req, "program")
+        bindings = {
+            name: np.asarray(rows, dtype=np.float64)
+            for name, rows in (req.get("data") or {}).items()
+        }
+        prog = parse_program(source, bindings)
+        exprs = prog.portal_exprs
+        if not exprs:
+            raise ServeError("program defines no PortalExpr")
+        which = req.get("expr")
+        if which is None:
+            if len(exprs) > 1:
+                raise ServeError(
+                    f"program defines several PortalExprs "
+                    f"({sorted(exprs)}); pick one with 'expr'")
+            which = next(iter(exprs))
+        if which not in exprs:
+            raise ServeError(f"no PortalExpr named {which!r} in program")
+        hid = await self.service.register(
+            exprs[which],
+            options=req.get("options"),
+            admission=req.get("admission"),
+            name=req.get("name"),
+        )
+        return {"handle": hid}
+
+    async def _query(self, req: dict) -> dict:
+        hid = _required(req, "handle")
+        points = _required(req, "points")
+        k = req.get("k")
+        res = await self.service.query(
+            hid, points, k=None if k is None else int(k),
+            options=req.get("options"))
+        payload = res.to_jsonable()
+        payload["rows"] = res.rows
+        return payload
+
+
+def _required(req: dict, field: str):
+    try:
+        return req[field]
+    except KeyError:
+        raise ServeError(f"request is missing the {field!r} field") from None
+
+
+def _error_payload(rid, exc: Exception) -> dict:
+    return {
+        "id": rid,
+        "ok": False,
+        "error": {
+            "type": type(exc).__name__,
+            "message": str(exc),
+            "retryable": isinstance(exc, ServiceOverloaded),
+            "portal": isinstance(exc, PortalError),
+        },
+    }

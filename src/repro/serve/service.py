@@ -1,0 +1,315 @@
+"""The asyncio query-serving layer (ROADMAP item 1).
+
+Clients :meth:`~PortalService.register` a Portal problem *once* — which
+warms the compile and reference-tree caches — and then submit point
+queries against the returned handle.  Each query carries only the query
+points (plus an optional ``k`` override for k-NN style problems); the
+service regenerates a :class:`~repro.dsl.portal_expr.PortalExpr` around
+the registered reference layers per batch, so the expensive artifacts
+(reference trees, shm publications, rule classification) are cache hits
+and only the cheap query-side work is per-batch.
+
+Requests that share a batch key — ``(handle, k, frozen options)`` — are
+coalesced by :class:`~repro.serve.coalesce.Coalescer` into one stacked
+traversal; :class:`~repro.serve.admission.AdmissionConfig` bounds queue
+depth, batch size, linger, and per-handle concurrency.
+
+The blocking compiler/traversal work runs on a private thread pool via
+``loop.run_in_executor``; the service itself is single-threaded on the
+event loop.  Execution counters land in the service's own
+:class:`~repro.observe.counters.Counters` registry (surfaced by
+:meth:`PortalService.stats` and the frontend's ``stats`` endpoint).
+"""
+
+from __future__ import annotations
+
+import asyncio
+from concurrent.futures import ThreadPoolExecutor
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..backend.cache import UncacheableParamError, freeze
+from ..dsl.ops import OpCategory
+from ..dsl.portal_expr import PortalExpr
+from ..dsl.storage import Storage
+from ..observe import Counters, collect
+from .admission import AdmissionConfig, ServeError
+from .coalesce import BatchResult, Coalescer, ServeResult
+
+__all__ = ["PortalService", "ServeProgram"]
+
+
+class ServeProgram:
+    """A registered problem template: the reference-side layers of a
+    validated :class:`PortalExpr`, re-instantiable around any query
+    point set.
+
+    The outer layer must be ``FORALL`` over the query dataset (the
+    point-query shape: one output row per query point).  The template
+    keeps the *same* reference :class:`Storage` and ``Var`` objects for
+    every regenerated expression — reference Storages carry the
+    fingerprint memo and live-tree registry that make per-batch
+    compiles hit the tree cache, and ``Expr`` kernels close over the
+    original ``Var`` objects.
+    """
+
+    def __init__(self, template: PortalExpr):
+        template.validate()  # assigns Vars, resolves kernels, checks shape
+        outer = template.layers[0]
+        if outer.info.category is not OpCategory.ALL:
+            raise ServeError(
+                f"serving requires a FORALL outer layer over the query set; "
+                f"got {outer.op.name}"
+            )
+        self.name = template.name
+        self.template = template
+        self.dim = outer.storage.dim
+        inner = template.layers[-1]
+        #: whether the innermost reduction takes a per-request k override
+        self.has_k = inner.info.requires_k or inner.k is not None
+
+    @classmethod
+    def from_expr(cls, expr: PortalExpr) -> "ServeProgram":
+        return cls(expr)
+
+    def make_expr(self, points: np.ndarray, k: int | None = None) -> PortalExpr:
+        """A fresh PortalExpr for this problem over ``points``.
+
+        Only the query Storage is new; every reference layer reuses the
+        registered Storage / Var / kernel objects.
+        """
+        if k is not None and not self.has_k:
+            raise ServeError(
+                f"program {self.name!r} has no k parameter to override "
+                f"(innermost op is {self.template.layers[-1].op.name})"
+            )
+        expr = PortalExpr(self.name)
+        outer = self.template.layers[0]
+        query = Storage(points, name=f"{outer.storage.name}@serve")
+        args = [outer.var, query] if outer.var is not None else [query]
+        expr.addLayer(outer.op, *args, **outer.params)
+        last = self.template.layers[-1]
+        for layer in self.template.layers[1:]:
+            kk = layer.k
+            if k is not None and layer is last:
+                kk = int(k)
+            op_spec = layer.op if kk is None else (layer.op, kk)
+            args = [layer.var] if layer.var is not None else []
+            args.append(layer.storage)
+            if layer.func is not None:
+                args.append(layer.func)
+            expr.addLayer(op_spec, *args, **layer.params)
+        return expr
+
+
+@dataclass
+class _Handle:
+    """Per-registration state shared between service and coalescer."""
+
+    hid: str
+    program: ServeProgram
+    options: dict
+    admission: AdmissionConfig
+    sem: asyncio.Semaphore
+    inflight: int = 0     # admitted-but-uncompleted queries
+    running: int = 0      # flushed batches (queued-on-sem or executing)
+    served: int = 0       # completed queries (post-scatter)
+    epoch: int = 0        # bumped by refresh(); not part of the batch key
+    _seq: int = field(default=0, repr=False)
+
+
+class PortalService:
+    """Long-lived serving facade over the Portal compiler.
+
+    Usage::
+
+        service = PortalService()
+        hid = await service.register(expr)           # warms caches
+        res = await service.query(hid, [[0.1, 0.2, 0.3]], k=5)
+        res.indices, res.values
+        await service.close()
+
+    ``schedule`` is the linger-timer factory forwarded to the
+    :class:`Coalescer` — injectable for fake-clock tests.
+    """
+
+    def __init__(self, *, max_workers: int | None = None,
+                 counters: Counters | None = None, schedule=None):
+        self.counters = counters if counters is not None else Counters()
+        self._pool = ThreadPoolExecutor(
+            max_workers=max_workers, thread_name_prefix="portal-serve")
+        self._schedule = schedule
+        self._handles: dict[str, _Handle] = {}
+        self._coalescer: Coalescer | None = None
+        self._next_hid = 0
+        self._closed = False
+
+    # -- plumbing ----------------------------------------------------------------
+    def _count(self, mapping: dict) -> None:
+        self.counters.update(mapping)
+
+    def _co(self) -> Coalescer:
+        """The coalescer, created lazily on the running loop."""
+        if self._coalescer is None:
+            self._coalescer = Coalescer(
+                execute=self._execute_batch,
+                count=self._count,
+                pool=self._pool,
+                loop=asyncio.get_running_loop(),
+                schedule=self._schedule,
+            )
+        return self._coalescer
+
+    def _handle(self, hid: str) -> _Handle:
+        try:
+            return self._handles[hid]
+        except KeyError:
+            raise ServeError(f"unknown handle {hid!r}") from None
+
+    def _check_open(self) -> None:
+        if self._closed:
+            raise ServeError("service is closed")
+
+    # -- registration ------------------------------------------------------------
+    async def register(self, expr: PortalExpr, *, options: dict | None = None,
+                       admission: AdmissionConfig | dict | None = None,
+                       name: str | None = None) -> str:
+        """Register a problem and warm its caches; returns the handle id.
+
+        ``options`` become the default ``execute()`` options for every
+        query on this handle (tree kind, executor, shards, ...).
+        """
+        self._check_open()
+        program = ServeProgram.from_expr(expr)
+        if isinstance(admission, dict):
+            admission = AdmissionConfig.from_dict(admission)
+        adm = admission or AdmissionConfig()
+        if name is not None and name in self._handles:
+            raise ServeError(f"handle {name!r} is already registered")
+        hid = name
+        if hid is None:
+            hid = f"h{self._next_hid}"
+            self._next_hid += 1
+        handle = _Handle(
+            hid=hid, program=program, options=dict(options or {}),
+            admission=adm, sem=asyncio.Semaphore(adm.max_concurrent),
+        )
+        loop = asyncio.get_running_loop()
+        # Warm off-loop: one probe compile builds the reference trees,
+        # classifies rules and publishes shm columns, so the first real
+        # query pays only query-side cost.
+        await loop.run_in_executor(self._pool, self._warm, handle)
+        self._check_open()
+        self._handles[hid] = handle
+        self._count({"serve.registered": 1})
+        return hid
+
+    def _warm(self, handle: _Handle) -> None:
+        probe = handle.program.template.layers[-1].storage.data[:1]
+        expr = handle.program.make_expr(probe)
+        with collect(self.counters):
+            expr.execute(**handle.options)
+
+    async def unregister(self, hid: str) -> None:
+        """Drop a handle; queries already admitted still complete."""
+        self._handle(hid)  # raise on unknown
+        del self._handles[hid]
+        self._count({"serve.unregistered": 1})
+
+    # -- queries -----------------------------------------------------------------
+    async def query(self, hid: str, points, *, k: int | None = None,
+                    options: dict | None = None) -> ServeResult:
+        """Run the registered problem over ``points`` (one or more query
+        rows); coalesces with concurrent compatible requests.
+
+        Raises :class:`~repro.serve.admission.ServiceOverloaded` when
+        the handle's queue is full, :class:`ServeError` on a bad handle
+        or malformed points.
+        """
+        self._check_open()
+        handle = self._handle(hid)
+        pts = np.ascontiguousarray(
+            np.atleast_2d(np.asarray(points, dtype=np.float64)))
+        if pts.ndim != 2 or pts.shape[1] != handle.program.dim:
+            raise ServeError(
+                f"query points must have shape (n, {handle.program.dim}); "
+                f"got {pts.shape}"
+            )
+        merged = handle.options if not options else {**handle.options, **options}
+        try:
+            opt_key = freeze(options) if options else None
+        except UncacheableParamError:
+            # Unhashable per-request options: still served, never shared.
+            handle._seq += 1
+            opt_key = ("_unshared", handle._seq)
+        key = (hid, handle.epoch, None if k is None else int(k), opt_key)
+        fut = self._co().submit(handle, key, pts, meta=(k, merged))
+        result = await fut
+        handle.served += pts.shape[0]
+        return result
+
+    def _execute_batch(self, handle: _Handle, meta, points) -> BatchResult:
+        """Blocking: compile + run one stacked batch (worker thread)."""
+        k, options = meta
+        expr = handle.program.make_expr(points, k=k)
+        # All concurrent batches install the same service registry, so
+        # overlapping collect() blocks attribute identically.
+        with collect(self.counters):
+            out = expr.execute(**options)
+        return BatchResult(out)
+
+    def refresh(self, hid: str) -> None:
+        """Start a new batch epoch for ``hid``.
+
+        Open (not yet flushed) batches keep their old key and drain as
+        submitted; used after out-of-band Storage mutations when a
+        caller wants a hard barrier between old- and new-data batches.
+        (Not required for correctness: mutations bump the Storage
+        version, so the next batch's compile refits or rebuilds its
+        tree either way.)
+        """
+        self._handle(hid).epoch += 1
+
+    # -- introspection -----------------------------------------------------------
+    def stats(self) -> dict:
+        """Service snapshot: ``serve.*`` + execution counters, queue
+        state, and per-handle admission/inflight detail."""
+        co = self._coalescer
+        return {
+            "closed": self._closed,
+            "counters": self.counters.as_dict(),
+            "inflight": co.inflight if co else 0,
+            "queue_peak": co.queue_peak if co else 0,
+            "pending_batches": co.pending_batches() if co else 0,
+            "handles": {
+                hid: {
+                    "program": h.program.name,
+                    "dim": h.program.dim,
+                    "inflight": h.inflight,
+                    "running": h.running,
+                    "served": h.served,
+                    "admission": {
+                        "max_queue": h.admission.max_queue,
+                        "batch_max": h.admission.batch_max,
+                        "linger_us": h.admission.linger_us,
+                        "max_concurrent": h.admission.max_concurrent,
+                    },
+                }
+                for hid, h in self._handles.items()
+            },
+        }
+
+    def health(self) -> dict:
+        return {"status": "closed" if self._closed else "ok",
+                "handles": len(self._handles)}
+
+    # -- lifecycle ---------------------------------------------------------------
+    async def close(self) -> None:
+        """Fail pending batches, drain running ones, stop the pool."""
+        if self._closed:
+            return
+        self._closed = True
+        if self._coalescer is not None:
+            await self._coalescer.close()
+        self._pool.shutdown(wait=True)

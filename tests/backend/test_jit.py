@@ -197,3 +197,76 @@ class TestBehaviour:
         e = nn_expr(rng, n=200)
         e.compile(leaf_size=10)
         assert e.program.qtree.leaf_size == 10
+
+
+class TestStatsConcurrency:
+    """``stats_summary()`` must snapshot, never iterate live dicts that a
+    concurrent ``run()`` is mutating (the serving layer reads stats for
+    its health endpoint while worker threads execute)."""
+
+    def test_stats_during_concurrent_runs(self, rng):
+        import threading
+
+        e = nn_expr(rng, n=120)
+        prog = e.compile()
+        prog.run()  # populate timings once
+
+        errors = []
+        stop = threading.Event()
+
+        def runner():
+            try:
+                while not stop.is_set():
+                    prog.run()
+            except Exception as exc:  # pragma: no cover - regression
+                errors.append(exc)
+
+        def reader():
+            try:
+                while not stop.is_set():
+                    st = prog.stats_summary()
+                    # a torn snapshot would miss keys or raise above
+                    assert st["run_ms"] is None or st["run_ms"] >= 0
+                    assert "traversal" in st
+            except Exception as exc:  # pragma: no cover - regression
+                errors.append(exc)
+
+        threads = [threading.Thread(target=runner) for _ in range(2)]
+        threads += [threading.Thread(target=reader) for _ in range(2)]
+        for t in threads:
+            t.start()
+        # a short, bounded soak: plenty of interleavings, no sleeps
+        for _ in range(200):
+            prog.stats_summary()
+        stop.set()
+        for t in threads:
+            t.join(10)
+        assert not errors, errors
+
+    def test_expr_stats_while_serving_fresh_expressions(self, rng):
+        """PortalExpr.stats() under the serve pattern: one thread
+        re-executes, another polls stats()."""
+        import threading
+
+        e = nn_expr(rng)
+        e.execute()
+        stop = threading.Event()
+        errors = []
+
+        def executor_thread():
+            try:
+                while not stop.is_set():
+                    e.program.run()
+            except Exception as exc:  # pragma: no cover - regression
+                errors.append(exc)
+
+        t = threading.Thread(target=executor_thread)
+        t.start()
+        try:
+            for _ in range(300):
+                st = e.stats()
+                assert st["run_ms"] is None or st["run_ms"] >= 0
+        finally:
+            stop.set()
+            t.join(10)
+        assert not errors, errors

@@ -76,6 +76,65 @@ class TestCollect:
         assert outer.get("k") == 2
         assert inner.get("k") == 10
 
+    def test_out_of_order_exit_across_threads(self):
+        """Regression: concurrent collect blocks may exit in any order
+        (the serving layer executes on a worker pool).  A block exiting
+        *before* a later-opened block must not restore its own saved
+        predecessor — that would deactivate (or resurrect) the wrong
+        registry for the still-open block."""
+        entered_a = threading.Event()
+        entered_b = threading.Event()
+        exited_a = threading.Event()
+        regs = {}
+
+        def thread_a():
+            with collect() as a:
+                regs["a"] = a
+                entered_a.set()
+                assert entered_b.wait(5)
+            exited_a.set()
+
+        def thread_b():
+            assert entered_a.wait(5)
+            with collect() as b:
+                regs["b"] = b
+                entered_b.set()
+                assert exited_a.wait(5)
+                # A entered first and exited first; B must still be the
+                # active registry, not A's saved predecessor (None).
+                assert active_counters() is b
+                contribute({"late": 1})
+
+        ta = threading.Thread(target=thread_a)
+        tb = threading.Thread(target=thread_b)
+        ta.start()
+        tb.start()
+        ta.join(10)
+        tb.join(10)
+        assert active_counters() is None
+        assert regs["b"].get("late") == 1
+
+    def test_same_registry_reentrant_across_threads(self):
+        """The serving layer installs one shared registry from many
+        worker threads at once; every exit order must leave it counting
+        until the last block closes, then deactivate it."""
+        shared = Counters()
+        barrier = threading.Barrier(4, timeout=10)
+
+        def worker():
+            with collect(shared):
+                barrier.wait()  # all four blocks open simultaneously
+                contribute({"n": 1})
+                barrier.wait()  # hold until everyone contributed
+
+        threads = [threading.Thread(target=worker) for _ in range(4)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join(10)
+        assert shared.get("n") == 4
+        assert active_counters() is None
+
 
 class TestTracer:
     def test_disabled_span_is_null(self):

@@ -36,18 +36,22 @@ class TestExecutor:
     def test_failure_cancels_queued_tasks(self):
         """Regression: a failing task must cancel queued tasks instead of
         letting the pool drain them all before the exception surfaces."""
-        import time
+        import threading
 
         started = []
+        # Never set: ok-tasks that *do* start park here so the cancel
+        # sweep (microseconds) always lands before a worker can drain
+        # the queue.  The timeout only bounds how long a parked task
+        # lingers — correctness does not depend on it.
+        parked = threading.Event()
 
         def boom():
-            time.sleep(0.05)
             raise ValueError("boom")
 
         def make(i):
             def task():
                 started.append(i)
-                time.sleep(0.05)
+                parked.wait(0.25)
                 return i
             return task
 
@@ -56,29 +60,39 @@ class TestExecutor:
         assert len(started) < 32
 
     def test_earliest_failure_wins(self):
-        import time
+        """Both tasks fail, in submission order (enforced by an event,
+        not a sleep): the earliest-submitted failure is the one raised."""
+        import threading
 
-        def fail(msg, delay=0.0):
-            def task():
-                time.sleep(delay)
-                raise ValueError(msg)
-            return task
+        first_raised = threading.Event()
+
+        def first():
+            first_raised.set()
+            raise ValueError("first")
+
+        def second():
+            assert first_raised.wait(5.0)
+            raise ValueError("second")
 
         with pytest.raises(ValueError, match="first"):
-            run_tasks([fail("first"), fail("second", delay=0.3)], workers=2)
+            run_tasks([first, second], workers=2)
 
     def test_earliest_submitted_failure_wins_over_first_done(self):
         """Regression: when a later-submitted task fails *first* in
         wall-clock, the raised exception must still be the earliest
         submitted one — matching what serial execution would raise."""
         import threading
-        import time
 
         second_failed = threading.Event()
+        # Never set: keeps task 1 running while the executor observes
+        # task 2's failure and sweeps the queue.  The timeout only
+        # bounds lingering; the submission-order scan in the executor
+        # raises task 1's error regardless of which finishes first.
+        parked = threading.Event()
 
         def slow_first():
-            second_failed.wait(timeout=5.0)
-            time.sleep(0.05)  # make sure task 1's failure is observed first
+            assert second_failed.wait(5.0)
+            parked.wait(0.25)
             raise ValueError("submitted-first")
 
         def fast_second():
@@ -92,20 +106,20 @@ class TestExecutor:
         """Regression: a failure in the middle of the queue cancels the
         later tasks that have not started, and the earliest-submitted
         failure is the one raised."""
-        import time
+        import threading
 
         started = []
+        parked = threading.Event()  # never set; bounds lingering only
 
         def ok(i):
             def task():
                 started.append(i)
-                time.sleep(0.02)
+                parked.wait(0.25)
                 return i
             return task
 
         def boom(msg):
             def task():
-                time.sleep(0.05)
                 raise ValueError(msg)
             return task
 

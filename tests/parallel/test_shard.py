@@ -437,35 +437,43 @@ class TestSharedMemoryConcurrency:
     def test_release_during_concurrent_publish(self):
         """release_shared_blocks racing live publishers must neither
         deadlock nor leak: every segment is eventually closed and a
-        final release leaves the registry empty."""
-        stop = threading.Event()
+        final release leaves the registry empty.
+
+        Iteration-bounded, not wall-clock-bounded: each publisher does a
+        fixed amount of work and the releaser races it until the last
+        publisher finishes, so the soak's duration scales with the host
+        instead of a hardcoded sleep."""
+        n_publishers, per_publisher = 3, 80
+        publishers_done = threading.Event()
+        live = [n_publishers]
+        lock = threading.Lock()
         errors = []
 
         def publisher(t):
             try:
-                i = 0
-                while not stop.is_set():
+                for i in range(per_publisher):
                     shm.publish_arrays(f"t-race-{t}-{i % 6}",
                                        {"x": np.arange(16.0)})
-                    i += 1
             except Exception as exc:  # pragma: no cover
                 errors.append(exc)
+            finally:
+                with lock:
+                    live[0] -= 1
+                    if live[0] == 0:
+                        publishers_done.set()
 
         def releaser():
             try:
-                while not stop.is_set():
+                while not publishers_done.is_set():
                     shm.release_shared_blocks()
             except Exception as exc:  # pragma: no cover
                 errors.append(exc)
 
         threads = ([threading.Thread(target=publisher, args=(t,))
-                    for t in range(3)]
+                    for t in range(n_publishers)]
                    + [threading.Thread(target=releaser)])
         for th in threads:
             th.start()
-        import time
-        time.sleep(0.4)
-        stop.set()
         for th in threads:
             th.join()
         shm.release_shared_blocks()

@@ -144,20 +144,25 @@ class TestCliStats:
 
 
 class TestTuner:
-    def test_tune_returns_best(self):
+    def test_tune_returns_best(self, monkeypatch):
+        import time
+
         from repro.util import tune_leaf_size
 
+        # Fake clock: tune_leaf_size times run() via time.perf_counter,
+        # so a stepped counter makes the ranking deterministic.
+        now = [0.0]
+        monkeypatch.setattr(time, "perf_counter", lambda: now[0])
         calls = []
 
         def run(leaf):
             calls.append(leaf)
-            import time
-
-            time.sleep(0.001 if leaf == 64 else 0.005)
+            now[0] += 0.001 if leaf == 64 else 0.005
 
         res = tune_leaf_size(run, candidates=(32, 64), repeats=1)
         assert res.best == 64
         assert set(res.timings) == {32, 64}
+        assert res.timings[64] == pytest.approx(0.001)
 
     def test_tune_validation(self):
         from repro.util import tune_leaf_size

@@ -50,14 +50,18 @@ class TestLoc:
 
 
 class TestTiming:
-    def test_timer_accumulates(self):
+    def test_timer_accumulates(self, monkeypatch):
+        # Fake clock: the timer reads time.perf_counter, so stepping a
+        # counter makes the laps exact instead of sleep-and-hope.
+        now = [0.0]
+        monkeypatch.setattr(time, "perf_counter", lambda: now[0])
         t = Timer()
         with t.measure():
-            time.sleep(0.01)
+            now[0] += 0.01
         with t.measure():
-            time.sleep(0.01)
-        assert t.elapsed >= 0.02
-        assert len(t.laps) == 2
+            now[0] += 0.01
+        assert t.elapsed == pytest.approx(0.02)
+        assert t.laps == [pytest.approx(0.01), pytest.approx(0.01)]
 
     def test_timed_sink(self):
         sink = {}
