@@ -1,6 +1,6 @@
 PYTHON ?= python
 
-.PHONY: install test test-fast test-serve test-mutation test-ir bench bench-ir bench-micro bench-bound bench-native bench-parallel bench-shard bench-incremental bench-serve bench-serve-full examples results clean
+.PHONY: install test test-fast test-serve test-mutation test-ir test-policy bench bench-ir bench-micro bench-bound bench-native bench-parallel bench-shard bench-incremental bench-serve bench-serve-full bench-policy bench-policy-full examples results clean
 
 install:
 	$(PYTHON) -m pip install -e . || $(PYTHON) setup.py develop
@@ -29,6 +29,13 @@ test-mutation:
 
 test-mutation-slow:
 	$(PYTHON) -m pytest tests/trees/test_incremental.py tests/backend/test_mutation_cache.py
+
+# Self-tuning execution policy: key extraction, persistent store
+# versioning/corruption handling, mode semantics, online refinement,
+# the policy-routing differential battery and cross-process
+# persistence (plus the hardened measured-tuning core).
+test-policy:
+	$(PYTHON) -m pytest -p no:cacheprovider -q tests/policy tests/util/test_tune.py
 
 # IR optimiser suites (passes, verifier, goldens, round-trip, fuzzer)
 # with the structural verifier forced on after every pass.
@@ -100,6 +107,16 @@ bench-serve:
 
 bench-serve-full:
 	$(PYTHON) benchmarks/bench_serve.py
+
+# Self-tuning policy vs hard-coded auto and the exhaustive static
+# oracle on the nine Table IV problems (full run asserts tuned-auto
+# within 10% of best-static and beating hard-coded auto on >= 3/9, on
+# >= 4-core hosts; --smoke only proves the search/persist/hit loop).
+bench-policy:
+	$(PYTHON) benchmarks/bench_policy.py --smoke
+
+bench-policy-full:
+	$(PYTHON) benchmarks/bench_policy.py
 
 examples:
 	for f in examples/*.py; do echo "== $$f =="; $(PYTHON) $$f; done

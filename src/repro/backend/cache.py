@@ -302,12 +302,18 @@ def cached_build_subset_tree(
 
 def clear_caches() -> None:
     """Drop every cached artifact, tree and published shared-memory
-    block (test isolation hook)."""
+    block (test isolation hook).  The persistent policy store's
+    in-memory view is forgotten too (the file is untouched; the next
+    consult re-reads it), so tests switching ``REPRO_POLICY_PATH``
+    between cases never see a stale table."""
     program_cache.clear()
     tree_cache.clear()
     from ..parallel import shm
 
     shm.release_shared_blocks()
+    from ..policy import reset_policy_store
+
+    reset_policy_store()
 
 
 def cache_stats() -> dict:

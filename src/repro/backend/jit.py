@@ -114,6 +114,19 @@ class CompileOptions:
     #: only (brute/interp ignore it).  When the option is not passed,
     #: the ``REPRO_SHARDS`` environment variable overrides the default.
     shards: int | str = 1
+    #: self-tuning execution policy (:mod:`repro.policy`): 'static'
+    #: keeps the hard-coded auto rules (the default — behaviour is
+    #: bit-identical to earlier releases), 'auto' consults the persistent
+    #: policy cache and falls back to the static rules on a miss,
+    #: 'search' runs the budgeted measured search on a miss and persists
+    #: the winner.  The policy only fills in knobs not set explicitly
+    #: (via options or the REPRO_* env knobs).  ``REPRO_POLICY``
+    #: overrides the default when the option is not passed.
+    policy: str = "static"
+    #: option names the caller pinned explicitly (options dict keys plus
+    #: applied env knobs) — the knobs a policy decision must never touch
+    explicit: frozenset = field(default=frozenset(), compare=False,
+                                repr=False)
 
     @classmethod
     def from_dict(cls, options: dict) -> "CompileOptions":
@@ -181,6 +194,25 @@ class CompileOptions:
                 f"shards must be a positive integer or 'auto', "
                 f"got {opts.shards!r}"
             )
+        if "policy" not in options:
+            env = os.environ.get("REPRO_POLICY", "").strip()
+            if env:
+                opts.policy = env
+        if opts.policy not in ("static", "auto", "search"):
+            raise SpecificationError(
+                f"unknown policy mode {opts.policy!r}; "
+                "expected 'static', 'auto' or 'search'"
+            )
+        # Record which knobs the caller pinned: explicit options always
+        # win over a policy decision, and the REPRO_* env knobs (the CI
+        # matrix) count as explicit so the policy never overrides them.
+        explicit = set(options) - {"policy", "explicit"}
+        for name, var in (("codegen", "REPRO_CODEGEN"),
+                          ("executor", "REPRO_EXECUTOR"),
+                          ("shards", "REPRO_SHARDS")):
+            if name not in options and os.environ.get(var, "").strip():
+                explicit.add(name)
+        opts.explicit = frozenset(explicit)
         return opts
 
 
@@ -272,6 +304,19 @@ class CompiledProgram:
             out = self._run()
         with self._stats_lock:
             self.timings["run"] = time.perf_counter() - t0
+            pol = self.extras.get("policy")
+            stats = self.stats
+        if (pol is not None and pol.get("source") == "policy-cache"
+                and self.mode == "tree"):
+            # Online refinement: feed the observed counters back so a
+            # decision whose live profile deviates from its tuning
+            # measurement is retired (marked stale → re-searched).
+            from ..policy import observe_run
+
+            nr = getattr(self.rtree, "n", None)
+            if nr is None:
+                nr = self.extras.get("nr", 0)
+            observe_run(pol["key"], stats, self.state.nq, int(nr or 0))
         return out
 
     def _run(self) -> Output:
@@ -334,6 +379,10 @@ class CompiledProgram:
             # the REPRO_WORKERS/REPRO_SHARDS env overrides are resolved
             # per execute(), before the cache key is computed).
             "shards": extras.get("shards"),
+            # How the execution configuration was resolved: the static
+            # auto rules, a persistent policy-cache hit, or a fresh
+            # measured search (see :mod:`repro.policy`).
+            "policy": extras.get("policy", {"source": "static-auto"}),
             "tree_version": getattr(self.qtree, "version", None),
             "traversal": dict(
                 st_d,
@@ -673,12 +722,40 @@ def compile_expr(pexpr, options: dict) -> CompiledProgram:
     if layers[1].metric_kernel is None:
         return _compile_external_expr(pexpr, opts)
 
+    # Self-tuning policy (mode 'auto'/'search'): a cached or freshly
+    # measured decision fills in every knob the caller did not pin,
+    # before the static auto rules below resolve what remains.
+    policy_decision = None
+    policy_info: dict = {"source": "static-auto"}
+    if opts.policy != "static" and opts.backend == "vectorized":
+        from .. import policy as policy_mod
+
+        policy_decision = policy_mod.resolve_execution_policy(
+            layers, opts, options)
+        if policy_decision is not None:
+            applied = policy_mod.apply_decision(
+                opts, policy_decision.config, opts.explicit)
+            policy_info = {
+                "source": policy_decision.source,
+                "key": policy_decision.key.as_str(),
+                "config": dict(policy_decision.config),
+                "applied": applied,
+            }
+
     # Resolve 'auto' / unavailable-native to the concrete backend that
     # will emit the artifact *before* the cache key is computed: a
     # native artifact must never collide with a NumPy one, and a
     # fallen-back native run legitimately shares the NumPy entry.
     opts.codegen = resolve_codegen_backend(
         opts.codegen, layers[0].storage.n, layers[1].storage.n)
+    if (policy_decision is not None
+            and policy_info.get("applied", {}).get("codegen") == "native"
+            and opts.codegen != "native"):
+        # The tuned choice assumed a JIT this host no longer has.
+        from .. import policy as policy_mod
+
+        policy_mod.note_native_fallback(policy_decision.key)
+        policy_info["native_fallback"] = True
     # Likewise resolve shards='auto' to a concrete count before keying:
     # a sharded artifact (per-shard trees + bindings) must never collide
     # with an unsharded one.  Sharding is a tree-mode layout; the brute
@@ -712,14 +789,18 @@ def compile_expr(pexpr, options: dict) -> CompiledProgram:
         art = program_cache.get(key, MISSING)
         if art is not MISSING:
             contribute({"cache.compile.hit": 1})
-            return _instantiate(art, layers, opts, {}, "hit", key=key)
-        contribute({"cache.compile.miss": 1})
+            prog = _instantiate(art, layers, opts, {}, "hit", key=key)
+        else:
+            contribute({"cache.compile.miss": 1})
+            art, timings = _compile_pipeline(pexpr, opts)
+            program_cache.put(key, art)
+            prog = _instantiate(art, layers, opts, timings, "miss", key=key)
+    else:
         art, timings = _compile_pipeline(pexpr, opts)
-        program_cache.put(key, art)
-        return _instantiate(art, layers, opts, timings, "miss", key=key)
-    art, timings = _compile_pipeline(pexpr, opts)
-    return _instantiate(art, layers, opts, timings,
-                        None if opts.cache else "off")
+        prog = _instantiate(art, layers, opts, timings,
+                            None if opts.cache else "off")
+    prog.extras["policy"] = policy_info
+    return prog
 
 
 def _compile_pipeline(pexpr, opts: CompileOptions) -> tuple[_Artifact, dict]:

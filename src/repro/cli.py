@@ -140,6 +140,13 @@ def _cmd_stats(args) -> int:
         codegen = f" codegen: {s['codegen']}" if s.get("codegen") else ""
         print(f"  mode: {s['mode']}  backend: {s['backend']}"
               f"{codegen}{tree}{engine}{executor}{cache}")
+        pol = s.get("policy") or {}
+        line = f"  policy:    {pol.get('source', 'static-auto')}"
+        if pol.get("applied"):
+            knobs = " ".join(f"{k}={v}" for k, v in
+                             sorted(pol["applied"].items()))
+            line += f"  [{knobs}]"
+        print(line)
         print(
             f"  traversal: visited={t['visited']} pruned={t['pruned']} "
             f"approximated={t['approximated']} "
@@ -174,6 +181,47 @@ def _cmd_stats(args) -> int:
         print(f"  run:       {s['run_ms']:.3f} ms")
     if args.trace:
         print(f"[trace written to {args.trace}]")
+    return 0
+
+
+def _cmd_tune(args) -> int:
+    """Run the measured policy search for each PortalExpr and persist
+    the winners in the policy cache (see docs/performance.md)."""
+    from .policy import SEARCH_BUDGET_S, ensure_policy, policy_store
+
+    prog = _load(args)
+    options = _options(args)
+    budget = args.budget if args.budget is not None else SEARCH_BUDGET_S
+    results: dict[str, dict] = {}
+    for name, pexpr in prog.portal_exprs.items():
+        key, entry, source = ensure_policy(
+            pexpr.layers, options, force=args.force,
+            repeats=args.repeats, budget_s=budget,
+        )
+        results[name] = {
+            "key": key.as_str(), "source": source,
+            "config": dict(entry.config), "timings": dict(entry.timings),
+            "measured_nq": entry.measured_nq,
+            "measured_nr": entry.measured_nr,
+        }
+    store = policy_store()
+    if args.json:
+        print(json.dumps({"policy_path": store.path, "entries": len(store),
+                          "programs": results}, indent=2))
+        return 0
+    for name, r in results.items():
+        print(f"== {name} ==")
+        print(f"  key:    {r['key']}")
+        print(f"  source: {r['source']}")
+        cfg = r["config"]
+        print("  config: " + " ".join(f"{k}={cfg[k]}" for k in sorted(cfg)))
+        if r["timings"]:
+            print(f"  measured at nq={r['measured_nq']} "
+                  f"nr={r['measured_nr']}:")
+            for label, secs in sorted(r["timings"].items(),
+                                      key=lambda kv: kv[1]):
+                print(f"    {secs * 1e3:9.3f} ms  {label}")
+    print(f"[policy cache: {store.path} ({len(store)} entries)]")
     return 0
 
 
@@ -292,6 +340,25 @@ def main(argv: list[str] | None = None) -> int:
     p_st.add_argument("--trace", metavar="FILE",
                       help="also write JSONL span events to FILE")
     p_st.set_defaults(fn=_cmd_stats)
+
+    p_tn = sub.add_parser(
+        "tune",
+        help="run the measured policy search and persist the winners "
+             "in the policy cache",
+    )
+    common(p_tn)
+    p_tn.add_argument("--force", action="store_true",
+                      help="re-search even when a fresh cached entry "
+                           "exists")
+    p_tn.add_argument("--budget", type=float, default=None,
+                      metavar="SECONDS",
+                      help="total measurement budget per program "
+                           "(default: the search's built-in budget)")
+    p_tn.add_argument("--repeats", type=int, default=2,
+                      help="timed repeats per candidate (best-of)")
+    p_tn.add_argument("--json", action="store_true",
+                      help="machine-readable JSON output")
+    p_tn.set_defaults(fn=_cmd_tune)
 
     p_sv = sub.add_parser(
         "serve",

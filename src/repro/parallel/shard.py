@@ -109,6 +109,24 @@ def resolve_shard_count(shards, nr: int, workers: int | None = None) -> int:
     return max(1, min(count, nr))
 
 
+def viable_shard_counts(nr: int, workers: int,
+                        min_points: int = AUTO_SHARD_MIN_POINTS) -> list[int]:
+    """Shard counts worth measuring for an ``nr``-point reference set.
+
+    Always ``[1]``; adds one-per-worker sharding only when every shard
+    would hold at least ``min_points`` points and there is more than one
+    worker to feed — below that the per-shard build + combine overhead
+    always loses, so the policy search never spends budget on it.
+    """
+    counts = [1]
+    if workers and workers > 1:
+        cap = max(1, int(nr) // int(min_points))
+        candidate = min(int(workers), cap)
+        if candidate > 1:
+            counts.append(candidate)
+    return counts
+
+
 def plan_shards(points: np.ndarray, nshards: int) -> list[np.ndarray]:
     """Partition ``points`` into ``nshards`` spatially compact index sets.
 

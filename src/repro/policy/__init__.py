@@ -1,0 +1,292 @@
+"""``repro.policy`` — the self-tuning execution policy (ROADMAP item 5).
+
+Routing knobs have multiplied — traversal engine, executor, codegen
+target, leaf size, shard count — and until this package the ``auto``
+choices were a handful of hard-coded rules spread across the compiler.
+This package replaces them with a *measured* policy:
+
+* :mod:`~repro.policy.features` maps an execution to a
+  :class:`~repro.policy.features.PolicyKey` (program fingerprint class ×
+  tree kind × bucketed sizes);
+* :mod:`~repro.policy.search` times a pruned candidate enumeration of
+  the joint configuration space on subsampled inputs (coordinate
+  descent under a wall-clock budget);
+* :mod:`~repro.policy.store` persists tuned decisions in a JSON policy
+  cache versioned by ``ARTIFACT_SCHEMA`` + a host fingerprint, so a
+  tuned choice survives process restarts;
+* this module arbitrates: ``CompileOptions.policy`` selects
+  ``"static"`` (hard-coded rules, the default), ``"auto"`` (use a
+  cached decision when one exists, fall back to the static rules on a
+  miss) or ``"search"`` (measure on a miss, then use and persist the
+  result).  Live runs feed *observed* counters back: a run whose
+  prune/base-case profile deviates badly from the tuning measurement
+  marks the entry stale (``policy.stale_marked``), after which ``auto``
+  and ``search`` both re-search instead of trusting it.
+
+Resolution order inside the compiler: explicit user options always win;
+then a policy decision; then the static ``auto`` rules.  The policy only
+ever selects configurations the differential suites prove
+output-identical, so routing through it is bitwise-neutral.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass
+
+from ..observe import contribute
+from .features import PolicyKey, policy_key, program_class, size_bucket
+from .search import (
+    Candidate, SEARCH_BUDGET_S, SEARCH_REPEATS, enumerate_axes, run_search,
+    search_policy, static_candidate, subsampled_layers,
+)
+from .store import (
+    POLICY_SCHEMA, PolicyEntry, PolicyStore, default_policy_path,
+    host_fingerprint, policy_store, reset_policy_store,
+)
+
+__all__ = [
+    "POLICY_MODES", "PolicyDecision", "PolicyEntry", "PolicyKey",
+    "PolicyStore", "Candidate", "apply_decision", "default_policy_path",
+    "ensure_policy", "host_fingerprint", "note_native_fallback",
+    "observe_run", "policy_key", "policy_store", "resolve_execution_policy",
+    "resolve_policy_mode", "reset_policy_store", "run_search",
+    "warm_policy",
+]
+
+#: accepted values of ``CompileOptions.policy`` / ``REPRO_POLICY``
+POLICY_MODES = ("static", "auto", "search")
+
+#: Online-refinement thresholds: a live run deviating this much from
+#: the tuning measurement marks the entry stale.  Generous on purpose —
+#: prune rates drift with data distribution; only *badly* wrong entries
+#: (the tree changed character, the JIT disappeared) should be retired.
+DEVIATION_PRUNE_DELTA = 0.4
+DEVIATION_PAIR_FACTOR = 8.0
+#: exact-pair fractions are scale-dependent, so they are only compared
+#: when the live problem size is within this factor of the measured one
+DEVIATION_SIZE_WINDOW = 4.0
+
+from ..dsl.ops import MAX_LIKE, MIN_LIKE  # noqa: E402
+
+
+@dataclass
+class PolicyDecision:
+    """A resolved policy: where it came from and what it chose."""
+
+    source: str          # 'policy-cache' | 'fresh-search'
+    key: PolicyKey
+    config: dict
+
+
+def resolve_policy_mode(options: dict | None) -> str:
+    """The policy mode an option dict implies (``REPRO_POLICY`` fills
+    the gap when the option is absent) — used by callers that consult
+    the policy outside ``CompileOptions`` (the serving warmup)."""
+    mode = (options or {}).get("policy")
+    if mode is None:
+        mode = os.environ.get("REPRO_POLICY", "").strip() or "static"
+    return mode
+
+
+def _bound_rule(layers) -> bool:
+    """Whether the inner reduction routes to the bound-aware engine
+    (used to seed the search's engine axis; a wrong guess degrades
+    gracefully through the compiler's own routing)."""
+    inner = layers[-1]
+    kern = inner.metric_kernel
+    return inner.op in (MIN_LIKE | MAX_LIKE) and not (
+        kern is not None and kern.is_indicator)
+
+
+def _search_and_store(layers, base_options: dict, opts, key: PolicyKey, *,
+                      nq: int | None = None,
+                      repeats: int = SEARCH_REPEATS,
+                      budget_s: float | None = SEARCH_BUDGET_S) -> PolicyEntry:
+    from ..parallel import default_workers
+    from .search import SEARCH_SUBSAMPLE_Q
+
+    workers = opts.workers or default_workers()
+    max_q = SEARCH_SUBSAMPLE_Q if nq is None else min(int(nq),
+                                                      SEARCH_SUBSAMPLE_Q)
+    entry = run_search(
+        layers, base_options, bound_rule=_bound_rule(layers),
+        workers=workers, repeats=repeats, budget_s=budget_s, max_q=max_q,
+    )
+    policy_store().put(key, entry)
+    return entry
+
+
+def resolve_execution_policy(layers, opts, options: dict) -> PolicyDecision | None:
+    """Resolve the policy for one ``execute()`` (mode ``auto``/``search``).
+
+    Returns ``None`` when the static rules should route (``auto`` with
+    no usable entry) — the caller falls through to the hard-coded
+    defaults, counted under ``policy.miss``.
+    """
+    key = policy_key(layers, opts)
+    store = policy_store()
+    entry = store.get(key)
+    if entry is not None and not entry.stale:
+        contribute({"policy.hit": 1})
+        return PolicyDecision("policy-cache", key, dict(entry.config))
+    if entry is not None and entry.stale:
+        # A previously-tuned entry was retired by the staleness rule:
+        # both modes re-measure rather than fall back blind.
+        contribute({"policy.stale_research": 1})
+        entry = _search_and_store(layers, options, opts, key)
+        return PolicyDecision("fresh-search", key, dict(entry.config))
+    if opts.policy == "search":
+        entry = _search_and_store(layers, options, opts, key)
+        return PolicyDecision("fresh-search", key, dict(entry.config))
+    contribute({"policy.miss": 1})
+    return None
+
+
+def apply_decision(opts, config: dict, explicit: frozenset) -> dict:
+    """Write a policy decision into ``CompileOptions``, skipping every
+    knob the caller set explicitly (user options always win; the env
+    CI knobs ``REPRO_CODEGEN``/``REPRO_EXECUTOR``/``REPRO_SHARDS`` count
+    as explicit).  Returns the knobs actually applied."""
+    applied: dict = {}
+    if "traversal" not in explicit and "traversal" in config:
+        opts.traversal = applied["traversal"] = str(config["traversal"])
+    if "leaf_size" not in explicit and config.get("leaf_size"):
+        opts.leaf_size = applied["leaf_size"] = int(config["leaf_size"])
+    if "codegen" not in explicit and "codegen" in config:
+        opts.codegen = applied["codegen"] = str(config["codegen"])
+    if "shards" not in explicit and config.get("shards"):
+        opts.shards = applied["shards"] = int(config["shards"])
+    if not ({"parallel", "executor", "workers"} & explicit) and \
+            "executor" in config:
+        executor = str(config["executor"])
+        applied["executor"] = executor
+        if executor == "serial":
+            opts.parallel = False
+        else:
+            opts.parallel = True
+            opts.executor = executor
+    return applied
+
+
+def note_native_fallback(key: PolicyKey) -> None:
+    """A policy-chosen native codegen degraded to numpy at resolve time:
+    the environment lost its JIT since tuning, so the measurement no
+    longer describes this host — retire the entry."""
+    contribute({"policy.native_unavailable": 1})
+    policy_store().mark_stale(key)
+
+
+def observe_run(key_str: str, stats, nq: int, nr: int) -> None:
+    """Online refinement: compare a live run's counters against the
+    entry's tuning measurement; mark the entry stale on bad deviation.
+
+    Called from ``CompiledProgram.run()`` only when the execution was
+    routed by a cached policy decision.  Never raises.
+    """
+    try:
+        key = PolicyKey.from_str(key_str)
+        store = policy_store()
+        entry = store.get(key)
+        if entry is None or entry.stale or stats is None:
+            return
+        visited = getattr(stats, "visited", 0)
+        pairs = getattr(stats, "base_case_pairs", 0)
+        prune_rate = (stats.pruned / visited) if visited else 0.0
+        deviated = abs(prune_rate - entry.ref.get("prune_rate", prune_rate)) \
+            > DEVIATION_PRUNE_DELTA
+        ref_epf = entry.ref.get("exact_pair_fraction", 0.0)
+        measured = entry.measured_nq * entry.measured_nr
+        live = nq * nr
+        if (not deviated and ref_epf > 0.0 and measured > 0 and live > 0
+                and max(live, measured) / min(live, measured)
+                <= DEVIATION_SIZE_WINDOW):
+            epf = pairs / live
+            ratio = max(epf, 1e-12) / max(ref_epf, 1e-12)
+            deviated = ratio > DEVIATION_PAIR_FACTOR or \
+                ratio < 1.0 / DEVIATION_PAIR_FACTOR
+        if deviated:
+            store.mark_stale(key)
+        else:
+            contribute({"policy.observe_ok": 1})
+    except Exception:  # pragma: no cover - observability must never fail a run
+        contribute({"policy.observe_failed": 1})
+
+
+def _ensure_kernels(layers):
+    """Resolve layer kernels exactly as ``PortalExpr.validate`` does.
+
+    ``execute()`` resolves kernels before the compiler keys the policy,
+    but the tune/warm paths key it on a never-executed expression — an
+    unresolved kernel would hash as "external" and the entry would never
+    be found again.  Idempotent, like ``validate()`` itself.
+    """
+    from ..dsl.expr import Var
+
+    for i, layer in enumerate(layers):
+        qvar = layers[i - 1].var if i > 0 else None
+        if qvar is None and i > 0:
+            qvar = Var(f"_layer{i - 1}")
+            layers[i - 1].var = qvar
+        if layer.var is None:
+            layer.var = Var(f"_layer{i}")
+        layer.resolve_kernel(qvar)
+    return layers
+
+
+def ensure_policy(layers, options: dict | None = None, *,
+                  nq: int | None = None, force: bool = False,
+                  repeats: int = SEARCH_REPEATS,
+                  budget_s: float | None = SEARCH_BUDGET_S):
+    """Make sure a usable policy entry exists for this program shape;
+    search (and persist) when missing, stale, or ``force`` is set.
+
+    Returns ``(key, entry, source)`` where source is ``"policy-cache"``
+    or ``"fresh-search"``.  The front door for ``python -m repro tune``
+    and the serving layer's register-time warmup.
+    """
+    from ..backend.jit import CompileOptions
+
+    layers = _ensure_kernels(layers)
+    base_options = dict(options or {})
+    base_options.pop("policy", None)
+    opts = CompileOptions.from_dict(dict(base_options))
+    key = policy_key(layers, opts, nq=nq)
+    if not force:
+        entry = policy_store().get(key)
+        if entry is not None and not entry.stale:
+            contribute({"policy.hit": 1})
+            return key, entry, "policy-cache"
+    entry = _search_and_store(layers, base_options, opts, key, nq=nq,
+                              repeats=repeats, budget_s=budget_s)
+    return key, entry, "fresh-search"
+
+
+def warm_policy(layers, options: dict | None = None, *,
+                nq: int | None = None):
+    """Register-time policy consult for the serving layer.
+
+    Mode ``auto`` looks the entry up (so the first real batch starts
+    from a warm store, counted ``policy.hit``/``policy.miss``); mode
+    ``search`` runs the budgeted search for the serving batch shape so
+    real traffic never pays it.  Mode ``static`` is a no-op.
+    """
+    mode = resolve_policy_mode(options)
+    if mode == "static":
+        return None
+    contribute({"policy.warm_consult": 1})
+    if mode == "search":
+        return ensure_policy(layers, options, nq=nq)
+    from ..backend.jit import CompileOptions
+
+    layers = _ensure_kernels(layers)
+    base_options = dict(options or {})
+    base_options.pop("policy", None)
+    opts = CompileOptions.from_dict(base_options)
+    key = policy_key(layers, opts, nq=nq)
+    entry = policy_store().get(key)
+    if entry is not None and not entry.stale:
+        contribute({"policy.hit": 1})
+        return key, entry, "policy-cache"
+    contribute({"policy.miss": 1})
+    return None

@@ -1,0 +1,309 @@
+"""Measured policy search over the joint execution-configuration space.
+
+The generalisation of ``tune_leaf_size``'s subsample-timing approach
+(paper V-B) from one knob to the joint space
+
+    {engine × executor × codegen × leaf size × shards}.
+
+The full cross product is ~70 configurations — far too many to time per
+policy key — so the search is structured:
+
+* **pruned enumeration**: per-axis candidate lists drop everything the
+  existing validity rules forbid (native codegen without numba, the
+  process/thread executors on single-core hosts, shard counts the
+  reference set cannot feed, the epoch engine on stateless problems);
+* **coordinate descent**: starting from the static ``auto`` choice,
+  one axis is swept at a time (executor first — the biggest lever —
+  then engine, leaf size, codegen, shards), keeping the incumbent for
+  every other axis.  ~12 timed configurations instead of ~70;
+* **budgeted timing**: measurements run through
+  :func:`repro.util.tune.measure_candidates` on *subsampled* inputs
+  (stride subsample, spatially unbiased) under a total wall-clock
+  budget — when the budget runs out the best-so-far wins.
+
+The search executes real programs through the real compiler (with
+``policy="static"`` pinned so it can never recurse into itself) and
+finishes with one counter-collected run of the winner, recording the
+reference metrics (prune rate, exact-pair fraction) that the online
+staleness rule compares live runs against.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, replace
+
+import numpy as np
+
+from ..observe import collect, contribute, span
+from ..util.tune import measure_candidates
+from .store import PolicyEntry
+
+__all__ = [
+    "Candidate", "SEARCH_LEAF_CANDIDATES", "SEARCH_SUBSAMPLE_Q",
+    "SEARCH_SUBSAMPLE_R", "SEARCH_BUDGET_S", "enumerate_axes",
+    "search_policy", "static_candidate",
+]
+
+#: leaf sizes the search sweeps (a subset of the tune_leaf_size grid —
+#: the extremes rarely win and each costs a fresh tree build)
+SEARCH_LEAF_CANDIDATES = (32, 64, 128)
+
+#: subsample caps: searches over larger inputs run on a stride draw
+#: (relative ranking is the product, not absolute seconds)
+SEARCH_SUBSAMPLE_Q = 4096
+SEARCH_SUBSAMPLE_R = 16384
+
+#: total measurement budget per search (seconds); best-so-far wins when
+#: it runs out
+SEARCH_BUDGET_S = 5.0
+
+#: timed repeats per candidate (best-of, after one warm run)
+SEARCH_REPEATS = 2
+
+#: shard counts only enter the search when the (subsampled) reference
+#: set has at least this many points per candidate shard — below it the
+#: per-shard build + combine overhead always loses
+SEARCH_SHARD_MIN_POINTS = 4096
+
+
+@dataclass(frozen=True)
+class Candidate:
+    """One point of the joint configuration space."""
+
+    traversal: str   # 'batched' | 'bounded-batched' | 'stack'
+    executor: str    # 'serial' | 'thread' | 'process'
+    codegen: str     # 'numpy' | 'native'
+    leaf_size: int
+    shards: int
+
+    def label(self) -> str:
+        return (f"{self.traversal}/{self.executor}/{self.codegen}"
+                f"/leaf{self.leaf_size}/shards{self.shards}")
+
+    def options(self) -> dict:
+        """The ``execute()`` option overrides this candidate pins."""
+        out = {
+            "traversal": self.traversal, "codegen": self.codegen,
+            "leaf_size": int(self.leaf_size), "shards": int(self.shards),
+        }
+        if self.executor == "serial":
+            out["parallel"] = False
+        else:
+            out["parallel"] = True
+            out["executor"] = self.executor
+        return out
+
+    def config(self) -> dict:
+        """The JSON-storable decision dict."""
+        return {
+            "traversal": self.traversal, "executor": self.executor,
+            "codegen": self.codegen, "leaf_size": int(self.leaf_size),
+            "shards": int(self.shards),
+        }
+
+
+def static_candidate(bound_rule: bool, leaf_size: int | None = None) -> Candidate:
+    """The configuration the hard-coded ``auto`` rules pick today — the
+    coordinate-descent start point (and the fallback when every
+    measurement fails)."""
+    return Candidate(
+        traversal="bounded-batched" if bound_rule else "batched",
+        executor="serial", codegen="numpy",
+        leaf_size=int(leaf_size or 64), shards=1,
+    )
+
+
+def enumerate_axes(nq: int, nr: int, *, bound_rule: bool,
+                   workers: int) -> dict[str, list]:
+    """Pruned per-axis candidate lists (validity rules applied here)."""
+    from ..backend.native import native_available
+
+    engines = (["bounded-batched", "stack"] if bound_rule
+               else ["batched", "stack"])
+    if nq * nr > 1 << 22:
+        # The scalar stack engine is hopeless at this scale; don't spend
+        # budget proving it again.
+        engines = engines[:1]
+    executors = ["serial"]
+    if workers > 1:
+        executors += ["thread", "process"]
+    codegens = ["numpy"] + (["native"] if native_available() else [])
+    leafs = sorted({int(l) for l in SEARCH_LEAF_CANDIDATES})
+    from ..parallel.shard import viable_shard_counts
+
+    shards = viable_shard_counts(nr, workers,
+                                 min_points=SEARCH_SHARD_MIN_POINTS)
+    return {
+        "executor": executors,
+        "traversal": engines,
+        "leaf_size": leafs,
+        "codegen": codegens,
+        "shards": shards,
+    }
+
+
+#: axis sweep order: biggest lever first
+AXIS_ORDER = ("executor", "traversal", "leaf_size", "codegen", "shards")
+
+
+def _stride_subsample(data: np.ndarray, cap: int) -> np.ndarray:
+    """Deterministic, spatially unbiased subsample: every ``ceil(n/cap)``-th
+    row.  Slicing (``data[:cap]``) would keep one spatial corner of a
+    sorted dataset and bias every tree-shape measurement."""
+    n = len(data)
+    if n <= cap:
+        return data
+    step = -(-n // cap)
+    return np.ascontiguousarray(data[::step])
+
+
+def subsampled_layers(layers, max_q: int = SEARCH_SUBSAMPLE_Q,
+                      max_r: int = SEARCH_SUBSAMPLE_R):
+    """A fresh :class:`~repro.dsl.portal_expr.PortalExpr` factory over
+    subsampled copies of the layer datasets.
+
+    Layers sharing one Storage (monochromatic problems) keep sharing the
+    subsampled Storage — self-pair exclusion and ``same_tree`` kernels
+    depend on that identity.  Vars / kernels / params are reused, like
+    the serving layer's per-batch regeneration.
+    """
+    from ..dsl.portal_expr import PortalExpr
+    from ..dsl.storage import Storage
+
+    caps = [max_q] + [max_r] * (len(layers) - 1)
+    subs: dict[int, Storage] = {}
+    for layer, cap in zip(layers, caps):
+        st = layer.storage
+        if id(st) in subs:
+            continue
+        data = _stride_subsample(st.data, cap)
+        weights = None
+        if st.weights is not None:
+            weights = _stride_subsample(st.weights, cap)
+        subs[id(st)] = Storage(data, weights=weights,
+                               name=f"{st.name}@tune")
+
+    def build() -> PortalExpr:
+        expr = PortalExpr("policy-tune")
+        for layer in layers:
+            op_spec = layer.op if layer.k is None else (layer.op, layer.k)
+            args = [] if layer.var is None else [layer.var]
+            args.append(subs[id(layer.storage)])
+            if layer.func is not None:
+                args.append(layer.func)
+            expr.addLayer(op_spec, *args, **layer.params)
+        return expr
+
+    first = subs[id(layers[0].storage)]
+    last = subs[id(layers[-1].storage)]
+    return build, first.n, last.n
+
+
+def search_policy(run, axes: dict[str, list], start: Candidate, *,
+                  repeats: int = SEARCH_REPEATS,
+                  budget_s: float | None = SEARCH_BUDGET_S,
+                  clock=None) -> tuple[Candidate, dict[str, float]]:
+    """Coordinate-descent minimisation of ``run(candidate)`` wall-clock.
+
+    One axis at a time in :data:`AXIS_ORDER`; each sweep replaces only
+    that axis on the incumbent, reusing timings for configurations
+    already measured.  ``budget_s`` bounds the *total* measurement time
+    across all sweeps.
+    """
+    now = clock if clock is not None else time.perf_counter
+    t_start = now()
+    timings: dict[str, float] = {}
+    best = start
+    for axis in AXIS_ORDER:
+        sweep, seen = [], set()
+        for cand in [best] + [replace(best, **{axis: v})
+                              for v in axes.get(axis, [])]:
+            label = cand.label()
+            if label not in timings and label not in seen:
+                seen.add(label)
+                sweep.append(cand)
+        if not sweep:
+            continue
+        remaining = (None if budget_s is None
+                     else max(0.0, budget_s - (now() - t_start)))
+        if remaining == 0.0 and timings:
+            contribute({"policy.search_budget_exhausted": 1})
+            break
+        measured = measure_candidates(
+            run, sweep, repeats=repeats, clock=now, budget_s=remaining)
+        timings.update({c.label(): t for c, t in measured.items()})
+        best = _relabel(min(timings, key=timings.get))
+    return best, timings
+
+
+def _relabel(label: str) -> Candidate:
+    """Recover the Candidate for a timing label (labels are injective:
+    no axis value contains a slash)."""
+    traversal, executor, codegen, leaf, shards = label.split("/")
+    return Candidate(
+        traversal=traversal, executor=executor, codegen=codegen,
+        leaf_size=int(leaf[len("leaf"):]),
+        shards=int(shards[len("shards"):]),
+    )
+
+
+def run_search(layers, base_options: dict, *, bound_rule: bool,
+               workers: int, repeats: int = SEARCH_REPEATS,
+               budget_s: float | None = SEARCH_BUDGET_S,
+               max_q: int = SEARCH_SUBSAMPLE_Q,
+               max_r: int = SEARCH_SUBSAMPLE_R) -> PolicyEntry:
+    """End-to-end measured search for one program: subsample, sweep,
+    reference-run the winner, return the storable entry.
+
+    ``base_options`` are the caller's execute() options with every
+    searched knob stripped; ``policy`` is pinned to ``"static"`` so the
+    timed executions resolve through the hard-coded rules and never
+    re-enter the policy layer.
+    """
+    build, sub_nq, sub_nr = subsampled_layers(layers, max_q, max_r)
+    base = {k: v for k, v in base_options.items()
+            if k not in ("traversal", "executor", "parallel", "codegen",
+                         "leaf_size", "shards", "workers", "policy")}
+    base["policy"] = "static"
+
+    def run(cand: Candidate) -> None:
+        build().execute(**base, **cand.options())
+
+    axes = enumerate_axes(sub_nq, sub_nr, bound_rule=bound_rule,
+                          workers=workers)
+    start = static_candidate(bound_rule,
+                             base_options.get("leaf_size"))
+    t0 = time.perf_counter()
+    with span("policy.search", nq=sub_nq, nr=sub_nr):
+        # Warm once outside the timings: the first execution pays
+        # compile + tree build for the subsample; candidates after it
+        # share the tree/program caches exactly as serving traffic does.
+        try:
+            run(start)
+        except Exception:
+            contribute({"policy.search_failed": 1})
+            return PolicyEntry(config=start.config(),
+                               measured_nq=sub_nq, measured_nr=sub_nr)
+        best, timings = search_policy(
+            run, axes, start, repeats=repeats, budget_s=budget_s)
+    contribute({"policy.search": 1})
+    contribute({"policy.search_s": time.perf_counter() - t0})
+
+    # Reference metrics of the winner for the online staleness rule.
+    ref: dict[str, float] = {}
+    with collect() as counters:
+        expr = build()
+        expr.execute(**base, **best.options())
+    snap = counters.as_dict()
+    visited = snap.get("traversal.visited", 0)
+    pairs = snap.get("traversal.base_case_pairs", 0)
+    ref["prune_rate"] = (snap.get("traversal.pruned", 0) / visited
+                         if visited else 0.0)
+    ref["exact_pair_fraction"] = (pairs / (sub_nq * sub_nr)
+                                  if sub_nq and sub_nr else 0.0)
+    return PolicyEntry(
+        config=best.config(),
+        timings={k: round(v, 6) for k, v in timings.items()},
+        ref=ref, measured_nq=sub_nq, measured_nr=sub_nr,
+    )

@@ -1,10 +1,14 @@
-"""Leaf-size auto-tuning.
+"""Measured-candidate tuning: the timing core behind the policy search.
 
 The paper: "we also empirically tune the algorithmic parameter, leaf
 size and level of tree parallelization to achieve scalability" (V-B).
-This helper performs that empirical tuning: it times a problem over a
-candidate grid (on a subsample for large inputs) and returns the best
-leaf size.
+:func:`measure_candidates` is the general form of that empirical tuning
+— best-of-``repeats`` wall-clock over an arbitrary candidate grid, with
+an injectable monotonic clock (deterministic tests) and an optional
+wall-clock budget (the policy search bounds its total measurement time).
+:func:`tune_leaf_size` keeps the original leaf-size-specific interface
+on top of it; :mod:`repro.policy.search` drives the same core over the
+joint {engine × executor × codegen × leaf size × shards} space.
 """
 
 from __future__ import annotations
@@ -13,9 +17,7 @@ import time
 from dataclasses import dataclass, field
 from typing import Callable, Sequence
 
-import numpy as np
-
-__all__ = ["TuneResult", "tune_leaf_size"]
+__all__ = ["TuneResult", "measure_candidates", "tune_leaf_size"]
 
 DEFAULT_CANDIDATES = (16, 32, 64, 128, 256)
 
@@ -30,18 +32,57 @@ class TuneResult:
         return f"TuneResult(best={self.best}, {{{rows}}})"
 
 
+def measure_candidates(
+    run: Callable[[object], object],
+    candidates: Sequence,
+    repeats: int = 2,
+    clock: Callable[[], float] | None = None,
+    budget_s: float | None = None,
+) -> dict:
+    """Best-of-``repeats`` wall-clock seconds of ``run(candidate)`` per
+    candidate.
+
+    ``clock`` is a monotonic zero-argument timestamp source (defaults to
+    ``time.perf_counter``); injecting a fake makes measurement logic
+    deterministic in tests.  ``budget_s`` bounds the *total* measuring
+    time: once the accumulated wall-clock crosses it, remaining
+    candidates are skipped (the first candidate is always measured, so
+    the result is never empty).  Callers rank the returned timings —
+    relative order is the product, not absolute seconds.
+    """
+    if not candidates:
+        raise ValueError("need at least one candidate")
+    if repeats < 1:
+        raise ValueError(f"repeats must be >= 1, got {repeats}")
+    now = clock if clock is not None else time.perf_counter
+    timings: dict = {}
+    start = now()
+    for cand in candidates:
+        if timings and budget_s is not None and now() - start >= budget_s:
+            break
+        best = float("inf")
+        for _ in range(repeats):
+            t0 = now()
+            run(cand)
+            best = min(best, now() - t0)
+        timings[cand] = best
+    return timings
+
+
 def tune_leaf_size(
     run: Callable[..., object],
     candidates: Sequence[int] = DEFAULT_CANDIDATES,
     repeats: int = 2,
     subsample: int | None = None,
+    clock: Callable[[], float] | None = None,
 ) -> TuneResult:
     """Time ``run(leaf_size)`` over the candidate grid; best-of-``repeats``.
 
     With ``subsample`` set, ``run`` is called as ``run(leaf_size,
     subsample)`` instead, so large inputs can be tuned on a smaller
     draw — the relative ranking of leaf sizes is what matters, not the
-    absolute timings.
+    absolute timings.  A single-candidate grid skips timing entirely
+    (there is nothing to rank, so no measurement is spent).
 
     Example
     -------
@@ -51,20 +92,24 @@ def tune_leaf_size(
     """
     if not candidates:
         raise ValueError("need at least one candidate leaf size")
+    if repeats < 1:
+        raise ValueError(f"repeats must be >= 1, got {repeats}")
     if subsample is not None and subsample < 1:
         raise ValueError(f"invalid subsample size {subsample}")
-    timings: dict[int, float] = {}
     for leaf in candidates:
         if leaf < 1:
             raise ValueError(f"invalid leaf size {leaf}")
-        best = float("inf")
-        for _ in range(repeats):
-            t0 = time.perf_counter()
-            if subsample is None:
-                run(int(leaf))
-            else:
-                run(int(leaf), int(subsample))
-            best = min(best, time.perf_counter() - t0)
-        timings[int(leaf)] = best
+    if len(candidates) == 1:
+        return TuneResult(best=int(candidates[0]))
+
+    if subsample is None:
+        call = lambda leaf: run(int(leaf))  # noqa: E731
+    else:
+        call = lambda leaf: run(int(leaf), int(subsample))  # noqa: E731
+    # Resolved at call time so tests monkeypatching this module's `time`
+    # (the fake-clock suite) keep steering the measurement.
+    now = clock if clock is not None else time.perf_counter
+    timings = measure_candidates(call, [int(c) for c in candidates],
+                                 repeats=repeats, clock=now)
     best_leaf = min(timings, key=timings.get)
     return TuneResult(best=best_leaf, timings=timings)

@@ -1,0 +1,16 @@
+"""Shared fixtures for the policy suite: every test runs against its own
+policy file so nothing ever touches the user's real cache."""
+
+import pytest
+
+from repro.policy import reset_policy_store
+
+
+@pytest.fixture(autouse=True)
+def policy_path(tmp_path, monkeypatch):
+    """Point the persistent policy store at a per-test file."""
+    path = tmp_path / "policy.json"
+    monkeypatch.setenv("REPRO_POLICY_PATH", str(path))
+    reset_policy_store()
+    yield path
+    reset_policy_store()

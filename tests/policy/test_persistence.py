@@ -1,0 +1,61 @@
+"""Cross-process persistence: a policy tuned in one process must be a
+cache hit in a completely fresh one."""
+
+import json
+import os
+import subprocess
+import sys
+
+from repro.observe import collect
+
+from tests.backend.test_differential import make_problem
+
+SEED = 101
+
+# Writes one tuned entry into REPRO_POLICY_PATH and prints its key.
+# The problem construction mirrors make_problem("knn", 101) exactly —
+# the policy key hashes program *structure* and bucketed sizes, so the
+# child only has to match shapes and layer shapes, not array contents.
+_CHILD = r"""
+import numpy as np
+from repro.dsl import PortalExpr, PortalFunc, PortalOp, Storage
+from repro.policy import ensure_policy
+
+rng = np.random.default_rng(101)
+Q = rng.normal(size=(28, 3))
+R = rng.normal(size=(33, 3))
+e = PortalExpr()
+e.addLayer(PortalOp.FORALL, Storage(Q, name="query"))
+e.addLayer((PortalOp.KARGMIN, 3), Storage(R, name="reference"),
+           PortalFunc.EUCLIDEAN)
+key, entry, source = ensure_policy(e.layers, {})
+print(key.as_str())
+print(source)
+"""
+
+
+def test_child_process_tunes_parent_hits(policy_path):
+    env = dict(os.environ, REPRO_POLICY_PATH=str(policy_path))
+    src = os.path.join(os.path.dirname(__file__), "..", "..", "src")
+    env["PYTHONPATH"] = os.path.abspath(src)
+    proc = subprocess.run([sys.executable, "-c", _CHILD], env=env,
+                          capture_output=True, text=True, timeout=300)
+    assert proc.returncode == 0, proc.stderr
+    child_key, child_source = proc.stdout.split()
+    assert child_source == "fresh-search"
+    assert policy_path.exists()
+
+    # Fresh process-side view (the autouse cache fixture reset the
+    # in-memory store): the parent's auto run must hit the child's entry.
+    build, _, base = make_problem("knn", SEED)
+    expr = build()
+    with collect() as counters:
+        expr.execute(**base, policy="auto")
+    st = expr.stats()["policy"]
+    assert st["source"] == "policy-cache"
+    assert st["key"] == child_key
+    assert counters.as_dict()["policy.hit"] == 1
+
+    # ... and the hit was counted back into the persisted entry.
+    payload = json.loads(policy_path.read_text())
+    assert payload["entries"][child_key]["config"] == st["config"]

@@ -1,0 +1,84 @@
+"""Register-time policy warmup in the serving layer: the policy cache
+is consulted (or populated) at the admission batch size during
+``register``, so real traffic never pays the search."""
+
+import asyncio
+
+import numpy as np
+
+from repro.dsl import PortalExpr, PortalFunc, PortalOp, Storage
+from repro.policy import policy_store
+from repro.serve import AdmissionConfig, PortalService
+
+ADMISSION = AdmissionConfig(batch_max=16)
+
+
+def _expr(seed=7):
+    rng = np.random.default_rng(seed)
+    Q = rng.normal(size=(24, 3))
+    R = rng.normal(size=(64, 3))
+    e = PortalExpr("knn-serve")
+    e.addLayer(PortalOp.FORALL, Storage(Q, name="query"))
+    e.addLayer((PortalOp.KARGMIN, 3), Storage(R, name="reference"),
+               PortalFunc.EUCLIDEAN)
+    return e
+
+
+def _register(options):
+    async def go():
+        service = PortalService()
+        try:
+            await service.register(_expr(), options=options,
+                                   admission=ADMISSION)
+        finally:
+            await service.close()
+        return service.counters.as_dict()
+
+    return asyncio.run(go())
+
+
+def test_static_mode_never_consults(policy_path):
+    counters = _register({})
+    assert "policy.warm_consult" not in counters
+    assert not policy_path.exists()
+
+
+def test_auto_mode_consults_and_misses_cold(policy_path):
+    counters = _register({"policy": "auto"})
+    assert counters["policy.warm_consult"] == 1
+    assert counters["policy.miss"] == 1
+    assert not policy_path.exists()  # auto warm never searches
+
+
+def test_search_mode_tunes_at_register_time(policy_path):
+    counters = _register({"policy": "search"})
+    assert counters["policy.warm_consult"] == 1
+    assert counters["policy.search"] == 1
+    assert policy_path.exists()
+    assert len(policy_store()) == 1
+
+
+def test_auto_mode_hits_after_search_register(policy_path):
+    _register({"policy": "search"})
+    counters = _register({"policy": "auto"})
+    assert counters["policy.warm_consult"] == 1
+    assert counters["policy.hit"] >= 1
+
+
+def test_queries_after_warm_match_direct_execute(policy_path):
+    expr = _expr()
+    direct = np.asarray(expr.execute().indices)
+
+    async def go():
+        service = PortalService()
+        try:
+            hid = await service.register(_expr(), options={"policy": "search"},
+                                         admission=ADMISSION)
+            rows = _expr().layers[0].storage.data
+            res = await service.query(hid, rows, k=3)
+            return np.asarray(res.indices)
+        finally:
+            await service.close()
+
+    served = asyncio.run(go())
+    assert np.array_equal(served, direct)

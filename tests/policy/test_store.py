@@ -1,0 +1,135 @@
+"""Persistent policy store: durability, versioning, and the guarantee
+that no failure mode ever raises into an execution."""
+
+import json
+
+from repro.backend import cache as cache_mod
+from repro.observe import collect
+from repro.policy import (
+    POLICY_SCHEMA, PolicyEntry, PolicyKey, PolicyStore, host_fingerprint,
+)
+from repro.policy import store as store_mod
+
+KEY = PolicyKey(program_class="cafe0123", tree="kd", nq_bucket=8,
+                nr_bucket=9, dim=3, k=4)
+CONFIG = {"traversal": "bounded-batched", "executor": "serial",
+          "codegen": "numpy", "leaf_size": 64, "shards": 1}
+
+
+def _entry(**kw):
+    return PolicyEntry(config=dict(CONFIG), **kw)
+
+
+class TestRoundtrip:
+    def test_put_get(self, policy_path):
+        store = PolicyStore()
+        store.put(KEY, _entry())
+        got = store.get(KEY)
+        assert got is not None and got.config == CONFIG
+        assert policy_path.exists()
+
+    def test_fresh_store_reads_back(self, policy_path):
+        PolicyStore().put(KEY, _entry(ref={"prune_rate": 0.5}))
+        got = PolicyStore().get(KEY)
+        assert got is not None
+        assert got.ref == {"prune_rate": 0.5}
+        assert got.created > 0
+
+    def test_hits_counted(self, policy_path):
+        store = PolicyStore()
+        store.put(KEY, _entry())
+        store.get(KEY)
+        store.get(KEY)
+        assert store.get(KEY).hits == 3
+
+    def test_mark_stale_persists(self, policy_path):
+        PolicyStore().put(KEY, _entry())
+        with collect() as counters:
+            assert PolicyStore().mark_stale(KEY)
+        assert counters.as_dict()["policy.stale_marked"] == 1
+        assert PolicyStore().get(KEY).stale
+
+    def test_payload_is_wellformed_json(self, policy_path):
+        PolicyStore().put(KEY, _entry())
+        payload = json.loads(policy_path.read_text())
+        assert payload["policy_schema"] == POLICY_SCHEMA
+        assert payload["artifact_schema"] == cache_mod.ARTIFACT_SCHEMA
+        assert payload["host"] == host_fingerprint()
+        assert KEY.as_str() in payload["entries"]
+
+
+class TestFailureModes:
+    def test_corrupt_file_degrades(self, policy_path):
+        policy_path.write_text("{ not json !!!")
+        with collect() as counters:
+            store = PolicyStore()
+            assert store.get(KEY) is None
+            assert len(store) == 0
+        assert counters.as_dict()["policy.load_failed"] == 1
+
+    def test_truncated_file_degrades(self, policy_path):
+        PolicyStore().put(KEY, _entry())
+        text = policy_path.read_text()
+        policy_path.write_text(text[: len(text) // 2])
+        with collect() as counters:
+            assert PolicyStore().get(KEY) is None
+        assert counters.as_dict()["policy.load_failed"] == 1
+
+    def test_corrupt_file_overwritten_by_next_put(self, policy_path):
+        policy_path.write_text("garbage")
+        store = PolicyStore()
+        store.put(KEY, _entry())
+        assert PolicyStore().get(KEY) is not None
+
+    def test_unknown_entry_fields_tolerated(self, policy_path):
+        PolicyStore().put(KEY, _entry())
+        payload = json.loads(policy_path.read_text())
+        payload["entries"][KEY.as_str()]["future_field"] = 123
+        policy_path.write_text(json.dumps(payload))
+        assert PolicyStore().get(KEY) is not None
+
+
+class TestVersioning:
+    def test_artifact_schema_bump_drops_entries(self, policy_path,
+                                                monkeypatch):
+        PolicyStore().put(KEY, _entry())
+        monkeypatch.setattr(cache_mod, "ARTIFACT_SCHEMA",
+                            cache_mod.ARTIFACT_SCHEMA + 1)
+        with collect() as counters:
+            assert PolicyStore().get(KEY) is None
+        assert counters.as_dict()["policy.schema_mismatch"] == 1
+
+    def test_policy_schema_bump_drops_entries(self, policy_path,
+                                              monkeypatch):
+        PolicyStore().put(KEY, _entry())
+        monkeypatch.setattr(store_mod, "POLICY_SCHEMA",
+                            store_mod.POLICY_SCHEMA + 1)
+        with collect() as counters:
+            assert PolicyStore().get(KEY) is None
+        assert counters.as_dict()["policy.schema_mismatch"] == 1
+
+    def test_host_change_drops_entries(self, policy_path, monkeypatch):
+        PolicyStore().put(KEY, _entry())
+        monkeypatch.setattr(store_mod, "host_fingerprint",
+                            lambda: "0000000000000000")
+        with collect() as counters:
+            assert PolicyStore().get(KEY) is None
+        assert counters.as_dict()["policy.host_mismatch"] == 1
+
+
+class TestLifecycle:
+    def test_forget_rereads_file(self, policy_path):
+        store = PolicyStore()
+        store.put(KEY, _entry())
+        # another writer updates the file behind this store's back
+        other = PolicyStore()
+        other.mark_stale(KEY)
+        assert not store.get(KEY).stale  # cached in-memory view
+        store.forget()
+        assert store.get(KEY).stale
+
+    def test_clear_empties_table_and_file(self, policy_path):
+        store = PolicyStore()
+        store.put(KEY, _entry())
+        store.clear()
+        assert len(PolicyStore()) == 0

@@ -8,7 +8,9 @@ best-of-repeats / argmin logic is asserted against the script.
 import pytest
 
 from repro.util import tune as tune_mod
-from repro.util.tune import DEFAULT_CANDIDATES, TuneResult, tune_leaf_size
+from repro.util.tune import (
+    DEFAULT_CANDIDATES, TuneResult, measure_candidates, tune_leaf_size,
+)
 
 
 class FakeClock:
@@ -92,3 +94,86 @@ class TestTuneLeafSize:
         result = tune_leaf_size(run, candidates=(16, 32), repeats=1)
         text = repr(result)
         assert "best=32" in text and "16:" in text
+
+    def test_invalid_repeats_rejected(self):
+        with pytest.raises(ValueError, match="repeats"):
+            tune_leaf_size(lambda leaf: None, candidates=(16, 32),
+                           repeats=0)
+
+    def test_single_candidate_skips_timing(self):
+        # Nothing to rank: the grid's only value wins without a single
+        # measurement being spent.
+        calls = []
+        result = tune_leaf_size(calls.append, candidates=(48,))
+        assert calls == []
+        assert result.best == 48
+        assert result.timings == {}
+
+    def test_single_candidate_still_validates(self):
+        with pytest.raises(ValueError, match="repeats"):
+            tune_leaf_size(lambda leaf: None, candidates=(48,), repeats=0)
+
+    def test_injected_clock_overrides_module_time(self):
+        clk = FakeClock()
+        script = {16: 4.0, 32: 1.0}
+
+        def run(leaf):
+            clk.now += script[leaf]
+
+        result = tune_leaf_size(run, candidates=(16, 32), repeats=1,
+                                clock=clk.perf_counter)
+        assert result.best == 32
+        assert result.timings == {16: 4.0, 32: 1.0}
+
+
+class TestMeasureCandidates:
+    def test_times_every_candidate(self):
+        clk = FakeClock()
+        cost = {"a": 3.0, "b": 1.0, "c": 2.0}
+
+        def run(cand):
+            clk.now += cost[cand]
+
+        timings = measure_candidates(run, ["a", "b", "c"], repeats=1,
+                                     clock=clk.perf_counter)
+        assert timings == cost
+
+    def test_best_of_repeats(self):
+        clk = FakeClock()
+        script = iter([5.0, 1.0])
+
+        def run(cand):
+            clk.now += next(script)
+
+        timings = measure_candidates(run, ["x"], repeats=2,
+                                     clock=clk.perf_counter)
+        assert timings == {"x": 1.0}
+
+    def test_budget_skips_remaining_candidates(self):
+        clk = FakeClock()
+
+        def run(cand):
+            clk.now += 4.0
+
+        timings = measure_candidates(run, ["a", "b", "c"], repeats=1,
+                                     clock=clk.perf_counter, budget_s=5.0)
+        # 'a' (4s) fits; measuring 'b' crosses 8s >= 5s, so 'c' is cut.
+        assert list(timings) == ["a", "b"]
+
+    def test_first_candidate_always_measured(self):
+        clk = FakeClock()
+
+        def run(cand):
+            clk.now += 100.0
+
+        timings = measure_candidates(run, ["a", "b"], repeats=1,
+                                     clock=clk.perf_counter, budget_s=0.0)
+        assert list(timings) == ["a"]
+
+    def test_empty_candidates_rejected(self):
+        with pytest.raises(ValueError, match="candidate"):
+            measure_candidates(lambda c: None, [])
+
+    def test_invalid_repeats_rejected(self):
+        with pytest.raises(ValueError, match="repeats"):
+            measure_candidates(lambda c: None, ["a"], repeats=0)
